@@ -1,0 +1,518 @@
+//! The DDoS detector written on a bulk-synchronous-parallel harness —
+//! what a developer writes on Apache Hama (the paper's BSP baseline,
+//! 817/829 lines of Java).
+//!
+//! Hama gives you peers, supersteps, and message passing; everything else
+//! — the master/worker coordination protocol, centroid broadcast,
+//! aggregation messages, convergence detection, feature extraction,
+//! normalization, validation — is the application's problem. The BSP
+//! harness itself is written in this file too, mirroring the boilerplate
+//! a Hama job carries.
+#![allow(clippy::needless_range_loop)] // the BSP baseline is deliberately verbose
+
+use super::{DetectorOutput, RawFlowSample};
+use athena_ml::ConfusionMatrix;
+use athena_types::FiveTuple;
+use std::collections::HashSet;
+
+/// Runs the K-Means variant.
+pub fn run_kmeans(train: &[RawFlowSample], test: &[RawFlowSample]) -> DetectorOutput {
+    run(train, test, Mode::KMeans)
+}
+
+/// Runs the logistic-regression variant.
+pub fn run_logistic(train: &[RawFlowSample], test: &[RawFlowSample]) -> DetectorOutput {
+    run(train, test, Mode::Logistic)
+}
+
+enum Mode {
+    KMeans,
+    Logistic,
+}
+
+const PEERS: usize = 6;
+const K: usize = 8;
+const DIM: usize = 10;
+const KMEANS_ITERATIONS: usize = 20;
+const LOGISTIC_ITERATIONS: usize = 120;
+const LOGISTIC_RATE: f64 = 0.5;
+const WEIGHTS: [f64; DIM] = [2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+const MASTER: usize = 0;
+
+// >>> measured
+// -------------------------------------------------------------------
+// The BSP harness: peers exchange messages between supersteps; the
+// barrier is implicit in the superstep loop (everything a Hama
+// `BSP<K1,V1,K2,V2,M>` job provides, reimplemented).
+// -------------------------------------------------------------------
+
+/// One message between peers.
+#[derive(Clone)]
+enum Message {
+    /// Master -> workers: the current centroids.
+    Centroids(Vec<[f64; DIM]>),
+    /// Worker -> master: per-cluster (sum, count) aggregates.
+    Aggregates(Vec<([f64; DIM], u64)>),
+    /// Master -> workers: the current logistic parameters.
+    LogisticParams([f64; DIM], f64),
+    /// Worker -> master: a partial gradient (weights, bias, count).
+    Gradient([f64; DIM], f64, u64),
+    /// Master -> everyone: the job is done.
+    Halt,
+}
+
+/// A peer's mailbox for the next superstep.
+struct Mailboxes {
+    boxes: Vec<Vec<Message>>,
+}
+
+impl Mailboxes {
+    fn new(peers: usize) -> Self {
+        Mailboxes {
+            boxes: (0..peers).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    fn send(&mut self, to: usize, msg: Message) {
+        self.boxes[to].push(msg);
+    }
+
+    fn broadcast(&mut self, msg: &Message) {
+        for b in &mut self.boxes {
+            b.push(msg.clone());
+        }
+    }
+
+    fn take(&mut self, peer: usize) -> Vec<Message> {
+        std::mem::take(&mut self.boxes[peer])
+    }
+}
+
+/// The per-peer state: its data shard and the model replicas.
+struct PeerState {
+    shard: Vec<FeatureVec>,
+    centroids: Vec<[f64; DIM]>,
+    weights: [f64; DIM],
+    bias: f64,
+    lo: [f64; DIM],
+    hi: [f64; DIM],
+    halted: bool,
+}
+
+#[derive(Clone)]
+struct FeatureVec {
+    values: [f64; DIM],
+    malicious: bool,
+}
+
+/// Runs supersteps until every peer halts. Each superstep: every peer
+/// reads its inbox, updates state, and posts messages for the next
+/// superstep (the barrier).
+fn run_supersteps(
+    states: &mut [PeerState],
+    mut superstep: impl FnMut(usize, &mut PeerState, Vec<Message>, &mut Mailboxes, usize),
+) {
+    let peers = states.len();
+    let mut current = Mailboxes::new(peers);
+    let mut step = 0usize;
+    loop {
+        let mut next = Mailboxes::new(peers);
+        for (id, state) in states.iter_mut().enumerate() {
+            let inbox = current.take(id);
+            superstep(id, state, inbox, &mut next, step);
+        }
+        current = next;
+        step += 1;
+        if states.iter().all(|s| s.halted) {
+            break;
+        }
+        assert!(step < 10_000, "bsp job failed to converge");
+    }
+}
+
+// -------------------------------------------------------------------
+// Feature extraction (identical math to the other baselines, written
+// against plain slices because BSP shards are local vectors).
+// -------------------------------------------------------------------
+
+fn extract_features(samples: &[RawFlowSample]) -> Vec<FeatureVec> {
+    let tuples: HashSet<FiveTuple> = samples.iter().map(|s| s.five_tuple).collect();
+    let pair_count = tuples
+        .iter()
+        .filter(|t| tuples.contains(&t.reversed()))
+        .count();
+    let pair_ratio = pair_count as f64 / tuples.len().max(1) as f64;
+    samples
+        .iter()
+        .map(|s| {
+            let duration = s.duration_us as f64 / 1e6;
+            let packets = s.packet_count as f64;
+            let bytes = s.byte_count as f64;
+            let paired = tuples.contains(&s.five_tuple.reversed());
+            FeatureVec {
+                values: [
+                    f64::from(u8::from(paired)),
+                    pair_ratio,
+                    packets,
+                    bytes,
+                    bytes / packets.max(1.0),
+                    packets / duration.max(1e-9),
+                    bytes / duration.max(1e-9),
+                    duration.floor(),
+                    (duration.fract() * 1e9).floor(),
+                    f64::from(s.five_tuple.dst_port),
+                ],
+                malicious: s.malicious,
+            }
+        })
+        .collect()
+}
+
+fn shard<T: Clone>(data: &[T], peers: usize) -> Vec<Vec<T>> {
+    let mut shards: Vec<Vec<T>> = (0..peers).map(|_| Vec::new()).collect();
+    for (i, item) in data.iter().enumerate() {
+        shards[i % peers].push(item.clone());
+    }
+    shards
+}
+
+fn squared_distance(a: &[f64; DIM], b: &[f64; DIM]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..DIM {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+fn nearest(centroids: &[[f64; DIM]], x: &[f64; DIM]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(c, x);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+fn apply_normalization(shards: &mut [PeerState]) {
+    // Phase 1 of every job: min/max via one aggregate/broadcast round,
+    // then each peer rescales and weights its shard locally.
+    for state in shards.iter_mut() {
+        let mut lo = [f64::INFINITY; DIM];
+        let mut hi = [f64::NEG_INFINITY; DIM];
+        for v in &state.shard {
+            for d in 0..DIM {
+                lo[d] = lo[d].min(v.values[d]);
+                hi[d] = hi[d].max(v.values[d]);
+            }
+        }
+        state.lo = lo;
+        state.hi = hi;
+    }
+    let mut lo = [f64::INFINITY; DIM];
+    let mut hi = [f64::NEG_INFINITY; DIM];
+    for state in shards.iter() {
+        for d in 0..DIM {
+            lo[d] = lo[d].min(state.lo[d]);
+            hi[d] = hi[d].max(state.hi[d]);
+        }
+    }
+    for state in shards.iter_mut() {
+        state.lo = lo;
+        state.hi = hi;
+        for v in &mut state.shard {
+            for d in 0..DIM {
+                let range = hi[d] - lo[d];
+                v.values[d] = if range.abs() < 1e-12 {
+                    0.0
+                } else {
+                    ((v.values[d] - lo[d]) / range).clamp(0.0, 1.0)
+                };
+                v.values[d] *= WEIGHTS[d];
+            }
+        }
+    }
+}
+
+fn initial_states(samples: &[RawFlowSample]) -> Vec<PeerState> {
+    let features = extract_features(samples);
+    shard(&features, PEERS)
+        .into_iter()
+        .map(|shard| PeerState {
+            shard,
+            centroids: Vec::new(),
+            weights: [0.0; DIM],
+            bias: 0.0,
+            lo: [0.0; DIM],
+            hi: [0.0; DIM],
+            halted: false,
+        })
+        .collect()
+}
+
+fn seed_centroids(states: &[PeerState]) -> Vec<[f64; DIM]> {
+    let mut centroids = Vec::with_capacity(K);
+    'outer: for state in states {
+        for v in state.shard.iter().step_by(97) {
+            centroids.push(v.values);
+            if centroids.len() == K {
+                break 'outer;
+            }
+        }
+    }
+    while centroids.len() < K {
+        let mut jittered = centroids[centroids.len() % centroids.len().max(1)];
+        jittered[2] += centroids.len() as f64 * 0.01;
+        centroids.push(jittered);
+    }
+    centroids
+}
+
+// -------------------------------------------------------------------
+// The K-Means BSP job: master coordinates Lloyd rounds; each round is
+// two supersteps (broadcast, aggregate).
+// -------------------------------------------------------------------
+
+fn kmeans_job(train: &mut [PeerState]) -> (Vec<[f64; DIM]>, Vec<bool>) {
+    apply_normalization(train);
+    let initial = seed_centroids(train);
+    for s in train.iter_mut() {
+        s.centroids = initial.clone();
+    }
+    let mut rounds = 0usize;
+    let mut pending: Vec<Vec<([f64; DIM], u64)>> = Vec::new();
+    run_supersteps(train, |id, state, inbox, next, step| {
+        if step == 0 {
+            if id == MASTER {
+                next.broadcast(&Message::Centroids(state.centroids.clone()));
+            }
+            return;
+        }
+        for msg in inbox {
+            match msg {
+                Message::Centroids(c) => {
+                    // Assignment phase: send aggregates to the master.
+                    state.centroids = c;
+                    let mut agg: Vec<([f64; DIM], u64)> = vec![([0.0; DIM], 0); K];
+                    for v in &state.shard {
+                        let cidx = nearest(&state.centroids, &v.values);
+                        for d in 0..DIM {
+                            agg[cidx].0[d] += v.values[d];
+                        }
+                        agg[cidx].1 += 1;
+                    }
+                    next.send(MASTER, Message::Aggregates(agg));
+                }
+                Message::Aggregates(agg) => pending.push(agg),
+                Message::Halt => state.halted = true,
+                _ => {}
+            }
+        }
+        if id == MASTER && pending.len() >= PEERS {
+            // A full round's aggregates arrived: merge, update, and
+            // rebroadcast (or halt).
+            let mut sums = vec![[0.0f64; DIM]; K];
+            let mut counts = [0u64; K];
+            for agg in pending.drain(..) {
+                for (c, (sum, count)) in agg.into_iter().enumerate() {
+                    for d in 0..DIM {
+                        sums[c][d] += sum[d];
+                    }
+                    counts[c] += count;
+                }
+            }
+            for c in 0..K {
+                if counts[c] == 0 {
+                    continue;
+                }
+                for d in 0..DIM {
+                    state.centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+            rounds += 1;
+            if rounds >= KMEANS_ITERATIONS {
+                next.broadcast(&Message::Halt);
+                state.halted = true;
+            } else {
+                next.broadcast(&Message::Centroids(state.centroids.clone()));
+            }
+        }
+    });
+    let centroids = train[MASTER].centroids.clone();
+    // Labeling pass: count labels per cluster across shards.
+    let mut counts = [(0u64, 0u64); K];
+    for state in train.iter() {
+        for v in &state.shard {
+            let c = nearest(&centroids, &v.values);
+            if v.malicious {
+                counts[c].1 += 1;
+            } else {
+                counts[c].0 += 1;
+            }
+        }
+    }
+    let flags = counts.iter().map(|(b, m)| m > b).collect();
+    (centroids, flags)
+}
+
+// -------------------------------------------------------------------
+// The logistic BSP job.
+// -------------------------------------------------------------------
+
+fn logistic_job(train: &mut [PeerState]) -> ([f64; DIM], f64) {
+    apply_normalization(train);
+    let total: u64 = train.iter().map(|s| s.shard.len() as u64).sum();
+    let mut iterations = 0usize;
+    let mut pending: Vec<([f64; DIM], f64, u64)> = Vec::new();
+    run_supersteps(train, |id, state, inbox, next, step| {
+        if step == 0 {
+            if id == MASTER {
+                next.broadcast(&Message::LogisticParams(state.weights, state.bias));
+            }
+            return;
+        }
+        for msg in inbox {
+            match msg {
+                Message::LogisticParams(w, b) => {
+                    state.weights = w;
+                    state.bias = b;
+                    let mut gw = [0.0f64; DIM];
+                    let mut gb = 0.0f64;
+                    for v in &state.shard {
+                        let mut z = b;
+                        for d in 0..DIM {
+                            z += w[d] * v.values[d];
+                        }
+                        let err = sigmoid(z) - f64::from(u8::from(v.malicious));
+                        for d in 0..DIM {
+                            gw[d] += err * v.values[d];
+                        }
+                        gb += err;
+                    }
+                    next.send(MASTER, Message::Gradient(gw, gb, state.shard.len() as u64));
+                }
+                Message::Gradient(gw, gb, n) => pending.push((gw, gb, n)),
+                Message::Halt => state.halted = true,
+                _ => {}
+            }
+        }
+        if id == MASTER && !pending.is_empty() && pending.len() >= PEERS {
+            let mut grad_w = [0.0f64; DIM];
+            let mut grad_b = 0.0f64;
+            for (gw, gb, _) in pending.drain(..) {
+                for d in 0..DIM {
+                    grad_w[d] += gw[d] / total as f64;
+                }
+                grad_b += gb / total as f64;
+            }
+            for d in 0..DIM {
+                state.weights[d] -= LOGISTIC_RATE * grad_w[d];
+            }
+            state.bias -= LOGISTIC_RATE * grad_b;
+            iterations += 1;
+            if iterations >= LOGISTIC_ITERATIONS {
+                next.broadcast(&Message::Halt);
+                state.halted = true;
+            } else {
+                next.broadcast(&Message::LogisticParams(state.weights, state.bias));
+            }
+        }
+    });
+    (train[MASTER].weights, train[MASTER].bias)
+}
+
+// -------------------------------------------------------------------
+// Validation over sharded test data.
+// -------------------------------------------------------------------
+
+fn validate_kmeans(
+    test: &[PeerState],
+    centroids: &[[f64; DIM]],
+    flags: &[bool],
+) -> DetectorOutput {
+    let mut confusion = ConfusionMatrix::default();
+    let mut clusters = vec![(0u64, 0u64, false); K];
+    for state in test {
+        for v in &state.shard {
+            let c = nearest(centroids, &v.values);
+            let predicted = flags[c];
+            confusion.record(v.malicious, predicted);
+            if v.malicious {
+                clusters[c].1 += 1;
+            } else {
+                clusters[c].0 += 1;
+            }
+            clusters[c].2 = predicted;
+        }
+    }
+    DetectorOutput { confusion, clusters }
+}
+
+fn validate_logistic(test: &[PeerState], weights: &[f64; DIM], bias: f64) -> DetectorOutput {
+    let mut confusion = ConfusionMatrix::default();
+    for state in test {
+        for v in &state.shard {
+            let mut z = bias;
+            for d in 0..DIM {
+                z += weights[d] * v.values[d];
+            }
+            confusion.record(v.malicious, sigmoid(z) >= 0.5);
+        }
+    }
+    DetectorOutput {
+        confusion,
+        clusters: Vec::new(),
+    }
+}
+
+fn run(train: &[RawFlowSample], test: &[RawFlowSample], mode: Mode) -> DetectorOutput {
+    let mut train_states = initial_states(train);
+    let mut test_states = initial_states(test);
+    match mode {
+        Mode::KMeans => {
+            let (centroids, flags) = kmeans_job(&mut train_states);
+            // The test shards must be normalized with the training stats.
+            for s in &mut test_states {
+                s.lo = train_states[MASTER].lo;
+                s.hi = train_states[MASTER].hi;
+            }
+            normalize_with(&mut test_states, train_states[MASTER].lo, train_states[MASTER].hi);
+            validate_kmeans(&test_states, &centroids, &flags)
+        }
+        Mode::Logistic => {
+            let (weights, bias) = logistic_job(&mut train_states);
+            normalize_with(&mut test_states, train_states[MASTER].lo, train_states[MASTER].hi);
+            validate_logistic(&test_states, &weights, bias)
+        }
+    }
+}
+
+fn normalize_with(states: &mut [PeerState], lo: [f64; DIM], hi: [f64; DIM]) {
+    for state in states {
+        for v in &mut state.shard {
+            for d in 0..DIM {
+                let range = hi[d] - lo[d];
+                v.values[d] = if range.abs() < 1e-12 {
+                    0.0
+                } else {
+                    ((v.values[d] - lo[d]) / range).clamp(0.0, 1.0)
+                };
+                v.values[d] *= WEIGHTS[d];
+            }
+        }
+    }
+}
+// <<< measured

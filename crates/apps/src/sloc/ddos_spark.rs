@@ -1,0 +1,458 @@
+//! The DDoS detector written directly against the compute cluster —
+//! what a developer writes *without* Athena (the paper's Spark baseline,
+//! 825/851 lines of Java).
+//!
+//! Everything Athena provides for free must be hand-rolled here: pair-flow
+//! state tracking, the 10-tuple feature extraction, min-max statistics and
+//! normalization, feature weighting, the distributed K-Means / logistic
+//! training loops, cluster labeling, distributed validation, and the
+//! report. The code is deliberately written the way such a pipeline
+//! actually looks: explicit, stage by stage.
+#![allow(clippy::needless_range_loop)] // the baseline is deliberately verbose
+
+use super::{DetectorOutput, RawFlowSample};
+use athena_compute::{ComputeCluster, Dataset};
+use athena_ml::ConfusionMatrix;
+use athena_types::FiveTuple;
+use std::collections::HashSet;
+
+/// Runs the K-Means variant.
+pub fn run_kmeans(train: &[RawFlowSample], test: &[RawFlowSample]) -> DetectorOutput {
+    run(train, test, TrainMode::KMeans)
+}
+
+/// Runs the logistic-regression variant.
+pub fn run_logistic(train: &[RawFlowSample], test: &[RawFlowSample]) -> DetectorOutput {
+    run(train, test, TrainMode::Logistic)
+}
+
+enum TrainMode {
+    KMeans,
+    Logistic,
+}
+
+const K: usize = 8;
+const KMEANS_ITERATIONS: usize = 20;
+const LOGISTIC_ITERATIONS: usize = 120;
+const LOGISTIC_RATE: f64 = 0.5;
+const PARTITIONS: usize = 16;
+const DIM: usize = 10;
+const WEIGHTS: [f64; DIM] = [2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+fn run(train: &[RawFlowSample], test: &[RawFlowSample], mode: TrainMode) -> DetectorOutput {
+    let cluster = ComputeCluster::new(6);
+
+    // >>> measured
+    // ---------------------------------------------------------------
+    // Stage 1. Load the raw flow samples into the cluster.
+    // ---------------------------------------------------------------
+    let train_rdd = cluster.parallelize(train.to_vec(), PARTITIONS);
+    let test_rdd = cluster.parallelize(test.to_vec(), PARTITIONS);
+
+    // ---------------------------------------------------------------
+    // Stage 2. Build the pair-flow state: the set of live 5-tuples.
+    // Athena's feature generator maintains this automatically; by hand
+    // it is a distributed set union over every partition.
+    // ---------------------------------------------------------------
+    let train_tuples = collect_tuple_set(&train_rdd);
+    let test_tuples = collect_tuple_set(&test_rdd);
+
+    // ---------------------------------------------------------------
+    // Stage 3. Extract the 10-tuple features for every sample.
+    // ---------------------------------------------------------------
+    let train_feats = extract_features(&train_rdd, &train_tuples);
+    let test_feats = extract_features(&test_rdd, &test_tuples);
+
+    // ---------------------------------------------------------------
+    // Stage 4. Fit min-max statistics on the training set
+    // (a distributed fold), then normalize and weight both sets.
+    // ---------------------------------------------------------------
+    let (lo, hi) = fit_min_max(&train_feats);
+    let train_norm = normalize_and_weight(&train_feats, &lo, &hi);
+    let test_norm = normalize_and_weight(&test_feats, &lo, &hi);
+
+    // ---------------------------------------------------------------
+    // Stage 5. Train.
+    // ---------------------------------------------------------------
+    let model = match mode {
+        TrainMode::KMeans => {
+            let centroids = kmeans_train(&train_norm);
+            let flags = label_clusters(&train_norm, &centroids);
+            Model::KMeans { centroids, flags }
+        }
+        TrainMode::Logistic => {
+            let (weights, bias) = logistic_train(&train_norm);
+            Model::Logistic { weights, bias }
+        }
+    };
+
+    // ---------------------------------------------------------------
+    // Stage 6. Validate on the test set (distributed confusion matrix
+    // plus per-cluster composition) and build the report.
+    // ---------------------------------------------------------------
+    let output = validate(&test_norm, &model);
+    let _report = format_report(&output);
+    // <<< measured
+
+    output
+}
+
+// >>> continued-implementation (support code the baseline developer also
+// writes; the measured markers above capture the driver, and the helpers
+// below are counted by the Table VIII harness as part of this file's
+// implementation via the second measured region)
+// >>> measured
+
+/// A featurized sample: the 10-dimensional vector plus the ground-truth
+/// label the evaluation needs.
+#[derive(Clone)]
+struct FeatureVector {
+    values: [f64; DIM],
+    malicious: bool,
+}
+
+enum Model {
+    KMeans {
+        centroids: Vec<[f64; DIM]>,
+        flags: Vec<bool>,
+    },
+    Logistic {
+        weights: [f64; DIM],
+        bias: f64,
+    },
+}
+
+/// Distributed set-union of every partition's 5-tuples.
+fn collect_tuple_set(rdd: &Dataset<RawFlowSample>) -> HashSet<FiveTuple> {
+    let partials = rdd.map_partitions(|part| {
+        let mut set = HashSet::new();
+        for s in part {
+            set.insert(s.five_tuple);
+        }
+        vec![set]
+    });
+    let mut all = HashSet::new();
+    for set in partials.collect() {
+        all.extend(set);
+    }
+    all
+}
+
+/// Per-sample feature extraction, with the pair-flow state broadcast to
+/// every partition.
+fn extract_features(
+    rdd: &Dataset<RawFlowSample>,
+    tuples: &HashSet<FiveTuple>,
+) -> Dataset<FeatureVector> {
+    let pair_count = tuples
+        .iter()
+        .filter(|t| tuples.contains(&t.reversed()))
+        .count();
+    let pair_ratio = pair_count as f64 / tuples.len().max(1) as f64;
+    let tuples = tuples.clone();
+    rdd.map(move |s| {
+        let duration = s.duration_us as f64 / 1e6;
+        let packets = s.packet_count as f64;
+        let bytes = s.byte_count as f64;
+        let paired = tuples.contains(&s.five_tuple.reversed());
+        FeatureVector {
+            values: [
+                f64::from(u8::from(paired)),
+                pair_ratio,
+                packets,
+                bytes,
+                bytes / packets.max(1.0),
+                packets / duration.max(1e-9),
+                bytes / duration.max(1e-9),
+                duration.floor(),
+                (duration.fract() * 1e9).floor(),
+                f64::from(s.five_tuple.dst_port),
+            ],
+            malicious: s.malicious,
+        }
+    })
+}
+
+/// Distributed min/max per dimension.
+fn fit_min_max(rdd: &Dataset<FeatureVector>) -> ([f64; DIM], [f64; DIM]) {
+    let init = ([f64::INFINITY; DIM], [f64::NEG_INFINITY; DIM]);
+    rdd.fold(
+        init,
+        |(mut lo, mut hi), v| {
+            for d in 0..DIM {
+                lo[d] = lo[d].min(v.values[d]);
+                hi[d] = hi[d].max(v.values[d]);
+            }
+            (lo, hi)
+        },
+        |(mut alo, mut ahi), (blo, bhi)| {
+            for d in 0..DIM {
+                alo[d] = alo[d].min(blo[d]);
+                ahi[d] = ahi[d].max(bhi[d]);
+            }
+            (alo, ahi)
+        },
+    )
+}
+
+/// Min-max normalization followed by the feature weights.
+fn normalize_and_weight(
+    rdd: &Dataset<FeatureVector>,
+    lo: &[f64; DIM],
+    hi: &[f64; DIM],
+) -> Dataset<FeatureVector> {
+    let (lo, hi) = (*lo, *hi);
+    rdd.map(move |v| {
+        let mut out = v.values;
+        for d in 0..DIM {
+            let range = hi[d] - lo[d];
+            out[d] = if range.abs() < 1e-12 {
+                0.0
+            } else {
+                ((out[d] - lo[d]) / range).clamp(0.0, 1.0)
+            };
+            out[d] *= WEIGHTS[d];
+        }
+        FeatureVector {
+            values: out,
+            malicious: v.malicious,
+        }
+    })
+}
+
+fn squared_distance(a: &[f64; DIM], b: &[f64; DIM]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..DIM {
+        let diff = a[d] - b[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+fn nearest(centroids: &[[f64; DIM]], x: &[f64; DIM]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = squared_distance(c, x);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Lloyd iterations with per-partition (sum, count) aggregation — the
+/// classic Spark K-Means shape, written out by hand.
+fn kmeans_train(rdd: &Dataset<FeatureVector>) -> Vec<[f64; DIM]> {
+    // Deterministic seeding: spread the initial centroids over the first
+    // samples of the dataset (k-means|| is overkill to hand-roll here,
+    // which is itself part of the usability point).
+    let seeds: Vec<FeatureVector> = rdd.sample(0.001).collect();
+    let mut centroids: Vec<[f64; DIM]> = Vec::with_capacity(K);
+    for s in seeds.iter().take(K) {
+        centroids.push(s.values);
+    }
+    while centroids.len() < K {
+        let mut jittered = centroids[centroids.len() % seeds.len().max(1)];
+        jittered[2] += centroids.len() as f64 * 0.01;
+        centroids.push(jittered);
+    }
+    for _ in 0..KMEANS_ITERATIONS {
+        let snapshot = centroids.clone();
+        let partials = rdd.map_partitions(move |part| {
+            let mut sums = vec![[0.0f64; DIM]; K];
+            let mut counts = vec![0u64; K];
+            for v in part {
+                let c = nearest(&snapshot, &v.values);
+                for d in 0..DIM {
+                    sums[c][d] += v.values[d];
+                }
+                counts[c] += 1;
+            }
+            vec![(sums, counts)]
+        });
+        let mut sums = vec![[0.0f64; DIM]; K];
+        let mut counts = [0u64; K];
+        for (ps, pc) in partials.collect() {
+            for c in 0..K {
+                for d in 0..DIM {
+                    sums[c][d] += ps[c][d];
+                }
+                counts[c] += pc[c];
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..K {
+            if counts[c] == 0 {
+                continue;
+            }
+            let mut new = [0.0f64; DIM];
+            for d in 0..DIM {
+                new[d] = sums[c][d] / counts[c] as f64;
+            }
+            movement += squared_distance(&centroids[c], &new).sqrt();
+            centroids[c] = new;
+        }
+        if movement < 1e-4 {
+            break;
+        }
+    }
+    centroids
+}
+
+/// Names each cluster malicious/benign by the majority label of its
+/// members — what Athena's Detector Manager auto-configures.
+fn label_clusters(rdd: &Dataset<FeatureVector>, centroids: &[[f64; DIM]]) -> Vec<bool> {
+    let snapshot = centroids.to_vec();
+    let partials = rdd.map_partitions(move |part| {
+        let mut counts = vec![(0u64, 0u64); K];
+        for v in part {
+            let c = nearest(&snapshot, &v.values);
+            if v.malicious {
+                counts[c].1 += 1;
+            } else {
+                counts[c].0 += 1;
+            }
+        }
+        vec![counts]
+    });
+    let mut totals = [(0u64, 0u64); K];
+    for pc in partials.collect() {
+        for c in 0..K {
+            totals[c].0 += pc[c].0;
+            totals[c].1 += pc[c].1;
+        }
+    }
+    totals.iter().map(|(b, m)| m > b).collect()
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Full-batch logistic regression with per-partition gradients.
+fn logistic_train(rdd: &Dataset<FeatureVector>) -> ([f64; DIM], f64) {
+    let mut weights = [0.0f64; DIM];
+    let mut bias = 0.0f64;
+    let n = rdd.len() as f64;
+    for _ in 0..LOGISTIC_ITERATIONS {
+        let (w, b) = (weights, bias);
+        let partials = rdd.map_partitions(move |part| {
+            let mut gw = [0.0f64; DIM];
+            let mut gb = 0.0f64;
+            for v in part {
+                let mut z = b;
+                for d in 0..DIM {
+                    z += w[d] * v.values[d];
+                }
+                let err = sigmoid(z) - f64::from(u8::from(v.malicious));
+                for d in 0..DIM {
+                    gw[d] += err * v.values[d];
+                }
+                gb += err;
+            }
+            vec![(gw, gb)]
+        });
+        let mut grad_w = [0.0f64; DIM];
+        let mut grad_b = 0.0f64;
+        for (gw, gb) in partials.collect() {
+            for d in 0..DIM {
+                grad_w[d] += gw[d] / n;
+            }
+            grad_b += gb / n;
+        }
+        for d in 0..DIM {
+            weights[d] -= LOGISTIC_RATE * grad_w[d];
+        }
+        bias -= LOGISTIC_RATE * grad_b;
+    }
+    (weights, bias)
+}
+
+/// Distributed validation: per-partition confusion matrices and cluster
+/// compositions, merged on the driver.
+fn validate(rdd: &Dataset<FeatureVector>, model: &Model) -> DetectorOutput {
+    match model {
+        Model::KMeans { centroids, flags } => {
+            let (snapshot, flags_snapshot) = (centroids.clone(), flags.clone());
+            let partials = rdd.map_partitions(move |part| {
+                let mut confusion = ConfusionMatrix::default();
+                let mut clusters = vec![(0u64, 0u64, false); K];
+                for v in part {
+                    let c = nearest(&snapshot, &v.values);
+                    let predicted = flags_snapshot[c];
+                    confusion.record(v.malicious, predicted);
+                    if v.malicious {
+                        clusters[c].1 += 1;
+                    } else {
+                        clusters[c].0 += 1;
+                    }
+                    clusters[c].2 = predicted;
+                }
+                vec![(confusion, clusters)]
+            });
+            merge_validation(partials.collect())
+        }
+        Model::Logistic { weights, bias } => {
+            let (w, b) = (*weights, *bias);
+            let partials = rdd.map_partitions(move |part| {
+                let mut confusion = ConfusionMatrix::default();
+                for v in part {
+                    let mut z = b;
+                    for d in 0..DIM {
+                        z += w[d] * v.values[d];
+                    }
+                    confusion.record(v.malicious, sigmoid(z) >= 0.5);
+                }
+                vec![(confusion, Vec::new())]
+            });
+            merge_validation(partials.collect())
+        }
+    }
+}
+
+type ValidationPartial = (ConfusionMatrix, Vec<(u64, u64, bool)>);
+
+fn merge_validation(partials: Vec<ValidationPartial>) -> DetectorOutput {
+    let mut confusion = ConfusionMatrix::default();
+    let mut clusters: Vec<(u64, u64, bool)> = Vec::new();
+    for (partial, pc) in partials {
+        confusion.merge(&partial);
+        if clusters.len() < pc.len() {
+            clusters.resize(pc.len(), (0, 0, false));
+        }
+        for (slot, (b, m, f)) in clusters.iter_mut().zip(pc) {
+            slot.0 += b;
+            slot.1 += m;
+            slot.2 |= f;
+        }
+    }
+    DetectorOutput { confusion, clusters }
+}
+
+/// Builds the operator-facing report by hand.
+fn format_report(out: &DetectorOutput) -> String {
+    let c = &out.confusion;
+    let mut report = String::new();
+    report.push_str(&format!("Total : {} entries\n", c.total()));
+    report.push_str(&format!("True Positive : {} entries\n", c.true_positive));
+    report.push_str(&format!("False Positive : {} entries\n", c.false_positive));
+    report.push_str(&format!("True Negative : {} entries\n", c.true_negative));
+    report.push_str(&format!("False Negative : {} entries\n", c.false_negative));
+    report.push_str(&format!("Detection Rate : {}\n", c.detection_rate()));
+    report.push_str(&format!("False Alarm Rate: {}\n", c.false_alarm_rate()));
+    for (i, (b, m, flagged)) in out.clusters.iter().enumerate() {
+        report.push_str(&format!(
+            "Cluster #{i}: Benign ({b} entries), Malicious ({m} entries){}\n",
+            if *flagged { " [flagged]" } else { "" }
+        ));
+    }
+    report
+}
+// <<< measured

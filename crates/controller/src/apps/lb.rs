@@ -1,0 +1,229 @@
+//! The load-balancing application of the NAE scenario.
+//!
+//! The paper's Figure 8 load balancer "defines flow rules intended to
+//! evenly distribute a target traffic load across a given set of network
+//! services", installing rules with a *soft timeout* whose expiry causes
+//! the sawtooth in Figure 9.
+
+use crate::apps::app_ids;
+use crate::packet::{PacketContext, PacketProcessor};
+use athena_dataplane::Topology;
+use athena_openflow::{Action, FlowMod, MatchFields};
+use athena_types::{Dpid, Ipv4Addr, PortNo, SimDuration};
+use std::collections::HashSet;
+
+/// Splits traffic toward a server subnet across link-disjoint paths,
+/// round-robin per new flow, with soft (idle) timeouts.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    /// The destination subnet this app load-balances.
+    pub subnet: (Ipv4Addr, u8),
+    /// Soft timeout for installed rules (drives Figure 9's sawtooth).
+    pub soft_timeout: SimDuration,
+    /// Rule priority (above plain forwarding, below the security app).
+    pub priority: u16,
+    next_path: usize,
+    balanced: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a load balancer for traffic into `subnet`.
+    pub fn new(subnet: (Ipv4Addr, u8)) -> Self {
+        LoadBalancer {
+            subnet,
+            soft_timeout: SimDuration::from_secs(10),
+            priority: 50,
+            next_path: 0,
+            balanced: 0,
+        }
+    }
+
+    /// Flows balanced so far.
+    pub fn balanced(&self) -> u64 {
+        self.balanced
+    }
+}
+
+/// Up to `k` link-disjoint shortest paths between two switches.
+///
+/// Computes the shortest path, removes its links, repeats.
+pub fn disjoint_paths(
+    topo: &Topology,
+    from: Dpid,
+    to: Dpid,
+    k: usize,
+) -> Vec<Vec<(Dpid, PortNo)>> {
+    let mut paths = Vec::new();
+    let mut excluded: HashSet<(Dpid, PortNo)> = HashSet::new();
+    for _ in 0..k {
+        let Some(path) = shortest_path_excluding(topo, from, to, &excluded) else {
+            break;
+        };
+        for hop in &path {
+            excluded.insert(*hop);
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+fn shortest_path_excluding(
+    topo: &Topology,
+    from: Dpid,
+    to: Dpid,
+    excluded: &HashSet<(Dpid, PortNo)>,
+) -> Option<Vec<(Dpid, PortNo)>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    let adj = topo.adjacency();
+    let mut prev: std::collections::HashMap<Dpid, (Dpid, PortNo)> =
+        std::collections::HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(cur) = queue.pop_front() {
+        if cur == to {
+            break;
+        }
+        for (out_port, next, _) in adj.get(&cur).into_iter().flatten() {
+            if excluded.contains(&(cur, *out_port)) {
+                continue;
+            }
+            if *next != from && !prev.contains_key(next) {
+                prev.insert(*next, (cur, *out_port));
+                queue.push_back(*next);
+            }
+        }
+    }
+    if !prev.contains_key(&to) {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, port) = prev[&cur];
+        path.push((p, port));
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+impl PacketProcessor for LoadBalancer {
+    fn name(&self) -> &str {
+        "lb"
+    }
+
+    fn priority(&self) -> i32 {
+        10 // above fwd, below security
+    }
+
+    fn process(&mut self, ctx: &mut PacketContext<'_>) {
+        let Some(ft) = ctx.header.five_tuple() else {
+            return;
+        };
+        if !ft.dst.in_subnet(self.subnet.0, self.subnet.1) {
+            return;
+        }
+        let Some((dst_switch, dst_port)) = ctx.hosts.location_of(ft.dst) else {
+            return;
+        };
+        let paths = disjoint_paths(ctx.topology, ctx.dpid, dst_switch, 2);
+        if paths.is_empty() {
+            return;
+        }
+        let path = &paths[self.next_path % paths.len()];
+        self.next_path = self.next_path.wrapping_add(1);
+        self.balanced += 1;
+        let m = MatchFields::exact_five_tuple(ft);
+        for (hop, port) in path {
+            ctx.install_rule(
+                app_ids::LB,
+                *hop,
+                FlowMod::add(m, self.priority, vec![Action::Output(*port)])
+                    .with_idle_timeout(self.soft_timeout),
+            );
+        }
+        ctx.install_rule(
+            app_ids::LB,
+            dst_switch,
+            FlowMod::add(m, self.priority, vec![Action::Output(dst_port)])
+                .with_idle_timeout(self.soft_timeout),
+        );
+        ctx.block();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::services::{FlowRuleService, HostService};
+    use athena_openflow::PacketHeader;
+    use athena_types::SimTime;
+
+    #[test]
+    fn nae_topology_yields_two_disjoint_paths() {
+        let topo = Topology::nae();
+        let paths = disjoint_paths(&topo, Dpid::new(1), Dpid::new(4), 2);
+        assert_eq!(paths.len(), 2);
+        // Paths share no (switch, port) hop.
+        let a: HashSet<_> = paths[0].iter().collect();
+        assert!(paths[1].iter().all(|h| !a.contains(h)));
+    }
+
+    #[test]
+    fn alternates_between_paths_per_flow() {
+        let topo = Topology::nae();
+        let hosts = HostService::from_topology(&topo);
+        let mut rules = FlowRuleService::new();
+        let client = topo.hosts[0];
+        let server = Ipv4Addr::new(10, 0, 4, 1);
+        let mut lb = LoadBalancer::new((Ipv4Addr::new(10, 0, 4, 0), 24));
+
+        let mut first_hops = Vec::new();
+        for sport in [1000u16, 1001] {
+            let header = PacketHeader::tcp_syn(client.port, client.ip, sport, server, 21);
+            let mut ctx = crate::packet::PacketContext::new(
+                client.switch,
+                header,
+                SimTime::ZERO,
+                &topo,
+                &hosts,
+                &mut rules,
+            );
+            lb.process(&mut ctx);
+            assert!(ctx.is_blocked());
+            let cmds = ctx.into_commands();
+            assert!(!cmds.is_empty());
+            // First rule's egress on S1 identifies the chosen path.
+            let athena_openflow::OfMessage::FlowMod { body, .. } = &cmds[0].1 else {
+                panic!("flow mod expected")
+            };
+            first_hops.push(Action::first_output(&body.actions).unwrap());
+            assert_eq!(body.idle_timeout, lb.soft_timeout);
+        }
+        assert_ne!(first_hops[0], first_hops[1], "round-robin paths");
+        assert_eq!(lb.balanced(), 2);
+    }
+
+    #[test]
+    fn ignores_traffic_outside_the_subnet() {
+        let topo = Topology::nae();
+        let hosts = HostService::from_topology(&topo);
+        let mut rules = FlowRuleService::new();
+        let client = topo.hosts[0];
+        let other = topo.hosts[4]; // host behind S5, not in 10.0.4.0/24
+        let header = PacketHeader::tcp_syn(client.port, client.ip, 1, other.ip, 80);
+        let mut lb = LoadBalancer::new((Ipv4Addr::new(10, 0, 4, 0), 24));
+        let mut ctx = crate::packet::PacketContext::new(
+            client.switch,
+            header,
+            SimTime::ZERO,
+            &topo,
+            &hosts,
+            &mut rules,
+        );
+        lb.process(&mut ctx);
+        assert!(!ctx.is_blocked());
+        assert_eq!(lb.balanced(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Built-in network applications.
+//!
+//! - [`ReactiveForwarding`] — shortest-path forwarding on table misses
+//!   (ONOS's `fwd` app),
+//! - [`LoadBalancer`] — splits flows across disjoint paths with soft
+//!   timeouts (the "LB app" of the paper's NAE scenario, §V-C),
+//! - [`SecurityApp`] — redirects FTP traffic through an inline inspection
+//!   waypoint at higher priority (the "security app" of the NAE
+//!   scenario).
+
+pub mod fwd;
+pub mod lb;
+pub mod security;
+
+pub use fwd::ReactiveForwarding;
+pub use lb::LoadBalancer;
+pub use security::SecurityApp;
+
+/// Conventional application ids for the built-in apps.
+pub mod app_ids {
+    use athena_types::AppId;
+
+    /// Reactive forwarding.
+    pub const FWD: AppId = AppId::new(1);
+    /// The load balancer.
+    pub const LB: AppId = AppId::new(2);
+    /// The security app.
+    pub const SECURITY: AppId = AppId::new(3);
+    /// Athena's attack reactor (mitigation rules).
+    pub const ATHENA: AppId = AppId::new(9);
+}

@@ -1,0 +1,177 @@
+//! A Cbench-style controller throughput harness (the paper's Table IX).
+//!
+//! Cbench's *throughput mode* saturates a controller with packet-in
+//! messages from emulated switches and counts flow-mod responses per
+//! second. This harness does the same in-process: it synthesizes unique
+//! packet-ins round-robin across the topology's switches, pushes them
+//! through [`ControllerCluster::on_message`]
+//! ([`athena_dataplane::ControllerLink`]), and measures wall-clock
+//! responses per second — so an attached Athena interceptor's real
+//! processing cost (feature extraction, store writes) shows up exactly as
+//! it does in the paper.
+
+use crate::cluster::ControllerCluster;
+use crate::packet::{PacketContext, PacketProcessor};
+use athena_dataplane::ControllerLink;
+use athena_openflow::{Action, FlowMod, MatchFields, OfMessage, PacketHeader};
+use athena_types::{Dpid, FiveTuple, Ipv4Addr, PortNo, SimTime, Xid};
+use std::time::Instant;
+
+/// The result of one Cbench round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbenchRound {
+    /// Packet-in messages sent.
+    pub requests: u64,
+    /// Flow-mod responses received.
+    pub responses: u64,
+    /// Wall-clock seconds the round took.
+    pub elapsed_secs: f64,
+}
+
+impl CbenchRound {
+    /// Flow-mod responses per second.
+    pub fn responses_per_sec(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.responses as f64 / self.elapsed_secs
+        }
+    }
+}
+
+/// Summary over many rounds (Table IX reports MIN/MAX/AVG).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CbenchSummary {
+    /// Lowest per-round responses/s.
+    pub min: f64,
+    /// Highest per-round responses/s.
+    pub max: f64,
+    /// Mean responses/s.
+    pub avg: f64,
+}
+
+/// Summarizes rounds into MIN/MAX/AVG.
+pub fn summarize(rounds: &[CbenchRound]) -> CbenchSummary {
+    if rounds.is_empty() {
+        return CbenchSummary::default();
+    }
+    let rates: Vec<f64> = rounds.iter().map(CbenchRound::responses_per_sec).collect();
+    CbenchSummary {
+        min: rates.iter().cloned().fold(f64::INFINITY, f64::min),
+        max: rates.iter().cloned().fold(0.0, f64::max),
+        avg: rates.iter().sum::<f64>() / rates.len() as f64,
+    }
+}
+
+/// The minimal responder app Cbench measures: one flow-mod per packet-in
+/// (how the ONOS performance suite configures the controller).
+#[derive(Debug, Default)]
+pub struct CbenchResponder;
+
+impl PacketProcessor for CbenchResponder {
+    fn name(&self) -> &str {
+        "cbench-responder"
+    }
+
+    fn process(&mut self, ctx: &mut PacketContext<'_>) {
+        let dpid = ctx.dpid;
+        let m = MatchFields::exact_from_packet(&ctx.header);
+        ctx.install_rule(
+            crate::apps::app_ids::FWD,
+            dpid,
+            FlowMod::add(m, 100, vec![Action::Output(PortNo::new(2))]),
+        );
+        ctx.block();
+    }
+}
+
+/// Runs one Cbench throughput round: `events` synthetic packet-ins spread
+/// round-robin over the cluster's switches.
+pub fn throughput_round(cluster: &mut ControllerCluster, events: u64, seed: u64) -> CbenchRound {
+    let switches: Vec<Dpid> = cluster
+        .topology()
+        .switches
+        .iter()
+        .map(|s| s.dpid)
+        .collect();
+    let mut responses = 0u64;
+    let start = Instant::now();
+    let mut state = seed | 1;
+    for i in 0..events {
+        // xorshift64 for cheap unique header generation.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let dpid = switches[(i % switches.len() as u64) as usize];
+        let ft = FiveTuple::tcp(
+            Ipv4Addr::from_raw(state as u32),
+            (state >> 32) as u16,
+            Ipv4Addr::from_raw((state >> 16) as u32),
+            80,
+        );
+        let header = PacketHeader::from_five_tuple(PortNo::new(1), ft, 64);
+        let msg = OfMessage::packet_in(Xid::new(i as u32), header);
+        let cmds = cluster.on_message(dpid, msg, SimTime::from_micros(i));
+        responses += cmds
+            .iter()
+            .filter(|(_, m)| matches!(m, OfMessage::FlowMod { .. }))
+            .count() as u64;
+    }
+    CbenchRound {
+        requests: events,
+        responses,
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_dataplane::Topology;
+
+    fn cbench_cluster() -> ControllerCluster {
+        let topo = Topology::linear(4, 0);
+        let mut cluster = ControllerCluster::bare(&topo);
+        cluster.add_processor(Box::new(CbenchResponder));
+        cluster
+    }
+
+    #[test]
+    fn every_packet_in_yields_a_flow_mod() {
+        let mut cluster = cbench_cluster();
+        let round = throughput_round(&mut cluster, 1000, 42);
+        assert_eq!(round.requests, 1000);
+        assert_eq!(round.responses, 1000);
+        assert!(round.responses_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn summary_min_max_avg() {
+        let rounds = [
+            CbenchRound {
+                requests: 10,
+                responses: 10,
+                elapsed_secs: 1.0,
+            },
+            CbenchRound {
+                requests: 10,
+                responses: 30,
+                elapsed_secs: 1.0,
+            },
+        ];
+        let s = summarize(&rounds);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(s.avg, 20.0);
+        assert_eq!(summarize(&[]), CbenchSummary::default());
+    }
+
+    #[test]
+    fn throughput_is_reproducible_in_count() {
+        let mut a = cbench_cluster();
+        let mut b = cbench_cluster();
+        let ra = throughput_round(&mut a, 500, 7);
+        let rb = throughput_round(&mut b, 500, 7);
+        assert_eq!(ra.responses, rb.responses);
+    }
+}

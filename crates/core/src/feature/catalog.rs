@@ -1,0 +1,307 @@
+//! The Athena feature catalog.
+//!
+//! The paper exposes "over 100 network monitoring features" in three
+//! categories (Table I): *protocol-centric* features read directly from
+//! OpenFlow control messages, *combination* features derived by
+//! pre-defined formulas, and *stateful* features reflecting tracked
+//! network state — each with `_VAR` variation derivatives computed
+//! against the previous sample.
+
+use serde::{Deserialize, Serialize};
+
+/// The feature categories of Table I (plus the variation derivative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureCategory {
+    /// Derived from SDN control messages directly.
+    ProtocolCentric,
+    /// Combined features derived by pre-defined formulas.
+    Combination,
+    /// Features reflecting tracked network state.
+    Stateful,
+    /// Change of a feature since the previous sample.
+    Variation,
+}
+
+/// Per-flow protocol-centric features (from `FLOW_STATS` replies and
+/// `FLOW_REMOVED` messages).
+pub const FLOW_FEATURES: &[&str] = &[
+    "FLOW_PACKET_COUNT",
+    "FLOW_BYTE_COUNT",
+    "FLOW_DURATION_SEC",
+    "FLOW_DURATION_NSEC",
+    "FLOW_PRIORITY",
+    "FLOW_IDLE_TIMEOUT",
+    "FLOW_HARD_TIMEOUT",
+    "FLOW_TABLE_ID",
+    "FLOW_IP_PROTO",
+    "FLOW_IP_SRC",
+    "FLOW_IP_DST",
+    "FLOW_TP_SRC",
+    "FLOW_TP_DST",
+    "FLOW_ETH_TYPE",
+    "FLOW_ACTION_OUTPUT_PORT",
+];
+
+/// Per-flow combination features.
+pub const FLOW_COMBINATION_FEATURES: &[&str] = &[
+    "FLOW_BYTE_PER_PACKET",
+    "FLOW_PACKET_PER_DURATION",
+    "FLOW_BYTE_PER_DURATION",
+    "FLOW_UTILIZATION",
+];
+
+/// Per-flow stateful features.
+pub const FLOW_STATEFUL_FEATURES: &[&str] = &[
+    "PAIR_FLOW",
+    "PAIR_FLOW_RATIO",
+    "FLOW_APP_ID",
+    "FLOW_ORIGIN_REACTIVE",
+];
+
+/// Per-flow variation features.
+pub const FLOW_VARIATION_FEATURES: &[&str] = &[
+    "FLOW_PACKET_COUNT_VAR",
+    "FLOW_BYTE_COUNT_VAR",
+    "FLOW_DURATION_SEC_VAR",
+    "FLOW_BYTE_PER_PACKET_VAR",
+];
+
+/// Per-port protocol-centric counters (from `PORT_STATS` replies).
+pub const PORT_FEATURES: &[&str] = &[
+    "PORT_RX_PACKETS",
+    "PORT_TX_PACKETS",
+    "PORT_RX_BYTES",
+    "PORT_TX_BYTES",
+    "PORT_RX_DROPPED",
+    "PORT_TX_DROPPED",
+    "PORT_RX_ERRORS",
+    "PORT_TX_ERRORS",
+];
+
+/// Per-port variation features.
+pub const PORT_VARIATION_FEATURES: &[&str] = &[
+    "PORT_RX_PACKETS_VAR",
+    "PORT_TX_PACKETS_VAR",
+    "PORT_RX_BYTES_VAR",
+    "PORT_TX_BYTES_VAR",
+    "PORT_RX_DROPPED_VAR",
+    "PORT_TX_DROPPED_VAR",
+    "PORT_RX_ERRORS_VAR",
+    "PORT_TX_ERRORS_VAR",
+];
+
+/// Per-port combination features.
+pub const PORT_COMBINATION_FEATURES: &[&str] = &[
+    "PORT_RX_BYTE_PER_PACKET",
+    "PORT_TX_BYTE_PER_PACKET",
+    "PORT_RX_UTILIZATION",
+    "PORT_TX_UTILIZATION",
+    "PORT_DROP_RATIO",
+];
+
+/// Per-table features (from `TABLE_STATS` replies).
+pub const TABLE_FEATURES: &[&str] = &[
+    "TABLE_ACTIVE_COUNT",
+    "TABLE_LOOKUP_COUNT",
+    "TABLE_MATCHED_COUNT",
+    "TABLE_MISS_RATIO",
+    "TABLE_ACTIVE_COUNT_VAR",
+    "TABLE_LOOKUP_COUNT_VAR",
+];
+
+/// Per-event packet-in features (derived from each `PACKET_IN` directly —
+/// the per-message protocol-centric path that dominates Athena's Table IX
+/// overhead).
+pub const PACKET_IN_FEATURES: &[&str] = &[
+    "PACKET_IN_BYTE_LEN",
+    "PACKET_IN_PORT",
+    "PACKET_IN_BUFFERED",
+];
+
+/// Flow-removed features.
+pub const FLOW_REMOVED_FEATURES: &[&str] = &[
+    "REMOVED_PACKET_COUNT",
+    "REMOVED_BYTE_COUNT",
+    "REMOVED_DURATION_SEC",
+    "REMOVED_REASON_IDLE",
+    "REMOVED_REASON_HARD",
+    "REMOVED_REASON_DELETE",
+    "REMOVED_BYTE_PER_PACKET",
+];
+
+/// Per-switch control-plane message counters (the paper's eight major SDN
+/// operational functions each map to message types the SB interface
+/// watches), sampled per window with rates and variations.
+pub const MESSAGE_FEATURES: &[&str] = &[
+    "MSG_PACKET_IN_COUNT",
+    "MSG_PACKET_OUT_COUNT",
+    "MSG_FLOW_MOD_COUNT",
+    "MSG_FLOW_REMOVED_COUNT",
+    "MSG_PORT_STATUS_COUNT",
+    "MSG_STATS_REQUEST_COUNT",
+    "MSG_STATS_REPLY_COUNT",
+    "MSG_ECHO_COUNT",
+    "MSG_BARRIER_COUNT",
+    "MSG_PACKET_IN_RATE",
+    "MSG_FLOW_MOD_RATE",
+    "MSG_FLOW_REMOVED_RATE",
+    "MSG_PACKET_IN_COUNT_VAR",
+    "MSG_FLOW_MOD_COUNT_VAR",
+    "MSG_PACKET_OUT_COUNT_VAR",
+    "MSG_TOTAL_COUNT",
+];
+
+/// Per-switch stateful aggregates.
+pub const SWITCH_STATEFUL_FEATURES: &[&str] = &[
+    "SWITCH_FLOW_COUNT",
+    "SWITCH_PAIR_FLOW_COUNT",
+    "SWITCH_PAIR_FLOW_RATIO",
+    "SWITCH_AVG_FLOW_DURATION",
+    "SWITCH_UNIQUE_SRC_COUNT",
+    "SWITCH_UNIQUE_DST_COUNT",
+    "SWITCH_SRC_DST_RATIO",
+    "SWITCH_APP_FLOW_COUNT",
+    "SWITCH_PACKET_COUNT_TOTAL",
+    "SWITCH_BYTE_COUNT_TOTAL",
+];
+
+/// Per-host stateful aggregates (derived from each switch's flow-stats
+/// snapshot, keyed by host address).
+pub const HOST_FEATURES: &[&str] = &[
+    "HOST_OUT_FLOW_COUNT",
+    "HOST_IN_FLOW_COUNT",
+    "HOST_TX_BYTES",
+    "HOST_RX_BYTES",
+    "HOST_TX_PACKETS",
+    "HOST_RX_PACKETS",
+    "HOST_FANOUT",
+    "HOST_FANIN",
+    "HOST_PAIR_RATIO",
+];
+
+/// Control-plane-wide features (per controller instance).
+pub const CONTROL_PLANE_FEATURES: &[&str] = &[
+    "CTRL_MASTERED_SWITCHES",
+    "CTRL_KNOWN_HOSTS",
+    "CTRL_LIVE_RULES",
+    "CTRL_RULES_PER_APP",
+    "CTRL_INSTALL_RATE",
+    "CTRL_REMOVAL_RATE",
+];
+
+/// Every feature name in the catalog.
+pub fn all_features() -> Vec<&'static str> {
+    let mut v = Vec::new();
+    v.extend_from_slice(FLOW_FEATURES);
+    v.extend_from_slice(FLOW_COMBINATION_FEATURES);
+    v.extend_from_slice(FLOW_STATEFUL_FEATURES);
+    v.extend_from_slice(FLOW_VARIATION_FEATURES);
+    v.extend_from_slice(PORT_FEATURES);
+    v.extend_from_slice(PORT_VARIATION_FEATURES);
+    v.extend_from_slice(PORT_COMBINATION_FEATURES);
+    v.extend_from_slice(TABLE_FEATURES);
+    v.extend_from_slice(PACKET_IN_FEATURES);
+    v.extend_from_slice(FLOW_REMOVED_FEATURES);
+    v.extend_from_slice(MESSAGE_FEATURES);
+    v.extend_from_slice(SWITCH_STATEFUL_FEATURES);
+    v.extend_from_slice(HOST_FEATURES);
+    v.extend_from_slice(CONTROL_PLANE_FEATURES);
+    v
+}
+
+/// The category of a feature name.
+pub fn category_of(name: &str) -> FeatureCategory {
+    if name.ends_with("_VAR") {
+        FeatureCategory::Variation
+    } else if FLOW_COMBINATION_FEATURES.contains(&name)
+        || PORT_COMBINATION_FEATURES.contains(&name)
+        || name == "TABLE_MISS_RATIO"
+        || name == "REMOVED_BYTE_PER_PACKET"
+        || name.ends_with("_RATE")
+    {
+        FeatureCategory::Combination
+    } else if FLOW_STATEFUL_FEATURES.contains(&name)
+        || SWITCH_STATEFUL_FEATURES.contains(&name)
+        || HOST_FEATURES.contains(&name)
+        || CONTROL_PLANE_FEATURES.contains(&name)
+    {
+        FeatureCategory::Stateful
+    } else {
+        FeatureCategory::ProtocolCentric
+    }
+}
+
+/// The 10-tuple flow feature set the paper's DDoS detector uses
+/// (Table V's candidates, ten of them, vs. Braga et al.'s 6-tuple).
+pub const DDOS_10_TUPLE: &[&str] = &[
+    "PAIR_FLOW",
+    "PAIR_FLOW_RATIO",
+    "FLOW_PACKET_COUNT",
+    "FLOW_BYTE_COUNT",
+    "FLOW_BYTE_PER_PACKET",
+    "FLOW_PACKET_PER_DURATION",
+    "FLOW_BYTE_PER_DURATION",
+    "FLOW_DURATION_SEC",
+    "FLOW_DURATION_NSEC",
+    "FLOW_TP_DST",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_exposes_over_100_features() {
+        let all = all_features();
+        assert!(all.len() > 100, "only {} features", all.len());
+    }
+
+    #[test]
+    fn feature_names_are_unique() {
+        let all = all_features();
+        let set: HashSet<&str> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn every_table_i_category_is_represented() {
+        let all = all_features();
+        for cat in [
+            FeatureCategory::ProtocolCentric,
+            FeatureCategory::Combination,
+            FeatureCategory::Stateful,
+            FeatureCategory::Variation,
+        ] {
+            assert!(
+                all.iter().any(|f| category_of(f) == cat),
+                "{cat:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn categories_match_the_paper_examples() {
+        // Table I's examples: packet/byte counts are protocol-centric,
+        // flow utilization is combination, pair-flow ratio is stateful.
+        assert_eq!(
+            category_of("FLOW_PACKET_COUNT"),
+            FeatureCategory::ProtocolCentric
+        );
+        assert_eq!(category_of("FLOW_UTILIZATION"), FeatureCategory::Combination);
+        assert_eq!(category_of("PAIR_FLOW_RATIO"), FeatureCategory::Stateful);
+        assert_eq!(
+            category_of("PORT_RX_BYTES_VAR"),
+            FeatureCategory::Variation
+        );
+    }
+
+    #[test]
+    fn ddos_tuple_has_ten_catalogued_features() {
+        assert_eq!(DDOS_10_TUPLE.len(), 10);
+        let all: HashSet<&str> = all_features().into_iter().collect();
+        for f in DDOS_10_TUPLE {
+            assert!(all.contains(f), "{f} not in catalog");
+        }
+    }
+}

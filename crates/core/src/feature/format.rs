@@ -1,0 +1,309 @@
+//! The Athena feature format (the paper's Figure 4): index fields,
+//! metadata, then the feature fields.
+
+use athena_store::{doc, Document};
+
+/// Alias used at API boundaries that accept pre-built feature documents.
+pub type RawDocument = Document;
+use athena_types::{AppId, ControllerId, Dpid, FiveTuple, IpProto, Ipv4Addr, PortNo, SimTime};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::fmt;
+
+/// The index fields: where the feature came from, including OpenFlow
+/// match-field indicators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FeatureIndex {
+    /// The originating switch.
+    pub switch: Dpid,
+    /// The port, for port-scoped features.
+    pub port: Option<PortNo>,
+    /// The flow's 5-tuple, for flow-scoped features.
+    pub five_tuple: Option<FiveTuple>,
+    /// The host address, for host-scoped features.
+    pub host: Option<Ipv4Addr>,
+    /// The installing application, when attributable.
+    pub app: Option<AppId>,
+}
+
+impl FeatureIndex {
+    /// A switch-scoped index.
+    pub fn switch(dpid: Dpid) -> Self {
+        FeatureIndex {
+            switch: dpid,
+            ..FeatureIndex::default()
+        }
+    }
+
+    /// A port-scoped index.
+    pub fn port(dpid: Dpid, port: PortNo) -> Self {
+        FeatureIndex {
+            switch: dpid,
+            port: Some(port),
+            ..FeatureIndex::default()
+        }
+    }
+
+    /// A flow-scoped index.
+    pub fn flow(dpid: Dpid, ft: FiveTuple) -> Self {
+        FeatureIndex {
+            switch: dpid,
+            five_tuple: Some(ft),
+            ..FeatureIndex::default()
+        }
+    }
+}
+
+/// Metadata: timestamp plus control-plane semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetaData {
+    /// When the feature was generated.
+    pub timestamp: SimTime,
+    /// The controller instance whose SB element generated it.
+    pub controller: ControllerId,
+    /// The OpenFlow message type the feature derives from.
+    pub message_type: String,
+    /// Whether the sample came from an Athena-marked statistics request.
+    pub athena_polled: bool,
+}
+
+/// One Athena feature record: index, metadata, and named numeric fields.
+///
+/// # Examples
+///
+/// ```
+/// use athena_core::{FeatureIndex, FeatureRecord};
+/// use athena_types::Dpid;
+///
+/// let r = FeatureRecord::new(FeatureIndex::switch(Dpid::new(1)))
+///     .with_field("FLOW_PACKET_COUNT", 42.0);
+/// assert_eq!(r.field("FLOW_PACKET_COUNT"), Some(42.0));
+/// let doc = r.to_document();
+/// assert_eq!(doc.get_f64("FLOW_PACKET_COUNT"), Some(42.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FeatureRecord {
+    /// Where the feature came from.
+    pub index: FeatureIndex,
+    /// Timestamp and control-plane semantics.
+    pub meta: MetaData,
+    /// The named feature fields.
+    pub fields: Vec<(String, f64)>,
+}
+
+impl FeatureRecord {
+    /// Creates an empty record for an index.
+    pub fn new(index: FeatureIndex) -> Self {
+        FeatureRecord {
+            index,
+            ..FeatureRecord::default()
+        }
+    }
+
+    /// Sets the metadata (builder style).
+    pub fn with_meta(mut self, meta: MetaData) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Appends a field (builder style).
+    pub fn with_field(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push_field(&mut self, name: impl Into<String>, value: f64) {
+        self.fields.push((name.into(), value));
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Extracts the named fields as a feature vector; `None` if any is
+    /// missing (the record is not of the right kind for the model).
+    pub fn vector(&self, names: &[impl AsRef<str>]) -> Option<Vec<f64>> {
+        names
+            .iter()
+            .map(|n| self.field(n.as_ref()))
+            .collect()
+    }
+
+    /// Serializes the record into a store document, flattening index and
+    /// metadata into queryable top-level fields.
+    pub fn to_document(&self) -> Document {
+        let mut d = doc! {
+            "switch" => self.index.switch.raw(),
+            "timestamp" => self.meta.timestamp.as_micros(),
+            "controller" => self.meta.controller.raw(),
+            "message_type" => self.meta.message_type.clone(),
+            "athena_polled" => self.meta.athena_polled,
+        };
+        if let Some(p) = self.index.port {
+            d.set("port", p.raw());
+        }
+        if let Some(ft) = self.index.five_tuple {
+            d.set("ip_src", ft.src.raw());
+            d.set("ip_dst", ft.dst.raw());
+            d.set("tp_src", ft.src_port);
+            d.set("tp_dst", ft.dst_port);
+            d.set("ip_proto", ft.proto.number());
+        }
+        if let Some(host) = self.index.host {
+            d.set("host", host.raw());
+        }
+        if let Some(app) = self.index.app {
+            d.set("app", app.raw());
+        }
+        for (name, value) in &self.fields {
+            d.set(name.clone(), json!(value));
+        }
+        d
+    }
+
+    /// Reconstructs a record from a store document (the inverse of
+    /// [`FeatureRecord::to_document`]); unknown fields become feature
+    /// fields.
+    pub fn from_document(d: &Document) -> Self {
+        let mut index = FeatureIndex::switch(Dpid::new(
+            d.get_i64("switch").unwrap_or(0) as u64
+        ));
+        if let Some(p) = d.get_i64("port") {
+            index.port = Some(PortNo::new(p as u32));
+        }
+        if let (Some(src), Some(dst)) = (d.get_i64("ip_src"), d.get_i64("ip_dst")) {
+            index.five_tuple = Some(FiveTuple {
+                src: Ipv4Addr::from_raw(src as u32),
+                dst: Ipv4Addr::from_raw(dst as u32),
+                src_port: d.get_i64("tp_src").unwrap_or(0) as u16,
+                dst_port: d.get_i64("tp_dst").unwrap_or(0) as u16,
+                proto: IpProto::from_number(d.get_i64("ip_proto").unwrap_or(0) as u8),
+            });
+        }
+        if let Some(host) = d.get_i64("host") {
+            index.host = Some(Ipv4Addr::from_raw(host as u32));
+        }
+        if let Some(app) = d.get_i64("app") {
+            index.app = Some(AppId::new(app as u32));
+        }
+        let meta = MetaData {
+            timestamp: SimTime::from_micros(d.get_i64("timestamp").unwrap_or(0) as u64),
+            controller: ControllerId::new(d.get_i64("controller").unwrap_or(0) as u32),
+            message_type: d.get_str("message_type").unwrap_or("").to_owned(),
+            athena_polled: d
+                .get("athena_polled")
+                .and_then(serde_json::Value::as_bool)
+                .unwrap_or(false),
+        };
+        const META_KEYS: [&str; 12] = [
+            "switch",
+            "timestamp",
+            "controller",
+            "message_type",
+            "athena_polled",
+            "port",
+            "ip_src",
+            "ip_dst",
+            "tp_src",
+            "tp_dst",
+            "ip_proto",
+            "host",
+        ];
+        let mut fields = Vec::new();
+        for (k, v) in &d.fields {
+            if META_KEYS.contains(&k.as_str()) || k == "app" {
+                continue;
+            }
+            if let Some(x) = v.as_f64() {
+                fields.push((k.clone(), x));
+            }
+        }
+        FeatureRecord { index, meta, fields }
+    }
+}
+
+impl fmt::Display for FeatureRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {} fields",
+            self.meta.timestamp,
+            self.index.switch,
+            self.meta.message_type,
+            self.fields.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> FeatureRecord {
+        let ft = FiveTuple::tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        );
+        FeatureRecord::new(FeatureIndex::flow(Dpid::new(7), ft))
+            .with_meta(MetaData {
+                timestamp: SimTime::from_secs(9),
+                controller: ControllerId::new(2),
+                message_type: "FLOW_STATS".into(),
+                athena_polled: true,
+            })
+            .with_field("FLOW_PACKET_COUNT", 100.0)
+            .with_field("FLOW_BYTE_COUNT", 6400.0)
+    }
+
+    #[test]
+    fn field_lookup_and_vector() {
+        let r = record();
+        assert_eq!(r.field("FLOW_BYTE_COUNT"), Some(6400.0));
+        assert_eq!(r.field("MISSING"), None);
+        assert_eq!(
+            r.vector(&["FLOW_PACKET_COUNT", "FLOW_BYTE_COUNT"]),
+            Some(vec![100.0, 6400.0])
+        );
+        assert_eq!(r.vector(&["FLOW_PACKET_COUNT", "MISSING"]), None);
+    }
+
+    #[test]
+    fn document_roundtrip_preserves_everything() {
+        let r = record();
+        let d = r.to_document();
+        let back = FeatureRecord::from_document(&d);
+        assert_eq!(back.index.switch, r.index.switch);
+        assert_eq!(back.index.five_tuple, r.index.five_tuple);
+        assert_eq!(back.meta.timestamp, r.meta.timestamp);
+        assert_eq!(back.meta.controller, r.meta.controller);
+        assert_eq!(back.meta.message_type, r.meta.message_type);
+        assert!(back.meta.athena_polled);
+        for (name, value) in &r.fields {
+            assert_eq!(back.field(name), Some(*value), "{name}");
+        }
+    }
+
+    #[test]
+    fn document_exposes_queryable_index_fields() {
+        let d = record().to_document();
+        assert_eq!(d.get_i64("switch"), Some(7));
+        assert_eq!(d.get_i64("tp_dst"), Some(80));
+        assert_eq!(d.get_str("message_type"), Some("FLOW_STATS"));
+    }
+
+    #[test]
+    fn port_scoped_index_roundtrips() {
+        let r = FeatureRecord::new(FeatureIndex::port(Dpid::new(3), PortNo::new(2)))
+            .with_field("PORT_RX_BYTES", 1.0);
+        let back = FeatureRecord::from_document(&r.to_document());
+        assert_eq!(back.index.port, Some(PortNo::new(2)));
+        assert_eq!(back.index.five_tuple, None);
+    }
+}

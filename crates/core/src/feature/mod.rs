@@ -1,0 +1,5 @@
+//! The Athena feature model: format, catalog, and generator.
+
+pub mod catalog;
+pub mod format;
+pub mod generator;

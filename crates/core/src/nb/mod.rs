@@ -1,0 +1,11 @@
+//! The Athena northbound element (paper §III-A 2): query language,
+//! feature manager, detector manager, reaction manager, resource manager,
+//! and UI manager.
+
+pub mod detector_manager;
+pub mod feature_manager;
+pub mod query;
+pub mod reaction_manager;
+pub mod resource_manager;
+pub mod ui;
+pub mod util;

@@ -1,0 +1,567 @@
+//! The Athena unified query language (the `Query (q)` parameter of
+//! Table III).
+//!
+//! Queries combine arithmetic comparisons (`> >= == != <= <`) with
+//! `and`/`or` (also spelled `&&`/`||`), plus the options of Table IV:
+//! sorting, aggregation, and limiting. The string syntax matches the
+//! paper's examples (`"TCP_PORT==80 && time==1 day"`), and a typed
+//! [`QueryBuilder`] offers the same power programmatically.
+
+use athena_store::{Filter, FindOptions, SortSpec};
+use athena_types::{AthenaError, Result};
+use serde_json::Value;
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Lte,
+    /// `>`
+    Gt,
+    /// `>=`
+    Gte,
+}
+
+/// A predicate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `field op value`.
+    Cmp {
+        /// The (already canonicalized) document field.
+        field: String,
+        /// The operator.
+        op: CmpOp,
+        /// The comparison value.
+        value: Value,
+    },
+    /// `field in {v1, v2, …}`.
+    In {
+        /// The document field.
+        field: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// All conjuncts hold.
+    And(Vec<Predicate>),
+    /// At least one disjunct holds.
+    Or(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Translates to a store filter.
+    pub fn to_filter(&self) -> Filter {
+        match self {
+            Predicate::Cmp { field, op, value } => {
+                let f = field.clone();
+                let v = value.clone();
+                match op {
+                    CmpOp::Eq => Filter::Eq(f, v),
+                    CmpOp::Ne => Filter::Ne(f, v),
+                    CmpOp::Lt => Filter::Lt(f, v),
+                    CmpOp::Lte => Filter::Lte(f, v),
+                    CmpOp::Gt => Filter::Gt(f, v),
+                    CmpOp::Gte => Filter::Gte(f, v),
+                }
+            }
+            Predicate::In { field, values } => Filter::In(field.clone(), values.clone()),
+            Predicate::And(ps) => Filter::And(ps.iter().map(Predicate::to_filter).collect()),
+            Predicate::Or(ps) => Filter::Or(ps.iter().map(Predicate::to_filter).collect()),
+        }
+    }
+}
+
+/// An Athena query: predicate plus result-shaping options.
+///
+/// # Examples
+///
+/// ```
+/// use athena_core::Query;
+/// let q = Query::parse("TCP_PORT==80 && FLOW_PACKET_COUNT>100 sort FLOW_BYTE_COUNT desc limit 10")?;
+/// assert_eq!(q.limit, Some(10));
+/// # Ok::<(), athena_types::AthenaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// The predicate (`None` = match everything).
+    pub predicate: Option<Predicate>,
+    /// Sort keys: `(field, descending)`.
+    pub sort: Vec<(String, bool)>,
+    /// Maximum results.
+    pub limit: Option<usize>,
+    /// Feature fields to retain (empty = all).
+    pub features: Vec<String>,
+}
+
+impl Query {
+    /// The match-everything query.
+    pub fn all() -> Self {
+        Query::default()
+    }
+
+    /// Parses the paper's string syntax.
+    ///
+    /// Grammar (whitespace-separated):
+    /// `comparison ( (&&|and|,|\|\||or) comparison )*`
+    /// `[sort FIELD [asc|desc]]* [limit N]`, where a comparison is
+    /// `FIELD op VALUE` (spaces around `op` optional). `or` binds the
+    /// whole disjunct list (no mixed precedence — parenthesization is not
+    /// supported, matching the paper's flat examples).
+    ///
+    /// Field aliases map the paper's names onto document fields:
+    /// `TCP_PORT`/`PORT` → `tp_dst`, `IP_SRC` → `ip_src` (value parsed as
+    /// a dotted address), `IP_DST` → `ip_dst`, `DPID`/`SWITCH` →
+    /// `switch`, `APP_ID`/`APP` → `app`, `feature`/`type` →
+    /// `message_type`, `time` → `timestamp` (value in seconds, `1 day`
+    /// style suffixes supported).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self> {
+        parse_query(text)
+    }
+
+    /// The store filter this query's predicate translates to.
+    pub fn to_filter(&self) -> Filter {
+        self.predicate
+            .as_ref()
+            .map_or(Filter::All, Predicate::to_filter)
+    }
+
+    /// The store find-options (sort + limit) this query translates to.
+    pub fn to_find_options(&self) -> FindOptions {
+        let mut opts = FindOptions::default();
+        for (field, desc) in &self.sort {
+            opts = opts.sort(if *desc {
+                SortSpec::desc(field.clone())
+            } else {
+                SortSpec::asc(field.clone())
+            });
+        }
+        if let Some(n) = self.limit {
+            opts = opts.limit(n);
+        }
+        opts
+    }
+}
+
+/// A typed builder for [`Query`].
+///
+/// # Examples
+///
+/// ```
+/// use athena_core::QueryBuilder;
+/// let q = QueryBuilder::new()
+///     .eq("message_type", "FLOW_STATS")
+///     .gt("FLOW_PACKET_COUNT", 100)
+///     .sort_desc("FLOW_BYTE_COUNT")
+///     .limit(5)
+///     .build();
+/// assert_eq!(q.limit, Some(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    conjuncts: Vec<Predicate>,
+    sort: Vec<(String, bool)>,
+    limit: Option<usize>,
+    features: Vec<String>,
+}
+
+impl QueryBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    fn cmp(mut self, field: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Self {
+        self.conjuncts.push(Predicate::Cmp {
+            field: field.into(),
+            op,
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Adds `field == value`.
+    pub fn eq(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Eq, value)
+    }
+
+    /// Adds `field != value`.
+    pub fn ne(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Ne, value)
+    }
+
+    /// Adds `field > value`.
+    pub fn gt(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Gt, value)
+    }
+
+    /// Adds `field >= value`.
+    pub fn gte(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Gte, value)
+    }
+
+    /// Adds `field < value`.
+    pub fn lt(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Lt, value)
+    }
+
+    /// Adds `field <= value`.
+    pub fn lte(self, field: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.cmp(field, CmpOp::Lte, value)
+    }
+
+    /// Adds `field in values` (the paper's `IP_SRC in {suspicious hosts}`).
+    pub fn is_in(mut self, field: impl Into<String>, values: Vec<Value>) -> Self {
+        self.conjuncts.push(Predicate::In {
+            field: field.into(),
+            values,
+        });
+        self
+    }
+
+    /// Adds an ascending sort key.
+    pub fn sort_asc(mut self, field: impl Into<String>) -> Self {
+        self.sort.push((field.into(), false));
+        self
+    }
+
+    /// Adds a descending sort key.
+    pub fn sort_desc(mut self, field: impl Into<String>) -> Self {
+        self.sort.push((field.into(), true));
+        self
+    }
+
+    /// Caps the result count.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Restricts to the named feature fields.
+    pub fn features(mut self, names: &[&str]) -> Self {
+        self.features = names.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Builds the query.
+    pub fn build(self) -> Query {
+        let predicate = match self.conjuncts.len() {
+            0 => None,
+            1 => Some(self.conjuncts.into_iter().next().expect("one conjunct")),
+            _ => Some(Predicate::And(self.conjuncts)),
+        };
+        Query {
+            predicate,
+            sort: self.sort,
+            limit: self.limit,
+            features: self.features,
+        }
+    }
+}
+
+/// Canonicalizes the paper's field aliases.
+fn canonical_field(name: &str) -> String {
+    match name.to_ascii_uppercase().as_str() {
+        "TCP_PORT" | "PORT" | "TP_DST" => "tp_dst".to_owned(),
+        "TP_SRC" => "tp_src".to_owned(),
+        "IP_SRC" => "ip_src".to_owned(),
+        "IP_DST" => "ip_dst".to_owned(),
+        "IP_PROTO" | "PROTO" => "ip_proto".to_owned(),
+        "DPID" | "SWITCH" => "switch".to_owned(),
+        "APP" | "APP_ID" => "app".to_owned(),
+        "FEATURE" | "TYPE" | "MESSAGE_TYPE" => "message_type".to_owned(),
+        "TIME" | "TIMESTAMP" => "timestamp".to_owned(),
+        "CONTROLLER" => "controller".to_owned(),
+        _ => name.to_owned(),
+    }
+}
+
+fn parse_value(field: &str, raw: &str) -> Result<Value> {
+    // IP-valued fields accept dotted quads and store the raw u32.
+    if field == "ip_src" || field == "ip_dst" {
+        if let Ok(ip) = raw.parse::<athena_types::Ipv4Addr>() {
+            return Ok(Value::from(ip.raw()));
+        }
+    }
+    if let Ok(n) = raw.parse::<i64>() {
+        return Ok(Value::from(n));
+    }
+    if let Ok(x) = raw.parse::<f64>() {
+        return Ok(Value::from(x));
+    }
+    // Quoted or bare string.
+    Ok(Value::from(raw.trim_matches('"').to_owned()))
+}
+
+/// Duration-suffixed values for the `time` field: `1 day`, `5 min`, `30 sec`.
+fn parse_time_value(amount: &str, unit: Option<&str>) -> Option<i64> {
+    let n: f64 = amount.parse().ok()?;
+    let mult = match unit.unwrap_or("sec") {
+        "day" | "days" | "d" => 86_400.0,
+        "hour" | "hours" | "h" => 3_600.0,
+        "min" | "mins" | "m" => 60.0,
+        "sec" | "secs" | "s" => 1.0,
+        _ => return None,
+    };
+    // Timestamps are stored in microseconds.
+    Some((n * mult * 1e6) as i64)
+}
+
+fn parse_query(text: &str) -> Result<Query> {
+    let bad = |why: &str| AthenaError::parse("query", format!("{text} ({why})"));
+    // Normalize operators so everything splits on whitespace.
+    let mut norm = text.replace("&&", " and ").replace("||", " or ");
+    for op in ["<=", ">=", "==", "!="] {
+        norm = norm.replace(op, &format!(" {op} "));
+    }
+    // Single-char ops last (avoid splitting the two-char ones).
+    let norm = norm
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+        .replace('<', " < ")
+        .replace('>', " > ")
+        .replace("<  =", "<=")
+        .replace(">  =", ">=")
+        .replace("<= =", "<==") // never valid; caught below
+        .replace("= =", "==");
+    let mut tokens: Vec<&str> = norm.split_whitespace().collect();
+    // Repair two-char ops that single-char splitting broke apart.
+    let mut fixed: Vec<String> = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if (tokens[i] == "<" || tokens[i] == ">") && tokens.get(i + 1) == Some(&"=") {
+            fixed.push(format!("{}=", tokens[i]));
+            i += 2;
+        } else {
+            fixed.push(tokens[i].to_owned());
+            i += 1;
+        }
+    }
+    tokens = fixed.iter().map(String::as_str).collect();
+
+    let mut query = Query::default();
+    let mut comparisons: Vec<Predicate> = Vec::new();
+    let mut any_or = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        match tokens[i] {
+            "and" | "," => {
+                i += 1;
+            }
+            "or" => {
+                any_or = true;
+                i += 1;
+            }
+            "sort" => {
+                let field = tokens.get(i + 1).ok_or_else(|| bad("sort needs a field"))?;
+                let mut desc = false;
+                let mut step = 2;
+                match tokens.get(i + 2) {
+                    Some(&"desc") => {
+                        desc = true;
+                        step = 3;
+                    }
+                    Some(&"asc") => step = 3,
+                    _ => {}
+                }
+                query.sort.push((canonical_field(field), desc));
+                i += step;
+            }
+            "limit" => {
+                let n = tokens
+                    .get(i + 1)
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .ok_or_else(|| bad("limit needs a number"))?;
+                query.limit = Some(n);
+                i += 2;
+            }
+            field_tok => {
+                let op_tok = tokens.get(i + 1).ok_or_else(|| bad("missing operator"))?;
+                let op = match *op_tok {
+                    "==" => CmpOp::Eq,
+                    "!=" => CmpOp::Ne,
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Lte,
+                    ">" => CmpOp::Gt,
+                    ">=" => CmpOp::Gte,
+                    other => return Err(bad(&format!("unknown operator {other:?}"))),
+                };
+                let value_tok = tokens.get(i + 2).ok_or_else(|| bad("missing value"))?;
+                let field = canonical_field(field_tok);
+                let mut consumed = 3;
+                let value = if field == "timestamp" {
+                    let unit = tokens.get(i + 3).copied();
+                    let unit_valid = unit.is_some_and(|u| parse_time_value("1", Some(u)).is_some());
+                    if unit_valid {
+                        consumed = 4;
+                    }
+                    match parse_time_value(value_tok, if unit_valid { unit } else { None }) {
+                        Some(us) => Value::from(us),
+                        None => parse_value(&field, value_tok)?,
+                    }
+                } else {
+                    parse_value(&field, value_tok)?
+                };
+                comparisons.push(Predicate::Cmp { field, op, value });
+                i += consumed;
+            }
+        }
+    }
+    query.predicate = match comparisons.len() {
+        0 => None,
+        1 => Some(comparisons.into_iter().next().expect("one comparison")),
+        _ if any_or => Some(Predicate::Or(comparisons)),
+        _ => Some(Predicate::And(comparisons)),
+    };
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_store::doc;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let q = Query::parse("TCP_PORT==80 && time==1 day").unwrap();
+        let Some(Predicate::And(ps)) = &q.predicate else {
+            panic!("expected conjunction: {q:?}");
+        };
+        assert_eq!(ps.len(), 2);
+        assert_eq!(
+            ps[0],
+            Predicate::Cmp {
+                field: "tp_dst".into(),
+                op: CmpOp::Eq,
+                value: Value::from(80),
+            }
+        );
+        assert_eq!(
+            ps[1],
+            Predicate::Cmp {
+                field: "timestamp".into(),
+                op: CmpOp::Eq,
+                value: Value::from(86_400_000_000i64),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_all_six_operators() {
+        for (text, op) in [
+            ("x == 1", CmpOp::Eq),
+            ("x != 1", CmpOp::Ne),
+            ("x < 1", CmpOp::Lt),
+            ("x <= 1", CmpOp::Lte),
+            ("x > 1", CmpOp::Gt),
+            ("x >= 1", CmpOp::Gte),
+        ] {
+            let q = Query::parse(text).unwrap();
+            let Some(Predicate::Cmp { op: parsed, .. }) = q.predicate else {
+                panic!("{text}");
+            };
+            assert_eq!(parsed, op, "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_or_and_options() {
+        let q = Query::parse("switch==6 or switch==3 sort timestamp asc limit 100").unwrap();
+        assert!(matches!(q.predicate, Some(Predicate::Or(_))));
+        assert_eq!(q.sort, vec![("timestamp".to_owned(), false)]);
+        assert_eq!(q.limit, Some(100));
+    }
+
+    #[test]
+    fn ip_values_become_raw_u32() {
+        let q = Query::parse("IP_DST==10.0.0.5").unwrap();
+        let Some(Predicate::Cmp { value, .. }) = &q.predicate else {
+            panic!();
+        };
+        assert_eq!(
+            value,
+            &Value::from(athena_types::Ipv4Addr::new(10, 0, 0, 5).raw())
+        );
+    }
+
+    #[test]
+    fn filter_translation_matches_documents() {
+        let q = Query::parse("message_type==FLOW_STATS && FLOW_PACKET_COUNT>10").unwrap();
+        let f = q.to_filter();
+        assert!(f.matches(&doc! {
+            "message_type" => "FLOW_STATS",
+            "FLOW_PACKET_COUNT" => 50,
+        }));
+        assert!(!f.matches(&doc! {
+            "message_type" => "PORT_STATS",
+            "FLOW_PACKET_COUNT" => 50,
+        }));
+        assert!(!f.matches(&doc! {
+            "message_type" => "FLOW_STATS",
+            "FLOW_PACKET_COUNT" => 5,
+        }));
+    }
+
+    #[test]
+    fn builder_and_parser_agree() {
+        let parsed = Query::parse("tp_dst==80 && FLOW_BYTE_COUNT>=1000 limit 3").unwrap();
+        let built = QueryBuilder::new()
+            .eq("tp_dst", 80)
+            .gte("FLOW_BYTE_COUNT", 1000)
+            .limit(3)
+            .build();
+        assert_eq!(parsed.to_filter(), built.to_filter());
+        assert_eq!(parsed.limit, built.limit);
+    }
+
+    #[test]
+    fn in_predicate_for_suspicious_hosts() {
+        let q = QueryBuilder::new()
+            .is_in("ip_src", vec![Value::from(1u32), Value::from(2u32)])
+            .build();
+        let f = q.to_filter();
+        assert!(f.matches(&doc! { "ip_src" => 2 }));
+        assert!(!f.matches(&doc! { "ip_src" => 3 }));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(Query::parse("x ==").is_err());
+        assert!(Query::parse("x ?? 3").is_err());
+        assert!(Query::parse("limit abc").is_err());
+        assert!(Query::parse("sort").is_err());
+    }
+
+    #[test]
+    fn empty_query_matches_everything() {
+        let q = Query::parse("").unwrap();
+        assert_eq!(q.to_filter(), Filter::All);
+        assert!(q.to_filter().matches(&doc! { "anything" => 1 }));
+    }
+
+    #[test]
+    fn time_units() {
+        for (text, us) in [
+            ("time>=1 day", 86_400_000_000i64),
+            ("time>=2 hour", 7_200_000_000),
+            ("time>=5 min", 300_000_000),
+            ("time>=30 sec", 30_000_000),
+            ("time>=7", 7_000_000),
+        ] {
+            let q = Query::parse(text).unwrap();
+            let Some(Predicate::Cmp { value, .. }) = &q.predicate else {
+                panic!("{text}");
+            };
+            assert_eq!(value, &Value::from(us), "{text}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The utility-API surface named by the paper's Application 1 pseudocode.
+//!
+//! The paper counts "8 core APIs and over 70 utility APIs"; the core eight
+//! live on [`crate::Athena`], and the broader utility surface is spread
+//! across the workspace (query/preprocessor/algorithm builders, feature
+//! catalog accessors, metric helpers, renderers). This module provides the
+//! exact names the pseudocode uses, as thin entry points, so code written
+//! from the paper reads one-to-one:
+//!
+//! ```text
+//! q_train = GenerateQuery (constraints of features);
+//! f = GeneratePreprocessor (Normalization, Weight …, Marking …);
+//! f.addAll(candidate features);
+//! a = GenerateAlgorithm (a detection algorithm);
+//! ```
+
+use crate::feature::format::FeatureRecord;
+use crate::nb::query::{Query, QueryBuilder};
+use athena_ml::{Algorithm, ConfusionMatrix, Normalization, Preprocessor, ValidationSummary};
+use athena_types::Result;
+
+/// `GenerateQuery(constraints)`: parses the paper's query syntax.
+///
+/// # Errors
+///
+/// Returns [`athena_types::AthenaError::Parse`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let q = athena_core::nb::util::generate_query("TCP_PORT==80 && time==1 day")?;
+/// assert!(q.predicate.is_some());
+/// # Ok::<(), athena_types::AthenaError>(())
+/// ```
+pub fn generate_query(constraints: &str) -> Result<Query> {
+    Query::parse(constraints)
+}
+
+/// `GenerateQuery` without constraints: the match-everything query,
+/// refined through the returned builder.
+pub fn query_builder() -> QueryBuilder {
+    QueryBuilder::new()
+}
+
+/// A `Preprocessor` under construction, with the pseudocode's `addAll`.
+#[derive(Debug, Clone, Default)]
+pub struct PreprocessorSpec {
+    inner: Preprocessor,
+    features: Vec<String>,
+}
+
+impl PreprocessorSpec {
+    /// Appends a normalization step.
+    pub fn normalization(mut self, kind: Normalization) -> Self {
+        self.inner = self.inner.normalize(kind);
+        self
+    }
+
+    /// Appends a weighting step ("Weight for certain features").
+    pub fn weight(mut self, weights: Vec<f64>) -> Self {
+        self.inner = self.inner.weight(weights);
+        self
+    }
+
+    /// Appends a sampling step.
+    pub fn sampling(mut self, fraction: f64) -> Self {
+        self.inner = self.inner.sample(fraction);
+        self
+    }
+
+    /// Appends a marking step ("Marking malicious entries").
+    pub fn marking(mut self, feature: usize, threshold: f64) -> Self {
+        self.inner = self.inner.mark(feature, threshold);
+        self
+    }
+
+    /// The pseudocode's `f.addAll(candidate features)`: registers the
+    /// features the algorithm consumes.
+    pub fn add_all<S: AsRef<str>>(&mut self, candidates: &[S]) -> &mut Self {
+        self.features
+            .extend(candidates.iter().map(|s| s.as_ref().to_owned()));
+        self
+    }
+
+    /// The registered feature names, in order.
+    pub fn features(&self) -> &[String] {
+        &self.features
+    }
+
+    /// The underlying preprocessing chain.
+    pub fn preprocessor(&self) -> &Preprocessor {
+        &self.inner
+    }
+}
+
+/// `GeneratePreprocessor(...)`: starts a preprocessor specification.
+///
+/// # Examples
+///
+/// ```
+/// use athena_core::nb::util::generate_preprocessor;
+/// use athena_ml::Normalization;
+///
+/// let mut f = generate_preprocessor().normalization(Normalization::MinMax);
+/// f.add_all(&["FLOW_PACKET_COUNT", "PAIR_FLOW"]);
+/// assert_eq!(f.features().len(), 2);
+/// ```
+pub fn generate_preprocessor() -> PreprocessorSpec {
+    PreprocessorSpec::default()
+}
+
+/// `GenerateAlgorithm(a detection algorithm)`: passes a configured
+/// algorithm through (the configuration *is* the algorithm value; this
+/// name exists for pseudocode parity).
+pub fn generate_algorithm(algorithm: Algorithm) -> Algorithm {
+    algorithm
+}
+
+/// `ResultsGenerator`: assembles a [`ValidationSummary`] from verdicts,
+/// as the NAE pseudocode does to "generate the Results to notify
+/// operators".
+///
+/// # Examples
+///
+/// ```
+/// use athena_core::nb::util::results_generator;
+/// let summary = results_generator(
+///     [(true, true), (false, false), (false, true)],
+///     "Custom (Check_SLA)",
+/// );
+/// assert_eq!(summary.total_entries(), 3);
+/// assert_eq!(summary.confusion.false_positive, 1);
+/// ```
+pub fn results_generator(
+    verdicts: impl IntoIterator<Item = (bool, bool)>,
+    model_info: &str,
+) -> ValidationSummary {
+    let mut confusion = ConfusionMatrix::default();
+    for (actual, predicted) in verdicts {
+        confusion.record(actual, predicted);
+    }
+    ValidationSummary {
+        confusion,
+        model_info: model_info.to_owned(),
+        ..ValidationSummary::default()
+    }
+}
+
+/// Ground-truth helper: marks records by a numeric field threshold (the
+/// common `Marking` idiom when labels ride in a stored field).
+pub fn truth_from_field(field: &str, threshold: f64) -> impl Fn(&FeatureRecord) -> bool + '_ {
+    move |r: &FeatureRecord| r.field(field).unwrap_or(0.0) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudocode_surface_composes() {
+        // The Application 1 pseudocode, line for line.
+        let q_train = generate_query("feature==FLOW_STATS").unwrap();
+        let mut f = generate_preprocessor()
+            .normalization(Normalization::MinMax)
+            .weight(vec![2.0, 1.0]);
+        f.add_all(&["PAIR_FLOW", "FLOW_PACKET_COUNT"]);
+        let a = generate_algorithm(Algorithm::kmeans(5));
+        assert_eq!(f.features().len(), 2);
+        assert_eq!(f.preprocessor().steps().len(), 2);
+        assert_eq!(a.name(), "K-Means");
+        assert!(q_train.predicate.is_some());
+    }
+
+    #[test]
+    fn truth_from_field_reads_records() {
+        use crate::feature::format::{FeatureIndex, FeatureRecord};
+        let truth = truth_from_field("truth", 0.5);
+        let mut r = FeatureRecord::new(FeatureIndex::switch(athena_types::Dpid::new(1)));
+        assert!(!truth(&r));
+        r.push_field("truth", 1.0);
+        assert!(truth(&r));
+    }
+
+    #[test]
+    fn results_generator_counts_verdicts() {
+        let s = results_generator([(true, false), (true, true)], "m");
+        assert_eq!(s.confusion.true_positive, 1);
+        assert_eq!(s.confusion.false_negative, 1);
+        assert_eq!(s.model_info, "m");
+    }
+}

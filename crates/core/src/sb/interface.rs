@@ -1,0 +1,204 @@
+//! The SB Interface (paper §III-A 1A): one Athena southbound element per
+//! controller instance.
+//!
+//! Implemented as a [`MessageInterceptor`] on the controller cluster —
+//! the reproduction of the paper's `OpenFlowController` modification.
+//! Each instance monitors the switches its controller masters, feeds the
+//! [`FeatureGenerator`], publishes features through the shared
+//! [`FeatureManager`](crate::nb::feature_manager::FeatureManager), runs
+//! live validators, and drains the Attack Reactor through the proxy
+//! command path. On its own cadence it issues Athena-marked statistics
+//! requests (`Xid::athena_marked`), exactly as the paper describes.
+
+use crate::athena::AthenaRuntime;
+use crate::feature::generator::FeatureGenerator;
+use athena_controller::{InterceptCtx, MessageInterceptor};
+use athena_openflow::{MatchFields, OfMessage, StatsRequest};
+use athena_types::{ControllerId, Dpid, PortNo, SimTime, Xid};
+use std::sync::Arc;
+
+/// One controller instance's Athena southbound element.
+pub struct AthenaSouthbound {
+    controller: ControllerId,
+    name: String,
+    generator: FeatureGenerator,
+    runtime: Arc<AthenaRuntime>,
+    last_poll: Option<SimTime>,
+    last_gc: SimTime,
+    next_xid: u32,
+}
+
+impl AthenaSouthbound {
+    /// Creates the SB element for one controller instance.
+    pub fn new(controller: ControllerId, runtime: Arc<AthenaRuntime>) -> Self {
+        AthenaSouthbound {
+            controller,
+            name: format!("athena-sb-{}", controller.raw()),
+            generator: FeatureGenerator::new(controller),
+            runtime,
+            last_poll: None,
+            last_gc: SimTime::ZERO,
+            next_xid: 0,
+        }
+    }
+
+    /// The feature generator's record counter.
+    pub fn records_generated(&self) -> u64 {
+        self.generator.records_generated()
+    }
+
+    fn dispatch(
+        &mut self,
+        records: Vec<crate::feature::format::FeatureRecord>,
+        ctx: &InterceptCtx<'_>,
+        out: &mut Vec<(Dpid, OfMessage)>,
+    ) {
+        if records.is_empty() {
+            return;
+        }
+        let resource = self.runtime.resource.lock();
+        let mut fm = self.runtime.feature_manager.lock();
+        let mut detector = self.runtime.detector.lock();
+        let mut reactor = self.runtime.reactor.lock();
+        for record in records {
+            if !resource.allows(&record) {
+                continue;
+            }
+            // Publication + event delivery; store failures surface as
+            // dropped features, not panics.
+            let _ = fm.ingest(&record);
+            for reaction in detector.process(&record) {
+                reactor.enqueue(reaction);
+            }
+        }
+        drop((resource, fm, detector));
+        out.extend(reactor.drain(
+            |ip| ctx.hosts.location_of(ip),
+            |from, dest| next_hop_toward(ctx, from, dest),
+        ));
+    }
+
+    fn fresh_xid(&mut self) -> Xid {
+        self.next_xid = self.next_xid.wrapping_add(1);
+        Xid::athena_marked(self.next_xid)
+    }
+}
+
+impl MessageInterceptor for AthenaSouthbound {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_southbound(
+        &mut self,
+        ctx: &InterceptCtx<'_>,
+        from: Dpid,
+        msg: &OfMessage,
+        now: SimTime,
+    ) -> Vec<(Dpid, OfMessage)> {
+        // Each SB element monitors "its associated controller and those
+        // switches that the controller directly manages".
+        if ctx.mastership.master_of(from) != Some(self.controller) {
+            return Vec::new();
+        }
+        let records = {
+            let app_of = |cookie: u64| ctx.flow_rules.app_of_cookie(cookie);
+            self.generator.ingest(from, msg, now, &app_of)
+        };
+        let mut out = Vec::new();
+        self.dispatch(records, ctx, &mut out);
+        out
+    }
+
+    fn on_tick(&mut self, ctx: &InterceptCtx<'_>, now: SimTime) -> Vec<(Dpid, OfMessage)> {
+        let mut out = Vec::new();
+        let (poll_interval, monitoring) = {
+            let r = self.runtime.resource.lock();
+            (r.poll_interval, r.monitoring_enabled)
+        };
+
+        // Athena's own marked statistics polling.
+        let due = self
+            .last_poll
+            .is_none_or(|t| now.saturating_since(t) >= poll_interval);
+        if due && monitoring {
+            self.last_poll = Some(now);
+            let mastered = ctx.mastership.switches_of(self.controller);
+            for dpid in mastered {
+                let allowed = self.runtime.resource.lock().allows_polling(dpid);
+                if !allowed {
+                    continue;
+                }
+                out.push((
+                    dpid,
+                    OfMessage::StatsRequest {
+                        xid: self.fresh_xid(),
+                        body: StatsRequest::Flow {
+                            filter: MatchFields::new(),
+                        },
+                    },
+                ));
+                out.push((
+                    dpid,
+                    OfMessage::StatsRequest {
+                        xid: self.fresh_xid(),
+                        body: StatsRequest::Port {
+                            port_no: PortNo::ANY,
+                        },
+                    },
+                ));
+                out.push((
+                    dpid,
+                    OfMessage::StatsRequest {
+                        xid: self.fresh_xid(),
+                        body: StatsRequest::Table,
+                    },
+                ));
+            }
+            // Flush the per-window message counters as features.
+            let records = self.generator.flush_window(now);
+            self.dispatch(records, ctx, &mut out);
+        }
+
+        // Garbage collection of outdated tracking entries.
+        if now.saturating_since(self.last_gc) >= self.generator.ttl {
+            self.last_gc = now;
+            self.generator.gc(now);
+        }
+
+        // Drain any reactions raised outside the message path (e.g. the
+        // NB `Reactor` API).
+        let mut reactor = self.runtime.reactor.lock();
+        out.extend(reactor.drain(
+            |ip| ctx.hosts.location_of(ip),
+            |from, dest| next_hop_toward(ctx, from, dest),
+        ));
+        out
+    }
+}
+
+/// The egress port from `from` toward the host `dest` (first hop of the
+/// shortest path, or the access port when `dest` attaches to `from`).
+fn next_hop_toward(
+    ctx: &InterceptCtx<'_>,
+    from: Dpid,
+    dest: athena_types::Ipv4Addr,
+) -> Option<PortNo> {
+    let (dst_switch, dst_port) = ctx.hosts.location_of(dest)?;
+    if from == dst_switch {
+        return Some(dst_port);
+    }
+    ctx.topology
+        .shortest_path(from, dst_switch)?
+        .first()
+        .map(|(_, p)| *p)
+}
+
+impl std::fmt::Debug for AthenaSouthbound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AthenaSouthbound")
+            .field("controller", &self.controller)
+            .field("records_generated", &self.records_generated())
+            .finish()
+    }
+}

@@ -1,0 +1,8 @@
+//! The Athena southbound element (paper §III-A 1): the SB interface that
+//! taps the control-message stream, the Attack Detector running live
+//! validators, and the Attack Reactor pushing mitigation through the
+//! Athena proxy.
+
+pub mod detector;
+pub mod interface;
+pub mod reactor;

@@ -1,0 +1,175 @@
+//! Flow-level traffic descriptions.
+
+use athena_openflow::PacketHeader;
+use athena_types::{FiveTuple, PortNo, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A flow to inject into the network.
+///
+/// # Examples
+///
+/// ```
+/// use athena_dataplane::FlowSpec;
+/// use athena_types::{FiveTuple, Ipv4Addr, SimDuration, SimTime};
+///
+/// let ft = FiveTuple::tcp(Ipv4Addr::new(10,0,0,1), 40000, Ipv4Addr::new(10,0,1,1), 80);
+/// let f = FlowSpec::new(ft, SimTime::ZERO, SimDuration::from_secs(10), 1_000_000)
+///     .bidirectional(0.1);
+/// assert_eq!(f.end_time(), SimTime::from_secs(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// The flow's 5-tuple.
+    pub five_tuple: FiveTuple,
+    /// When the first packet is sent.
+    pub start: SimTime,
+    /// How long the flow lasts.
+    pub duration: SimDuration,
+    /// Offered rate in bits per second.
+    pub rate_bps: u64,
+    /// Bytes per packet (for packet counters).
+    pub packet_size: u32,
+    /// Reverse-direction rate as a fraction of the forward rate
+    /// (zero = unidirectional; the DDoS generator uses zero, benign TCP
+    /// uses ~0.05–1.0).
+    pub reverse_ratio: f64,
+    /// Ground truth for evaluation: is this flow part of an attack?
+    pub malicious: bool,
+}
+
+impl FlowSpec {
+    /// Creates a unidirectional benign flow.
+    pub fn new(
+        five_tuple: FiveTuple,
+        start: SimTime,
+        duration: SimDuration,
+        rate_bps: u64,
+    ) -> Self {
+        FlowSpec {
+            five_tuple,
+            start,
+            duration,
+            rate_bps,
+            packet_size: 1000,
+            reverse_ratio: 0.0,
+            malicious: false,
+        }
+    }
+
+    /// Makes the flow bidirectional with the given reverse-rate ratio.
+    pub fn bidirectional(mut self, reverse_ratio: f64) -> Self {
+        self.reverse_ratio = reverse_ratio.max(0.0);
+        self
+    }
+
+    /// Marks the flow as attack traffic (ground truth).
+    pub fn malicious(mut self) -> Self {
+        self.malicious = true;
+        self
+    }
+
+    /// Sets the packet size in bytes.
+    pub fn with_packet_size(mut self, bytes: u32) -> Self {
+        self.packet_size = bytes.max(64);
+        self
+    }
+
+    /// When the flow stops sending.
+    pub fn end_time(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    /// Bytes offered during a window of length `window` (full-rate).
+    pub fn bytes_per(&self, window: SimDuration) -> u64 {
+        ((self.rate_bps as f64 / 8.0) * window.as_secs_f64()) as u64
+    }
+
+    /// Packets corresponding to `bytes` at this flow's packet size.
+    pub fn packets_for(&self, bytes: u64) -> u64 {
+        (bytes / u64::from(self.packet_size.max(1))).max(u64::from(bytes > 0))
+    }
+
+    /// The header of this flow's packets arriving on `in_port`.
+    pub fn header(&self, in_port: PortNo) -> PacketHeader {
+        PacketHeader::from_five_tuple(in_port, self.five_tuple, self.packet_size)
+    }
+
+    /// The header of the reverse direction's packets.
+    pub fn reverse_header(&self, in_port: PortNo) -> PacketHeader {
+        PacketHeader::from_five_tuple(in_port, self.five_tuple.reversed(), self.packet_size)
+    }
+}
+
+/// A flow currently active inside the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveFlow {
+    /// The flow's specification.
+    pub spec: FlowSpec,
+    /// Credited bytes so far (forward direction, post-contention).
+    pub delivered_bytes: u64,
+    /// Bytes dropped on congested links or on table misses.
+    pub dropped_bytes: u64,
+    /// Whether the last tick successfully traced a path end-to-end.
+    pub last_tick_routed: bool,
+}
+
+impl ActiveFlow {
+    /// Wraps a spec with zeroed counters.
+    pub fn new(spec: FlowSpec) -> Self {
+        ActiveFlow {
+            spec,
+            delivered_bytes: 0,
+            dropped_bytes: 0,
+            last_tick_routed: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::Ipv4Addr;
+
+    fn spec() -> FlowSpec {
+        FlowSpec::new(
+            FiveTuple::tcp(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 80),
+            SimTime::from_secs(5),
+            SimDuration::from_secs(10),
+            8_000_000,
+        )
+    }
+
+    #[test]
+    fn rate_to_bytes() {
+        let f = spec();
+        assert_eq!(f.bytes_per(SimDuration::from_secs(1)), 1_000_000);
+        assert_eq!(f.bytes_per(SimDuration::from_millis(500)), 500_000);
+    }
+
+    #[test]
+    fn packet_math() {
+        let f = spec().with_packet_size(1000);
+        assert_eq!(f.packets_for(10_000), 10);
+        assert_eq!(f.packets_for(500), 1); // partial packet still counts
+        assert_eq!(f.packets_for(0), 0);
+    }
+
+    #[test]
+    fn builders() {
+        let f = spec().bidirectional(0.2).malicious().with_packet_size(100);
+        assert_eq!(f.reverse_ratio, 0.2);
+        assert!(f.malicious);
+        assert_eq!(f.packet_size, 100);
+        assert_eq!(f.end_time(), SimTime::from_secs(15));
+        // Packet size floor.
+        assert_eq!(spec().with_packet_size(1).packet_size, 64);
+    }
+
+    #[test]
+    fn headers_reverse_correctly() {
+        let f = spec();
+        let fwd = f.header(PortNo::new(1));
+        let rev = f.reverse_header(PortNo::new(2));
+        assert_eq!(fwd.five_tuple().unwrap().reversed(), rev.five_tuple().unwrap());
+    }
+}

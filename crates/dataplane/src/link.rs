@@ -1,0 +1,139 @@
+//! Simulated links with capacity contention.
+
+use athena_types::{LinkId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// One direction of a link, with capacity accounting per tick.
+///
+/// Each simulation tick, flows crossing the link offer bytes; if the offer
+/// exceeds the link's per-tick capacity the excess is dropped
+/// proportionally (a fluid model of congestion). Utilization history
+/// drives the LFA detector's `port_rx_bytes`-style features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimLink {
+    /// The link's identity (direction-specific).
+    pub id: LinkId,
+    /// Capacity in bits per second.
+    pub capacity_bps: u64,
+    offered_bytes_this_tick: u64,
+    delivered_bytes_total: u64,
+    dropped_bytes_total: u64,
+    last_utilization: f64,
+}
+
+impl SimLink {
+    /// Creates a link direction with the given capacity.
+    pub fn new(id: LinkId, capacity_bps: u64) -> Self {
+        SimLink {
+            id,
+            capacity_bps,
+            offered_bytes_this_tick: 0,
+            delivered_bytes_total: 0,
+            dropped_bytes_total: 0,
+            last_utilization: 0.0,
+        }
+    }
+
+    /// Offers `bytes` for transmission this tick.
+    pub fn offer(&mut self, bytes: u64) {
+        self.offered_bytes_this_tick += bytes;
+    }
+
+    /// Bytes this link can carry in one tick.
+    pub fn capacity_per_tick(&self, tick: SimDuration) -> u64 {
+        ((self.capacity_bps as f64 / 8.0) * tick.as_secs_f64()) as u64
+    }
+
+    /// Closes the tick: computes utilization, splits offered traffic into
+    /// delivered and dropped, and resets the per-tick accumulator.
+    ///
+    /// Returns `(delivered_fraction, dropped_bytes)` for the tick.
+    pub fn settle_tick(&mut self, tick: SimDuration) -> (f64, u64) {
+        let cap = self.capacity_per_tick(tick).max(1);
+        let offered = self.offered_bytes_this_tick;
+        self.offered_bytes_this_tick = 0;
+        self.last_utilization = offered as f64 / cap as f64;
+        if offered <= cap {
+            self.delivered_bytes_total += offered;
+            (1.0, 0)
+        } else {
+            let dropped = offered - cap;
+            self.delivered_bytes_total += cap;
+            self.dropped_bytes_total += dropped;
+            (cap as f64 / offered as f64, dropped)
+        }
+    }
+
+    /// Offered/capacity ratio of the last settled tick (may exceed 1).
+    pub fn utilization(&self) -> f64 {
+        self.last_utilization
+    }
+
+    /// `true` if the last tick offered more than the capacity.
+    pub fn is_congested(&self) -> bool {
+        self.last_utilization > 1.0
+    }
+
+    /// Total bytes delivered over the link's lifetime.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes_total
+    }
+
+    /// Total bytes dropped by contention.
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped_bytes_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::{Dpid, PortNo};
+
+    fn link(capacity_bps: u64) -> SimLink {
+        SimLink::new(
+            LinkId::new(Dpid::new(1), PortNo::new(1), Dpid::new(2), PortNo::new(2)),
+            capacity_bps,
+        )
+    }
+
+    #[test]
+    fn under_capacity_delivers_everything() {
+        let mut l = link(8_000_000); // 1 MB/s
+        l.offer(100_000);
+        let (frac, dropped) = l.settle_tick(SimDuration::from_secs(1));
+        assert_eq!(frac, 1.0);
+        assert_eq!(dropped, 0);
+        assert!((l.utilization() - 0.1).abs() < 1e-9);
+        assert!(!l.is_congested());
+        assert_eq!(l.delivered_bytes(), 100_000);
+    }
+
+    #[test]
+    fn over_capacity_drops_excess() {
+        let mut l = link(8_000_000); // 1 MB/s per second-tick
+        l.offer(2_000_000);
+        let (frac, dropped) = l.settle_tick(SimDuration::from_secs(1));
+        assert!((frac - 0.5).abs() < 1e-9);
+        assert_eq!(dropped, 1_000_000);
+        assert!(l.is_congested());
+        assert_eq!(l.delivered_bytes(), 1_000_000);
+        assert_eq!(l.dropped_bytes(), 1_000_000);
+    }
+
+    #[test]
+    fn tick_resets_offer() {
+        let mut l = link(8_000_000);
+        l.offer(500_000);
+        l.settle_tick(SimDuration::from_secs(1));
+        let (frac, _) = l.settle_tick(SimDuration::from_secs(1));
+        assert_eq!(frac, 1.0);
+        assert_eq!(l.utilization(), 0.0);
+    }
+
+    #[test]
+    fn sub_second_ticks_scale_capacity() {
+        let l = link(8_000_000);
+        assert_eq!(l.capacity_per_tick(SimDuration::from_millis(100)), 100_000);
+    }
+}

@@ -1,0 +1,301 @@
+//! The simulated OpenFlow switch.
+
+use athena_openflow::{
+    Action, FlowMod, FlowRemoved, FlowTable, MatchFields, PacketHeader, StatsReply, StatsRequest,
+};
+use athena_openflow::stats::PortStatsEntry;
+use athena_types::{Dpid, PortNo, SimTime};
+use std::collections::HashMap;
+
+/// A simulated OpenFlow switch: one flow table plus per-port counters.
+///
+/// # Examples
+///
+/// ```
+/// use athena_dataplane::SimSwitch;
+/// use athena_openflow::{Action, FlowMod, MatchFields, PacketHeader};
+/// use athena_types::{Dpid, Ipv4Addr, PortNo, SimTime};
+///
+/// let mut sw = SimSwitch::new(Dpid::new(1), 4);
+/// sw.apply_flow_mod(
+///     &FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(2))]),
+///     SimTime::ZERO,
+/// );
+/// let pkt = PacketHeader::tcp_syn(PortNo::new(1), Ipv4Addr::new(1,1,1,1), 1, Ipv4Addr::new(2,2,2,2), 2);
+/// let out = sw.process(&pkt, SimTime::ZERO, 1, 64);
+/// assert_eq!(out, Some(vec![Action::Output(PortNo::new(2))]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimSwitch {
+    dpid: Dpid,
+    table: FlowTable,
+    ports: HashMap<PortNo, PortStatsEntry>,
+}
+
+impl SimSwitch {
+    /// Creates a switch with ports `1..=n_ports`.
+    pub fn new(dpid: Dpid, n_ports: u32) -> Self {
+        let mut ports = HashMap::new();
+        for p in 1..=n_ports {
+            let port_no = PortNo::new(p);
+            ports.insert(
+                port_no,
+                PortStatsEntry {
+                    port_no,
+                    ..PortStatsEntry::default()
+                },
+            );
+        }
+        SimSwitch {
+            dpid,
+            table: FlowTable::new(0),
+            ports,
+        }
+    }
+
+    /// The switch's datapath id.
+    pub fn dpid(&self) -> Dpid {
+        self.dpid
+    }
+
+    /// The switch's port numbers.
+    pub fn port_numbers(&self) -> Vec<PortNo> {
+        let mut v: Vec<PortNo> = self.ports.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Immutable access to the flow table.
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Applies a flow-mod, returning any flow-removed notifications (from
+    /// delete commands).
+    pub fn apply_flow_mod(&mut self, fm: &FlowMod, now: SimTime) -> Vec<FlowRemoved> {
+        // OpenFlow switches silently ignore modify/delete misses.
+        self.table.apply(fm, now).unwrap_or_default()
+    }
+
+    /// Performs a table lookup for a packet, crediting `packets`/`bytes`
+    /// to the matched entry and to the rx side of the ingress port.
+    ///
+    /// Returns the matched entry's actions, or `None` on a table miss (the
+    /// caller punts to the controller).
+    pub fn process(
+        &mut self,
+        pkt: &PacketHeader,
+        now: SimTime,
+        packets: u64,
+        bytes: u64,
+    ) -> Option<Vec<Action>> {
+        if let Some(port) = self.ports.get_mut(&pkt.in_port) {
+            port.rx_packets += packets;
+            port.rx_bytes += bytes;
+        }
+        let actions = self
+            .table
+            .lookup(pkt, now, packets, bytes)
+            .map(|e| e.actions.clone());
+        match &actions {
+            Some(acts) => {
+                for a in acts {
+                    if let Some(out) = a.output_port() {
+                        if let Some(port) = self.ports.get_mut(&out) {
+                            port.tx_packets += packets;
+                            port.tx_bytes += bytes;
+                        }
+                    }
+                }
+            }
+            None => {
+                // Count the miss against the ingress port as a drop only
+                // if the caller decides to drop; the network layer calls
+                // `count_drop` explicitly. Nothing to do here.
+            }
+        }
+        actions
+    }
+
+    /// Table lookup without crediting any counters (the routing phase).
+    pub fn peek(&self, pkt: &PacketHeader, now: SimTime) -> Option<Vec<Action>> {
+        self.table.peek(pkt, now).map(|e| e.actions.clone())
+    }
+
+    /// Records dropped traffic on a port's tx side (capacity contention).
+    pub fn count_tx_drop(&mut self, port: PortNo, packets: u64) {
+        if let Some(p) = self.ports.get_mut(&port) {
+            p.tx_dropped += packets;
+        }
+    }
+
+    /// Records dropped traffic on a port's rx side (no route / no rule).
+    pub fn count_rx_drop(&mut self, port: PortNo, packets: u64) {
+        if let Some(p) = self.ports.get_mut(&port) {
+            p.rx_dropped += packets;
+        }
+    }
+
+    /// Expires timed-out flow entries.
+    pub fn expire(&mut self, now: SimTime) -> Vec<FlowRemoved> {
+        self.table.expire(now)
+    }
+
+    /// Serves a statistics request.
+    pub fn stats(&self, req: &StatsRequest, now: SimTime) -> StatsReply {
+        match req {
+            StatsRequest::Flow { filter } => StatsReply::Flow({
+                let mut entries = self.table.flow_stats(filter, now);
+                for e in &mut entries {
+                    e.table_id = 0;
+                }
+                entries
+            }),
+            StatsRequest::Aggregate { filter } => {
+                StatsReply::Aggregate(self.table.aggregate_stats(filter))
+            }
+            StatsRequest::Port { port_no } => {
+                let entries = if *port_no == PortNo::ANY {
+                    let mut v: Vec<PortStatsEntry> = self.ports.values().copied().collect();
+                    v.sort_by_key(|p| p.port_no);
+                    v
+                } else {
+                    self.ports.get(port_no).copied().into_iter().collect()
+                };
+                StatsReply::Port(entries)
+            }
+            StatsRequest::Table => StatsReply::Table(vec![self.table.table_stats()]),
+        }
+    }
+
+    /// Installed flow-entry count.
+    pub fn flow_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Removes every flow entry (used by Cbench-style benchmarks between
+    /// rounds).
+    pub fn clear_flows(&mut self, now: SimTime) -> Vec<FlowRemoved> {
+        self.apply_flow_mod(&FlowMod::delete(MatchFields::new()), now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::Ipv4Addr;
+
+    fn pkt(port: u32) -> PacketHeader {
+        PacketHeader::tcp_syn(
+            PortNo::new(port),
+            Ipv4Addr::new(10, 0, 0, 1),
+            1000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            80,
+        )
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        assert_eq!(sw.process(&pkt(1), SimTime::ZERO, 1, 64), None);
+        sw.apply_flow_mod(
+            &FlowMod::add(
+                MatchFields::exact_from_packet(&pkt(1)),
+                10,
+                vec![Action::Output(PortNo::new(2))],
+            ),
+            SimTime::ZERO,
+        );
+        let out = sw.process(&pkt(1), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&out), Some(PortNo::new(2)));
+        assert_eq!(sw.flow_count(), 1);
+    }
+
+    #[test]
+    fn port_counters_track_rx_and_tx() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        sw.apply_flow_mod(
+            &FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(3))]),
+            SimTime::ZERO,
+        );
+        sw.process(&pkt(1), SimTime::ZERO, 5, 500);
+        let StatsReply::Port(ports) = sw.stats(
+            &StatsRequest::Port {
+                port_no: PortNo::ANY,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!("expected port stats");
+        };
+        let p1 = ports.iter().find(|p| p.port_no == PortNo::new(1)).unwrap();
+        let p3 = ports.iter().find(|p| p.port_no == PortNo::new(3)).unwrap();
+        assert_eq!(p1.rx_packets, 5);
+        assert_eq!(p1.rx_bytes, 500);
+        assert_eq!(p3.tx_packets, 5);
+        assert_eq!(p3.tx_bytes, 500);
+    }
+
+    #[test]
+    fn stats_requests_cover_all_kinds() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 2);
+        sw.apply_flow_mod(
+            &FlowMod::add(MatchFields::new().with_tp_dst(80), 1, vec![]),
+            SimTime::ZERO,
+        );
+        let flow = sw.stats(
+            &StatsRequest::Flow {
+                filter: MatchFields::new(),
+            },
+            SimTime::from_secs(1),
+        );
+        assert_eq!(flow.len(), 1);
+        let agg = sw.stats(
+            &StatsRequest::Aggregate {
+                filter: MatchFields::new(),
+            },
+            SimTime::from_secs(1),
+        );
+        assert!(matches!(agg, StatsReply::Aggregate(a) if a.flow_count == 1));
+        let table = sw.stats(&StatsRequest::Table, SimTime::from_secs(1));
+        assert!(matches!(table, StatsReply::Table(ref t) if t[0].active_count == 1));
+        let one_port = sw.stats(
+            &StatsRequest::Port {
+                port_no: PortNo::new(1),
+            },
+            SimTime::from_secs(1),
+        );
+        assert_eq!(one_port.len(), 1);
+    }
+
+    #[test]
+    fn clear_flows_empties_table_and_reports() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 2);
+        for p in [80u16, 443] {
+            sw.apply_flow_mod(
+                &FlowMod::add(MatchFields::new().with_tp_dst(p), 1, vec![]),
+                SimTime::ZERO,
+            );
+        }
+        let removed = sw.clear_flows(SimTime::from_secs(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(sw.flow_count(), 0);
+    }
+
+    #[test]
+    fn drop_counters() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 2);
+        sw.count_tx_drop(PortNo::new(1), 3);
+        sw.count_rx_drop(PortNo::new(2), 4);
+        let StatsReply::Port(ports) = sw.stats(
+            &StatsRequest::Port {
+                port_no: PortNo::ANY,
+            },
+            SimTime::ZERO,
+        ) else {
+            panic!("expected port stats");
+        };
+        assert_eq!(ports[0].tx_dropped, 3);
+        assert_eq!(ports[1].rx_dropped, 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! Gradient-boosted trees for binary classification (logistic loss) —
+//! the paper's "Boosting" category.
+
+use crate::algorithms::tree::{DecisionTreeModel, TreeParams};
+use crate::data::LabeledPoint;
+use crate::linalg::sigmoid;
+use athena_types::{AthenaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// GBT hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbtParams {
+    /// Boosting rounds (trees).
+    pub rounds: usize,
+    /// Shrinkage (learning rate).
+    pub learning_rate: f64,
+    /// Base-learner parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        GbtParams {
+            rounds: 30,
+            learning_rate: 0.3,
+            tree: TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
+        }
+    }
+}
+
+/// A fitted gradient-boosted-trees classifier.
+///
+/// The model maintains an additive log-odds score
+/// `F(x) = F0 + lr * Σ tree_i(x)` where each tree is a regression tree fit
+/// to the pseudo-residuals `y - sigmoid(F)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GbtClassifier {
+    base_score: f64,
+    trees: Vec<DecisionTreeModel>,
+    /// The parameters used.
+    pub params: GbtParams,
+}
+
+impl GbtClassifier {
+    /// Fits by gradient boosting on the logistic loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] for empty/ragged data or bad
+    /// hyperparameters.
+    pub fn fit(params: GbtParams, data: &[LabeledPoint]) -> Result<Self> {
+        crate::data::check_dims(data)?;
+        if params.rounds == 0 {
+            return Err(AthenaError::Ml("gbt needs at least one round".into()));
+        }
+        if params.learning_rate <= 0.0 {
+            return Err(AthenaError::Ml("learning rate must be positive".into()));
+        }
+        // F0 = log-odds of the base rate.
+        let pos = data.iter().filter(|p| p.is_malicious()).count() as f64;
+        let rate = (pos / data.len() as f64).clamp(1e-6, 1.0 - 1e-6);
+        let base_score = (rate / (1.0 - rate)).ln();
+
+        let mut scores = vec![base_score; data.len()];
+        let mut trees = Vec::with_capacity(params.rounds);
+        for _ in 0..params.rounds {
+            // Pseudo-residuals of the logistic loss.
+            let residuals: Vec<LabeledPoint> = data
+                .iter()
+                .zip(&scores)
+                .map(|(p, s)| LabeledPoint::new(p.features.clone(), p.label - sigmoid(*s)))
+                .collect();
+            let tree = DecisionTreeModel::fit_regression(params.tree, &residuals)?;
+            for (s, p) in scores.iter_mut().zip(data) {
+                *s += params.learning_rate * tree.predict_value(&p.features);
+            }
+            trees.push(tree);
+        }
+        Ok(GbtClassifier {
+            base_score,
+            trees,
+            params,
+        })
+    }
+
+    /// The additive log-odds score.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.base_score
+            + self.params.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict_value(x))
+                    .sum::<f64>()
+    }
+
+    /// Probability that `x` is malicious.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.decision(x))
+    }
+
+    /// Number of boosted trees.
+    pub fn rounds(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_data::{accuracy, blobs};
+
+    #[test]
+    fn high_accuracy_on_separable_blobs() {
+        let data = blobs(100, 3, 61);
+        let m = GbtClassifier::fit(GbtParams::default(), &data).unwrap();
+        assert!(accuracy(&data, |x| m.predict_proba(x)) > 0.98);
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_accuracy() {
+        let data = blobs(80, 2, 67);
+        let small = GbtClassifier::fit(
+            GbtParams {
+                rounds: 2,
+                ..GbtParams::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let big = GbtClassifier::fit(
+            GbtParams {
+                rounds: 40,
+                ..GbtParams::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let acc_small = accuracy(&data, |x| small.predict_proba(x));
+        let acc_big = accuracy(&data, |x| big.predict_proba(x));
+        assert!(acc_big >= acc_small - 1e-9);
+        assert_eq!(big.rounds(), 40);
+    }
+
+    #[test]
+    fn handles_single_class_gracefully() {
+        // All benign: base rate clamped; every prediction stays benign.
+        let data: Vec<LabeledPoint> = (0..20)
+            .map(|i| LabeledPoint::new(vec![f64::from(i)], 0.0))
+            .collect();
+        let m = GbtClassifier::fit(GbtParams::default(), &data).unwrap();
+        assert!(m.predict_proba(&[5.0]) < 0.5);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let data = blobs(5, 2, 1);
+        assert!(GbtClassifier::fit(
+            GbtParams {
+                rounds: 0,
+                ..GbtParams::default()
+            },
+            &data
+        )
+        .is_err());
+        assert!(GbtClassifier::fit(
+            GbtParams {
+                learning_rate: 0.0,
+                ..GbtParams::default()
+            },
+            &data
+        )
+        .is_err());
+        assert!(GbtClassifier::fit(GbtParams::default(), &[]).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Gaussian Mixture Model clustering via expectation-maximization with
+//! diagonal covariances.
+
+use crate::algorithms::kmeans::{KMeansModel, KMeansParams};
+use crate::data::LabeledPoint;
+use athena_types::{AthenaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// GMM hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmParams {
+    /// Number of mixture components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on mean log-likelihood improvement.
+    pub epsilon: f64,
+    /// RNG seed (used by the K-Means initialization).
+    pub seed: u64,
+}
+
+impl Default for GmmParams {
+    fn default() -> Self {
+        GmmParams {
+            k: 2,
+            max_iterations: 50,
+            epsilon: 1e-5,
+            seed: 42,
+        }
+    }
+}
+
+/// One mixture component: weight, mean, and diagonal variance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianComponent {
+    /// Mixing weight (components sum to 1).
+    pub weight: f64,
+    /// Component mean.
+    pub mean: Vec<f64>,
+    /// Per-dimension variance (diagonal covariance).
+    pub variance: Vec<f64>,
+}
+
+impl GaussianComponent {
+    /// Log density of `x` under this component (up to the shared constant).
+    fn log_density(&self, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for ((xi, mi), vi) in x.iter().zip(&self.mean).zip(&self.variance) {
+            let v = vi.max(1e-9);
+            acc += -0.5 * ((xi - mi) * (xi - mi) / v + v.ln());
+        }
+        acc + self.weight.max(1e-300).ln()
+    }
+}
+
+/// A fitted Gaussian mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixtureModel {
+    /// The mixture components.
+    pub components: Vec<GaussianComponent>,
+    /// Final mean log-likelihood on the training data.
+    pub log_likelihood: f64,
+    /// The parameters used.
+    pub params: GmmParams,
+}
+
+impl GaussianMixtureModel {
+    /// Fits a GMM with EM, initialized from a short K-Means run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] for empty/ragged data or `k == 0`.
+    pub fn fit(params: GmmParams, data: &[LabeledPoint]) -> Result<Self> {
+        let dim = crate::data::check_dims(data)?;
+        if params.k == 0 {
+            return Err(AthenaError::Ml("k must be positive".into()));
+        }
+        let n = data.len();
+        // K-Means initialization.
+        let km = KMeansModel::fit(
+            KMeansParams {
+                k: params.k,
+                max_iterations: 5,
+                runs: 1,
+                epsilon: 1e-3,
+                seed: params.seed,
+            },
+            data,
+        )?;
+        let mut components: Vec<GaussianComponent> = km
+            .centroids
+            .iter()
+            .map(|c| GaussianComponent {
+                weight: 1.0 / params.k as f64,
+                mean: c.0.clone(),
+                variance: vec![1.0; dim],
+            })
+            .collect();
+
+        let mut resp = vec![vec![0.0f64; params.k]; n];
+        let mut last_ll = f64::NEG_INFINITY;
+        let mut ll = last_ll;
+        for _ in 0..params.max_iterations {
+            // E step.
+            ll = 0.0;
+            for (p, r) in data.iter().zip(resp.iter_mut()) {
+                let logs: Vec<f64> = components
+                    .iter()
+                    .map(|c| c.log_density(&p.features))
+                    .collect();
+                let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut total = 0.0;
+                for (ri, l) in r.iter_mut().zip(&logs) {
+                    *ri = (l - max).exp();
+                    total += *ri;
+                }
+                for ri in r.iter_mut() {
+                    *ri /= total;
+                }
+                ll += max + total.ln();
+            }
+            ll /= n as f64;
+            if (ll - last_ll).abs() < params.epsilon {
+                break;
+            }
+            last_ll = ll;
+            // M step.
+            for (j, comp) in components.iter_mut().enumerate() {
+                let nj: f64 = resp.iter().map(|r| r[j]).sum();
+                let nj_safe = nj.max(1e-12);
+                comp.weight = nj / n as f64;
+                for d in 0..dim {
+                    let mean: f64 = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| r[j] * p.features[d])
+                        .sum::<f64>()
+                        / nj_safe;
+                    comp.mean[d] = mean;
+                }
+                for d in 0..dim {
+                    let var: f64 = data
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| {
+                            let diff = p.features[d] - comp.mean[d];
+                            r[j] * diff * diff
+                        })
+                        .sum::<f64>()
+                        / nj_safe;
+                    comp.variance[d] = var.max(1e-6);
+                }
+            }
+        }
+        Ok(GaussianMixtureModel {
+            components,
+            log_likelihood: ll,
+            params,
+        })
+    }
+
+    /// Index of the most likely component for `x`.
+    pub fn cluster_of(&self, x: &[f64]) -> usize {
+        self.components
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.log_density(x)
+                    .partial_cmp(&b.log_density(x))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map_or(0, |(i, _)| i)
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_data::blobs;
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = blobs(100, 2, 11);
+        let model = GaussianMixtureModel::fit(GmmParams::default(), &data).unwrap();
+        let a = model.cluster_of(&[0.0, 0.0]);
+        let b = model.cluster_of(&[4.0, 4.0]);
+        assert_ne!(a, b);
+        let correct = data
+            .iter()
+            .filter(|p| {
+                let expect = if p.is_malicious() { b } else { a };
+                model.cluster_of(&p.features) == expect
+            })
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let data = blobs(60, 3, 2);
+        let model = GaussianMixtureModel::fit(
+            GmmParams {
+                k: 3,
+                ..GmmParams::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let total: f64 = model.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-6, "weights sum to {total}");
+    }
+
+    #[test]
+    fn log_likelihood_is_finite() {
+        let data = blobs(40, 2, 4);
+        let model = GaussianMixtureModel::fit(GmmParams::default(), &data).unwrap();
+        assert!(model.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(GaussianMixtureModel::fit(GmmParams::default(), &[]).is_err());
+        let data = blobs(5, 2, 0);
+        assert!(GaussianMixtureModel::fit(
+            GmmParams {
+                k: 0,
+                ..GmmParams::default()
+            },
+            &data
+        )
+        .is_err());
+    }
+}

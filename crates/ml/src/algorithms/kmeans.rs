@@ -1,0 +1,375 @@
+//! K-Means clustering with k-means++ seeding, multiple runs, and a
+//! distributed (per-partition aggregation) training path.
+//!
+//! This is the algorithm the paper's flagship DDoS detector uses
+//! (Figure 6: `K(8), Iterations(20), Runs(5), InitializedMode(k-means||)`).
+
+use crate::data::LabeledPoint;
+use crate::linalg::{squared_distance, DenseVector};
+use athena_compute::Dataset;
+use athena_types::{AthenaError, Result};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// K-Means hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations per run.
+    pub max_iterations: usize,
+    /// Independent restarts; the lowest-cost run wins.
+    pub runs: usize,
+    /// Convergence threshold on total centroid movement.
+    pub epsilon: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams {
+            k: 8,
+            max_iterations: 20,
+            runs: 5,
+            epsilon: 1e-4,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted K-Means model: the centroids and the final cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansModel {
+    /// Cluster centroids.
+    pub centroids: Vec<DenseVector>,
+    /// Final within-cluster sum of squared distances (training cost).
+    pub cost: f64,
+    /// The parameters used.
+    pub params: KMeansParams,
+}
+
+impl KMeansModel {
+    /// Fits K-Means on an in-memory slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] for an empty/ragged set or `k == 0`.
+    pub fn fit(params: KMeansParams, data: &[LabeledPoint]) -> Result<Self> {
+        let dim = crate::data::check_dims(data)?;
+        validate(&params, data.len())?;
+        let points: Vec<&[f64]> = data.iter().map(|p| p.features.as_slice()).collect();
+        let mut best: Option<(Vec<DenseVector>, f64)> = None;
+        for run in 0..params.runs.max(1) {
+            let mut rng = StdRng::seed_from_u64(params.seed.wrapping_add(run as u64));
+            let mut centroids = plus_plus_init(&points, params.k, &mut rng);
+            let mut cost = f64::INFINITY;
+            for _ in 0..params.max_iterations {
+                let (sums, counts, new_cost) = assign_and_sum(&points, &centroids, dim);
+                let movement = update_centroids(&mut centroids, &sums, &counts);
+                cost = new_cost;
+                if movement < params.epsilon {
+                    break;
+                }
+            }
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                best = Some((centroids, cost));
+            }
+        }
+        let (centroids, cost) = best.expect("at least one run");
+        Ok(KMeansModel {
+            centroids,
+            cost,
+            params,
+        })
+    }
+
+    /// Fits K-Means with the Lloyd step distributed over a compute
+    /// cluster: each partition produces per-centroid `(sum, count)` pairs,
+    /// combined on the driver — the MLlib execution shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] for an empty dataset or `k == 0`.
+    pub fn fit_distributed(params: KMeansParams, data: &Dataset<LabeledPoint>) -> Result<Self> {
+        if data.is_empty() {
+            return Err(AthenaError::Ml("empty training set".into()));
+        }
+        validate(&params, data.len())?;
+        // Seed centroids from a driver-side sample.
+        let sample: Vec<LabeledPoint> = data.sample(sample_fraction(data.len())).collect();
+        let sample = if sample.is_empty() {
+            data.sample(1.0).collect()
+        } else {
+            sample
+        };
+        let dim = crate::data::check_dims(&sample)?;
+        let sample_refs: Vec<&[f64]> = sample.iter().map(|p| p.features.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut centroids = plus_plus_init(&sample_refs, params.k, &mut rng);
+
+        let mut cost = f64::INFINITY;
+        for _ in 0..params.max_iterations {
+            let centroids_snapshot = centroids.clone();
+            // One distributed job per Lloyd iteration.
+            let partials = data.map_partitions(|part| {
+                let points: Vec<&[f64]> = part.iter().map(|p| p.features.as_slice()).collect();
+                let (sums, counts, c) = assign_and_sum(&points, &centroids_snapshot, dim);
+                vec![(sums, counts, c)]
+            });
+            let mut sums = vec![DenseVector::zeros(dim); centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            let mut new_cost = 0.0;
+            for (ps, pc, c) in partials.collect() {
+                for (j, s) in ps.iter().enumerate() {
+                    sums[j].axpy(1.0, s);
+                    counts[j] += pc[j];
+                }
+                new_cost += c;
+            }
+            let movement = update_centroids(&mut centroids, &sums, &counts);
+            cost = new_cost;
+            if movement < params.epsilon {
+                break;
+            }
+        }
+        Ok(KMeansModel {
+            centroids,
+            cost,
+            params,
+        })
+    }
+
+    /// Index of the nearest centroid.
+    pub fn cluster_of(&self, x: &[f64]) -> usize {
+        nearest(&self.centroids, x).0
+    }
+
+    /// Squared distance to the nearest centroid (an anomaly score).
+    pub fn distance_to_nearest(&self, x: &[f64]) -> f64 {
+        nearest(&self.centroids, x).1
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Total within-cluster sum of squared distances over `data`.
+    pub fn compute_cost(&self, data: &[LabeledPoint]) -> f64 {
+        data.iter()
+            .map(|p| self.distance_to_nearest(&p.features))
+            .sum()
+    }
+}
+
+fn validate(params: &KMeansParams, n: usize) -> Result<()> {
+    if params.k == 0 {
+        return Err(AthenaError::Ml("k must be positive".into()));
+    }
+    if n == 0 {
+        return Err(AthenaError::Ml("empty training set".into()));
+    }
+    Ok(())
+}
+
+fn sample_fraction(n: usize) -> f64 {
+    // Aim for ~10k seed points.
+    (10_000.0 / n as f64).clamp(0.001, 1.0)
+}
+
+/// k-means++ seeding (the serial analogue of k-means||).
+fn plus_plus_init(points: &[&[f64]], k: usize, rng: &mut StdRng) -> Vec<DenseVector> {
+    let first = points[rng.random_range(0..points.len())];
+    let mut centroids = vec![DenseVector(first.to_vec())];
+    let mut d2: Vec<f64> = points
+        .iter()
+        .map(|p| squared_distance(p, first))
+        .collect();
+    while centroids.len() < k.min(points.len()) {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            points[rng.random_range(0..points.len())]
+        } else {
+            let mut target = rng.random_range(0.0..total);
+            let mut chosen = points[points.len() - 1];
+            for (p, w) in points.iter().zip(&d2) {
+                if target < *w {
+                    chosen = p;
+                    break;
+                }
+                target -= w;
+            }
+            chosen
+        };
+        centroids.push(DenseVector(next.to_vec()));
+        for (p, w) in points.iter().zip(d2.iter_mut()) {
+            *w = w.min(squared_distance(p, next));
+        }
+    }
+    // If k > distinct points, pad with copies so cluster_of stays in range.
+    while centroids.len() < k {
+        centroids.push(centroids[0].clone());
+    }
+    centroids
+}
+
+fn nearest(centroids: &[DenseVector], x: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = c.squared_distance(x);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// Assigns points to centroids, returning per-centroid sums, counts, and
+/// the total cost.
+fn assign_and_sum(
+    points: &[&[f64]],
+    centroids: &[DenseVector],
+    dim: usize,
+) -> (Vec<DenseVector>, Vec<usize>, f64) {
+    let mut sums = vec![DenseVector::zeros(dim); centroids.len()];
+    let mut counts = vec![0usize; centroids.len()];
+    let mut cost = 0.0;
+    for p in points {
+        let (i, d) = nearest(centroids, p);
+        sums[i].axpy(1.0, p);
+        counts[i] += 1;
+        cost += d;
+    }
+    (sums, counts, cost)
+}
+
+/// Moves centroids to their cluster means; returns total movement.
+fn update_centroids(
+    centroids: &mut [DenseVector],
+    sums: &[DenseVector],
+    counts: &[usize],
+) -> f64 {
+    let mut movement = 0.0;
+    for ((c, s), n) in centroids.iter_mut().zip(sums).zip(counts) {
+        if *n == 0 {
+            continue; // empty cluster keeps its centroid
+        }
+        let mut new = s.clone();
+        new.scale(1.0 / *n as f64);
+        movement += c.squared_distance(&new).sqrt();
+        *c = new;
+    }
+    movement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_data::blobs;
+    use athena_compute::ComputeCluster;
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = blobs(100, 3, 1);
+        let model = KMeansModel::fit(
+            KMeansParams {
+                k: 2,
+                ..KMeansParams::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let a = model.cluster_of(&[0.0, 0.0, 0.0]);
+        let b = model.cluster_of(&[4.0, 4.0, 4.0]);
+        assert_ne!(a, b);
+        // Every benign point lands in the benign cluster.
+        for p in &data {
+            let expect = if p.is_malicious() { b } else { a };
+            assert_eq!(model.cluster_of(&p.features), expect);
+        }
+    }
+
+    #[test]
+    fn more_clusters_never_increase_cost() {
+        let data = blobs(80, 2, 7);
+        let mut last = f64::INFINITY;
+        for k in [1, 2, 4, 8] {
+            let model = KMeansModel::fit(
+                KMeansParams {
+                    k,
+                    runs: 3,
+                    ..KMeansParams::default()
+                },
+                &data,
+            )
+            .unwrap();
+            let cost = model.compute_cost(&data);
+            assert!(cost <= last + 1e-6, "k={k}: {cost} > {last}");
+            last = cost;
+        }
+    }
+
+    #[test]
+    fn distributed_matches_serial_shape() {
+        let data = blobs(150, 2, 3);
+        let cluster = ComputeCluster::new(4);
+        let ds = cluster.parallelize(data.clone(), 8);
+        let params = KMeansParams {
+            k: 2,
+            max_iterations: 30,
+            ..KMeansParams::default()
+        };
+        let dist = KMeansModel::fit_distributed(params, &ds).unwrap();
+        assert_eq!(dist.k(), 2);
+        // Same separation property as the serial fit.
+        assert_ne!(
+            dist.cluster_of(&[0.0, 0.0]),
+            dist.cluster_of(&[4.0, 4.0])
+        );
+        // Distributed training ran jobs on the cluster.
+        assert!(cluster.job_count() > 0);
+    }
+
+    #[test]
+    fn k_larger_than_points_is_padded() {
+        let data = blobs(2, 2, 5);
+        let model = KMeansModel::fit(
+            KMeansParams {
+                k: 16,
+                ..KMeansParams::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert_eq!(model.k(), 16);
+        assert!(model.cluster_of(&[0.0, 0.0]) < 16);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(KMeansModel::fit(KMeansParams::default(), &[]).is_err());
+        let data = blobs(5, 2, 0);
+        assert!(KMeansModel::fit(
+            KMeansParams {
+                k: 0,
+                ..KMeansParams::default()
+            },
+            &data
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let data = blobs(50, 2, 9);
+        let params = KMeansParams {
+            k: 3,
+            ..KMeansParams::default()
+        };
+        let a = KMeansModel::fit(params, &data).unwrap();
+        let b = KMeansModel::fit(params, &data).unwrap();
+        assert_eq!(a.centroids, b.centroids);
+    }
+}

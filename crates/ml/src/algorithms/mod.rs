@@ -1,0 +1,48 @@
+//! The eleven Athena algorithms plus threshold detection.
+//!
+//! Every module exposes a model type with a `fit` constructor and a
+//! `predict` method; [`crate::model::Algorithm`] provides the uniform
+//! configuration-based entry point the paper's Detector Manager exports.
+
+pub mod forest;
+pub mod gbt;
+pub mod gmm;
+pub mod kmeans;
+pub mod linear;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod svm;
+pub mod threshold;
+pub mod tree;
+
+#[cfg(test)]
+pub(crate) mod test_data {
+    use crate::data::LabeledPoint;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Two Gaussian-ish blobs: benign near the origin, malicious near
+    /// (4, 4, ...). Interleaved so partition-based algorithms see both.
+    pub fn blobs(n_per_class: usize, dim: usize, seed: u64) -> Vec<LabeledPoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n_per_class * 2);
+        for _ in 0..n_per_class {
+            let benign: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+            out.push(LabeledPoint::new(benign, 0.0));
+            let malicious: Vec<f64> =
+                (0..dim).map(|_| 4.0 + rng.random_range(-1.0..1.0)).collect();
+            out.push(LabeledPoint::new(malicious, 1.0));
+        }
+        out
+    }
+
+    /// Fraction of points the score function classifies correctly, where
+    /// `score >= 0.5` means malicious.
+    pub fn accuracy(data: &[LabeledPoint], mut score: impl FnMut(&[f64]) -> f64) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|p| (score(&p.features) >= 0.5) == p.is_malicious())
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}

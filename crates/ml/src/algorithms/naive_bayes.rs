@@ -1,0 +1,132 @@
+//! Gaussian Naive Bayes binary classification.
+
+use crate::data::LabeledPoint;
+use athena_types::{AthenaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Per-class Gaussian statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClassStats {
+    log_prior: f64,
+    mean: Vec<f64>,
+    variance: Vec<f64>,
+}
+
+impl ClassStats {
+    fn log_likelihood(&self, x: &[f64]) -> f64 {
+        let mut acc = self.log_prior;
+        for ((xi, mi), vi) in x.iter().zip(&self.mean).zip(&self.variance) {
+            let v = vi.max(1e-9);
+            acc += -0.5 * ((xi - mi) * (xi - mi) / v + v.ln());
+        }
+        acc
+    }
+}
+
+/// A fitted Gaussian Naive Bayes classifier over binary labels.
+///
+/// # Examples
+///
+/// ```
+/// use athena_ml::{LabeledPoint, NaiveBayesModel};
+/// let data = vec![
+///     LabeledPoint::new(vec![0.0], 0.0),
+///     LabeledPoint::new(vec![0.1], 0.0),
+///     LabeledPoint::new(vec![5.0], 1.0),
+///     LabeledPoint::new(vec![5.1], 1.0),
+/// ];
+/// let m = NaiveBayesModel::fit(&data)?;
+/// assert!(m.predict_proba(&[5.0]) > 0.5);
+/// assert!(m.predict_proba(&[0.0]) < 0.5);
+/// # Ok::<(), athena_types::AthenaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaiveBayesModel {
+    benign: ClassStats,
+    malicious: ClassStats,
+}
+
+impl NaiveBayesModel {
+    /// Fits class-conditional Gaussians plus priors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] for empty/ragged data or data with only
+    /// one class.
+    pub fn fit(data: &[LabeledPoint]) -> Result<Self> {
+        let dim = crate::data::check_dims(data)?;
+        let (pos, neg): (Vec<&LabeledPoint>, Vec<&LabeledPoint>) =
+            data.iter().partition(|p| p.is_malicious());
+        if pos.is_empty() || neg.is_empty() {
+            return Err(AthenaError::Ml(
+                "naive bayes requires both classes in training data".into(),
+            ));
+        }
+        let n = data.len() as f64;
+        let stats = |class: &[&LabeledPoint]| -> ClassStats {
+            let cn = class.len() as f64;
+            let mut mean = vec![0.0; dim];
+            for p in class {
+                for (m, x) in mean.iter_mut().zip(&p.features) {
+                    *m += x / cn;
+                }
+            }
+            let mut variance = vec![0.0; dim];
+            for p in class {
+                for ((v, x), m) in variance.iter_mut().zip(&p.features).zip(&mean) {
+                    *v += (x - m) * (x - m) / cn;
+                }
+            }
+            ClassStats {
+                log_prior: (cn / n).ln(),
+                mean,
+                variance,
+            }
+        };
+        Ok(NaiveBayesModel {
+            benign: stats(&neg),
+            malicious: stats(&pos),
+        })
+    }
+
+    /// Posterior probability that `x` is malicious.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let lp = self.malicious.log_likelihood(x);
+        let ln = self.benign.log_likelihood(x);
+        let max = lp.max(ln);
+        let ep = (lp - max).exp();
+        let en = (ln - max).exp();
+        ep / (ep + en)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::test_data::{accuracy, blobs};
+
+    #[test]
+    fn high_accuracy_on_separable_blobs() {
+        let data = blobs(150, 4, 17);
+        let m = NaiveBayesModel::fit(&data).unwrap();
+        assert!(accuracy(&data, |x| m.predict_proba(x)) > 0.98);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let data = blobs(50, 2, 3);
+        let m = NaiveBayesModel::fit(&data).unwrap();
+        for p in &data {
+            let prob = m.predict_proba(&p.features);
+            assert!((0.0..=1.0).contains(&prob));
+        }
+    }
+
+    #[test]
+    fn requires_both_classes() {
+        let one_class: Vec<LabeledPoint> =
+            (0..10).map(|i| LabeledPoint::new(vec![f64::from(i)], 0.0)).collect();
+        assert!(NaiveBayesModel::fit(&one_class).is_err());
+        assert!(NaiveBayesModel::fit(&[]).is_err());
+    }
+}

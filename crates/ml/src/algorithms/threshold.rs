@@ -1,0 +1,91 @@
+//! Threshold detection — the paper's "Simple" category.
+//!
+//! A threshold detector needs no learning phase: the paper notes Athena
+//! "exports a pre-defined model without a learning phase when using other
+//! algorithms (e.g., threshold-based detection)".
+
+use serde::{Deserialize, Serialize};
+
+/// The comparison direction of a threshold rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ThresholdDirection {
+    /// Anomalous when the feature is at or above the threshold.
+    #[default]
+    Above,
+    /// Anomalous when the feature is at or below the threshold.
+    Below,
+}
+
+/// A threshold rule on a single feature.
+///
+/// # Examples
+///
+/// ```
+/// use athena_ml::ThresholdModel;
+/// let m = ThresholdModel::above(0, 100.0);
+/// assert_eq!(m.score(&[150.0]), 1.0);
+/// assert_eq!(m.score(&[50.0]), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdModel {
+    /// The feature index tested.
+    pub feature: usize,
+    /// The threshold.
+    pub threshold: f64,
+    /// The comparison direction.
+    pub direction: ThresholdDirection,
+}
+
+impl ThresholdModel {
+    /// Anomalous when `features[feature] >= threshold`.
+    pub fn above(feature: usize, threshold: f64) -> Self {
+        ThresholdModel {
+            feature,
+            threshold,
+            direction: ThresholdDirection::Above,
+        }
+    }
+
+    /// Anomalous when `features[feature] <= threshold`.
+    pub fn below(feature: usize, threshold: f64) -> Self {
+        ThresholdModel {
+            feature,
+            threshold,
+            direction: ThresholdDirection::Below,
+        }
+    }
+
+    /// Returns `1.0` when the rule fires, `0.0` otherwise. Missing
+    /// features never fire.
+    pub fn score(&self, x: &[f64]) -> f64 {
+        let Some(v) = x.get(self.feature) else {
+            return 0.0;
+        };
+        let fired = match self.direction {
+            ThresholdDirection::Above => *v >= self.threshold,
+            ThresholdDirection::Below => *v <= self.threshold,
+        };
+        f64::from(u8::from(fired))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn above_and_below() {
+        let m = ThresholdModel::above(1, 10.0);
+        assert_eq!(m.score(&[0.0, 10.0]), 1.0);
+        assert_eq!(m.score(&[0.0, 9.9]), 0.0);
+        let m = ThresholdModel::below(0, -5.0);
+        assert_eq!(m.score(&[-5.0]), 1.0);
+        assert_eq!(m.score(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn missing_feature_never_fires() {
+        let m = ThresholdModel::above(3, 0.0);
+        assert_eq!(m.score(&[1.0]), 0.0);
+    }
+}

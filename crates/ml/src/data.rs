@@ -1,0 +1,107 @@
+//! Training data: labeled feature vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// A feature vector with a label.
+///
+/// For anomaly-detection tasks the label convention is `0.0` = benign and
+/// `1.0` = malicious (the paper's *Marking* preprocessor annotates
+/// malicious entries); regression tasks use arbitrary real labels, and
+/// clustering ignores the label during fitting but uses it afterwards to
+/// name clusters.
+///
+/// # Examples
+///
+/// ```
+/// use athena_ml::LabeledPoint;
+/// let p = LabeledPoint::new(vec![1.0, 2.0], 1.0);
+/// assert!(p.is_malicious());
+/// assert_eq!(p.dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LabeledPoint {
+    /// The feature vector.
+    pub features: Vec<f64>,
+    /// The label.
+    pub label: f64,
+}
+
+impl LabeledPoint {
+    /// Creates a labeled point.
+    pub fn new(features: Vec<f64>, label: f64) -> Self {
+        LabeledPoint { features, label }
+    }
+
+    /// Creates an unlabeled point (label `0.0`).
+    pub fn unlabeled(features: Vec<f64>) -> Self {
+        LabeledPoint {
+            features,
+            label: 0.0,
+        }
+    }
+
+    /// The feature dimension.
+    pub fn dim(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if the label marks the point as malicious (`label >= 0.5`).
+    pub fn is_malicious(&self) -> bool {
+        self.label >= 0.5
+    }
+}
+
+/// Checks that every point has the same dimension; returns it.
+///
+/// # Errors
+///
+/// Returns [`athena_types::AthenaError::Ml`] if the set is empty or ragged.
+pub fn check_dims(data: &[LabeledPoint]) -> athena_types::Result<usize> {
+    let first = data
+        .first()
+        .ok_or_else(|| athena_types::AthenaError::Ml("empty training set".into()))?;
+    let dim = first.dim();
+    if dim == 0 {
+        return Err(athena_types::AthenaError::Ml(
+            "zero-dimensional features".into(),
+        ));
+    }
+    for (i, p) in data.iter().enumerate() {
+        if p.dim() != dim {
+            return Err(athena_types::AthenaError::Ml(format!(
+                "ragged features: point {i} has dim {} but expected {dim}",
+                p.dim()
+            )));
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_dims() {
+        assert!(LabeledPoint::new(vec![1.0], 1.0).is_malicious());
+        assert!(!LabeledPoint::new(vec![1.0], 0.0).is_malicious());
+        assert!(!LabeledPoint::unlabeled(vec![1.0, 2.0]).is_malicious());
+    }
+
+    #[test]
+    fn check_dims_accepts_uniform() {
+        let data = vec![LabeledPoint::unlabeled(vec![1.0, 2.0]); 5];
+        assert_eq!(check_dims(&data).unwrap(), 2);
+    }
+
+    #[test]
+    fn check_dims_rejects_empty_and_ragged() {
+        assert!(check_dims(&[]).is_err());
+        assert!(check_dims(&[LabeledPoint::unlabeled(vec![])]).is_err());
+        let ragged = vec![
+            LabeledPoint::unlabeled(vec![1.0]),
+            LabeledPoint::unlabeled(vec![1.0, 2.0]),
+        ];
+        assert!(check_dims(&ragged).is_err());
+    }
+}

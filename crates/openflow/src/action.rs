@@ -1,0 +1,118 @@
+//! OpenFlow actions.
+
+use athena_types::{Ipv4Addr, MacAddr, PortNo};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A forwarding action applied to matched packets.
+///
+/// An empty action list means *drop*, per the OpenFlow specification;
+/// [`Action::is_drop`] exists for readability at call sites.
+///
+/// # Examples
+///
+/// ```
+/// use athena_openflow::Action;
+/// use athena_types::PortNo;
+///
+/// let actions = vec![Action::Output(PortNo::new(2))];
+/// assert!(actions.iter().any(|a| a.output_port() == Some(PortNo::new(2))));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Action {
+    /// Forward out of the given port (possibly a reserved port such as
+    /// [`PortNo::CONTROLLER`] or [`PortNo::FLOOD`]).
+    Output(PortNo),
+    /// Rewrite the source MAC address.
+    SetEthSrc(MacAddr),
+    /// Rewrite the destination MAC address.
+    SetEthDst(MacAddr),
+    /// Rewrite the source IPv4 address.
+    SetIpSrc(Ipv4Addr),
+    /// Rewrite the destination IPv4 address.
+    SetIpDst(Ipv4Addr),
+    /// Rewrite the transport source port.
+    SetTpSrc(u16),
+    /// Rewrite the transport destination port.
+    SetTpDst(u16),
+    /// Enqueue on the given port queue (rate limiting).
+    Enqueue {
+        /// Egress port.
+        port: PortNo,
+        /// Queue id on that port.
+        queue_id: u32,
+    },
+}
+
+impl Action {
+    /// Returns the egress port if this is an output-like action.
+    pub fn output_port(self) -> Option<PortNo> {
+        match self {
+            Action::Output(p) | Action::Enqueue { port: p, .. } => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if an action *list* represents a drop (no outputs).
+    pub fn is_drop(actions: &[Action]) -> bool {
+        actions.iter().all(|a| a.output_port().is_none())
+    }
+
+    /// Returns the first egress port of an action list, if any.
+    pub fn first_output(actions: &[Action]) -> Option<PortNo> {
+        actions.iter().find_map(|a| a.output_port())
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::SetEthSrc(m) => write!(f, "set_eth_src:{m}"),
+            Action::SetEthDst(m) => write!(f, "set_eth_dst:{m}"),
+            Action::SetIpSrc(ip) => write!(f, "set_ip_src:{ip}"),
+            Action::SetIpDst(ip) => write!(f, "set_ip_dst:{ip}"),
+            Action::SetTpSrc(p) => write!(f, "set_tp_src:{p}"),
+            Action::SetTpDst(p) => write!(f, "set_tp_dst:{p}"),
+            Action::Enqueue { port, queue_id } => write!(f, "enqueue:{port}:{queue_id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_action_list_is_drop() {
+        assert!(Action::is_drop(&[]));
+        assert!(Action::is_drop(&[Action::SetTpDst(80)]));
+        assert!(!Action::is_drop(&[Action::Output(PortNo::new(1))]));
+    }
+
+    #[test]
+    fn first_output_finds_port() {
+        let actions = [
+            Action::SetEthDst(MacAddr::BROADCAST),
+            Action::Output(PortNo::new(7)),
+            Action::Output(PortNo::new(8)),
+        ];
+        assert_eq!(Action::first_output(&actions), Some(PortNo::new(7)));
+    }
+
+    #[test]
+    fn enqueue_counts_as_output() {
+        let a = Action::Enqueue {
+            port: PortNo::new(4),
+            queue_id: 1,
+        };
+        assert_eq!(a.output_port(), Some(PortNo::new(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Action::Output(PortNo::FLOOD).to_string(), "output:FLOOD");
+        assert_eq!(Action::SetTpDst(8080).to_string(), "set_tp_dst:8080");
+    }
+}

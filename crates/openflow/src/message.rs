@@ -1,0 +1,483 @@
+//! The OpenFlow control-message model.
+//!
+//! [`OfMessage`] is the envelope every control-channel exchange uses: the
+//! data plane sends `PacketIn`, `FlowRemoved`, `PortStatus`, and statistics
+//! replies upward; the controller sends `FlowMod`, `PacketOut`, and
+//! statistics requests downward. Athena's southbound interface taps exactly
+//! this stream.
+
+use crate::action::Action;
+use crate::match_fields::MatchFields;
+use crate::packet::PacketHeader;
+use crate::stats::StatsReply;
+use athena_types::{AppId, PortNo, SimDuration, Xid};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why a packet was sent to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketInReason {
+    /// No flow entry matched the packet.
+    NoMatch,
+    /// An explicit `Output:CONTROLLER` action fired.
+    Action,
+}
+
+/// A packet-in event: the switch forwards a packet to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketIn {
+    /// Switch-assigned buffer for the queued packet, if buffered.
+    pub buffer_id: Option<u32>,
+    /// Why the packet was punted.
+    pub reason: PacketInReason,
+    /// Parsed header of the punted packet.
+    pub header: PacketHeader,
+}
+
+/// A packet-out: the controller injects a packet into the data plane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketOut {
+    /// Buffer to release, if the packet was buffered at the switch.
+    pub buffer_id: Option<u32>,
+    /// Header of the injected packet.
+    pub header: PacketHeader,
+    /// Actions to apply (typically a single `Output`).
+    pub actions: Vec<Action>,
+}
+
+/// The flow-mod command verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowModCommand {
+    /// Insert a new entry (replacing an identical match+priority entry).
+    Add,
+    /// Modify the actions of all matching entries.
+    Modify,
+    /// Delete all entries whose match is a subset of this one.
+    Delete,
+    /// Delete the entry with exactly this match and priority.
+    DeleteStrict,
+}
+
+/// A flow-table modification message.
+///
+/// The `cookie` encodes the installing application in its upper 16 bits
+/// (ONOS-style), which is how Athena attributes flows to applications for
+/// the NAE use case. Use [`FlowMod::cookie_for_app`] / [`FlowMod::app_id`].
+///
+/// # Examples
+///
+/// ```
+/// use athena_openflow::{Action, FlowMod, MatchFields};
+/// use athena_types::{AppId, PortNo};
+///
+/// let fm = FlowMod::add(MatchFields::new(), 10, vec![Action::Output(PortNo::new(1))])
+///     .with_app(AppId::new(3))
+///     .with_idle_timeout(athena_types::SimDuration::from_secs(10));
+/// assert_eq!(fm.app_id(), AppId::new(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowMod {
+    /// What to do.
+    pub command: FlowModCommand,
+    /// The match.
+    pub match_fields: MatchFields,
+    /// Priority (higher wins).
+    pub priority: u16,
+    /// Remove the entry after this long without traffic (zero = never).
+    pub idle_timeout: SimDuration,
+    /// Remove the entry this long after installation (zero = never).
+    pub hard_timeout: SimDuration,
+    /// Opaque cookie; upper 16 bits carry the installing [`AppId`].
+    pub cookie: u64,
+    /// Action list (empty = drop).
+    pub actions: Vec<Action>,
+    /// Request a [`FlowRemoved`] notification on expiry.
+    pub send_flow_removed: bool,
+}
+
+impl FlowMod {
+    /// Creates an `Add` flow-mod with no timeouts.
+    pub fn add(match_fields: MatchFields, priority: u16, actions: Vec<Action>) -> Self {
+        FlowMod {
+            command: FlowModCommand::Add,
+            match_fields,
+            priority,
+            idle_timeout: SimDuration::ZERO,
+            hard_timeout: SimDuration::ZERO,
+            cookie: 0,
+            actions,
+            send_flow_removed: true,
+        }
+    }
+
+    /// Creates a non-strict `Delete` for all entries under `match_fields`.
+    pub fn delete(match_fields: MatchFields) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            match_fields,
+            priority: 0,
+            idle_timeout: SimDuration::ZERO,
+            hard_timeout: SimDuration::ZERO,
+            cookie: 0,
+            actions: Vec::new(),
+            send_flow_removed: true,
+        }
+    }
+
+    /// Encodes an application id into a cookie value.
+    pub fn cookie_for_app(app: AppId, seq: u64) -> u64 {
+        (u64::from(app.raw()) << 48) | (seq & 0x0000_ffff_ffff_ffff)
+    }
+
+    /// Tags this flow-mod with the installing application.
+    pub fn with_app(mut self, app: AppId) -> Self {
+        self.cookie = Self::cookie_for_app(app, self.cookie & 0x0000_ffff_ffff_ffff);
+        self
+    }
+
+    /// Returns the installing application encoded in the cookie.
+    pub fn app_id(&self) -> AppId {
+        AppId::new((self.cookie >> 48) as u32)
+    }
+
+    /// Sets the idle timeout.
+    pub fn with_idle_timeout(mut self, t: SimDuration) -> Self {
+        self.idle_timeout = t;
+        self
+    }
+
+    /// Sets the hard timeout.
+    pub fn with_hard_timeout(mut self, t: SimDuration) -> Self {
+        self.hard_timeout = t;
+        self
+    }
+}
+
+/// Why a flow entry was removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowRemovedReason {
+    /// The idle timeout elapsed with no matching traffic.
+    IdleTimeout,
+    /// The hard timeout elapsed.
+    HardTimeout,
+    /// A delete flow-mod removed the entry.
+    Delete,
+}
+
+/// Notification that a flow entry was removed, with its final counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRemoved {
+    /// The removed entry's match.
+    pub match_fields: MatchFields,
+    /// The removed entry's cookie.
+    pub cookie: u64,
+    /// The removed entry's priority.
+    pub priority: u16,
+    /// Why it was removed.
+    pub reason: FlowRemovedReason,
+    /// How long the entry lived.
+    pub duration: SimDuration,
+    /// Packets matched over the entry's lifetime.
+    pub packet_count: u64,
+    /// Bytes matched over the entry's lifetime.
+    pub byte_count: u64,
+}
+
+/// Why a port-status notification was sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortStatusReason {
+    /// The port was added.
+    Add,
+    /// The port was removed.
+    Delete,
+    /// The port's state changed (e.g. link down).
+    Modify,
+}
+
+/// A port-status notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortStatus {
+    /// What happened.
+    pub reason: PortStatusReason,
+    /// The affected port.
+    pub port_no: PortNo,
+    /// Whether the link on the port is up.
+    pub link_up: bool,
+}
+
+/// A statistics request body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsRequest {
+    /// Per-flow statistics for entries matching the filter.
+    Flow {
+        /// Only entries whose match is a subset of this filter are reported.
+        filter: MatchFields,
+    },
+    /// Aggregate statistics over entries matching the filter.
+    Aggregate {
+        /// Only entries whose match is a subset of this filter are counted.
+        filter: MatchFields,
+    },
+    /// Per-port counters ([`PortNo::ANY`] = all ports).
+    Port {
+        /// The port to report, or [`PortNo::ANY`].
+        port_no: PortNo,
+    },
+    /// Per-table statistics.
+    Table,
+}
+
+/// The switch-features handshake reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeaturesReply {
+    /// The switch's datapath id.
+    pub dpid: athena_types::Dpid,
+    /// Number of flow tables.
+    pub n_tables: u8,
+    /// The switch's physical ports.
+    pub ports: Vec<PortNo>,
+}
+
+/// Payload carried by echo request/reply messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EchoData(pub Vec<u8>);
+
+/// An OpenFlow control message: the envelope (transaction id) plus payload.
+///
+/// # Examples
+///
+/// ```
+/// use athena_openflow::{OfMessage, PacketIn, PacketInReason, PacketHeader};
+/// use athena_types::{Ipv4Addr, PortNo, Xid};
+///
+/// let msg = OfMessage::packet_in(
+///     Xid::new(1),
+///     PacketHeader::tcp_syn(PortNo::new(1), Ipv4Addr::new(1,1,1,1), 1, Ipv4Addr::new(2,2,2,2), 2),
+/// );
+/// assert!(matches!(msg, OfMessage::PacketIn { .. }));
+/// assert_eq!(msg.xid(), Xid::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OfMessage {
+    /// Version negotiation.
+    Hello {
+        /// Transaction id.
+        xid: Xid,
+        /// The sender's highest supported wire version.
+        version: u8,
+    },
+    /// Liveness probe.
+    EchoRequest {
+        /// Transaction id.
+        xid: Xid,
+        /// Opaque payload echoed back.
+        data: EchoData,
+    },
+    /// Liveness probe response.
+    EchoReply {
+        /// Transaction id.
+        xid: Xid,
+        /// The request's payload.
+        data: EchoData,
+    },
+    /// Ask the switch for its features.
+    FeaturesRequest {
+        /// Transaction id.
+        xid: Xid,
+    },
+    /// The switch's feature description.
+    FeaturesReply {
+        /// Transaction id.
+        xid: Xid,
+        /// Feature body.
+        body: FeaturesReply,
+    },
+    /// A punted packet.
+    PacketIn {
+        /// Transaction id.
+        xid: Xid,
+        /// Packet-in body.
+        body: PacketIn,
+    },
+    /// An injected packet.
+    PacketOut {
+        /// Transaction id.
+        xid: Xid,
+        /// Packet-out body.
+        body: PacketOut,
+    },
+    /// A flow-table modification.
+    FlowMod {
+        /// Transaction id.
+        xid: Xid,
+        /// Flow-mod body.
+        body: FlowMod,
+    },
+    /// A flow-entry removal notification.
+    FlowRemoved {
+        /// Transaction id.
+        xid: Xid,
+        /// Flow-removed body.
+        body: FlowRemoved,
+    },
+    /// A port state change.
+    PortStatus {
+        /// Transaction id.
+        xid: Xid,
+        /// Port-status body.
+        body: PortStatus,
+    },
+    /// A statistics request.
+    StatsRequest {
+        /// Transaction id (Athena marks its own requests; see
+        /// [`Xid::is_athena_marked`]).
+        xid: Xid,
+        /// Request body.
+        body: StatsRequest,
+    },
+    /// A statistics reply.
+    StatsReply {
+        /// Transaction id, echoing the request.
+        xid: Xid,
+        /// Reply body.
+        body: StatsReply,
+    },
+    /// Barrier request (ordering fence).
+    BarrierRequest {
+        /// Transaction id.
+        xid: Xid,
+    },
+    /// Barrier reply.
+    BarrierReply {
+        /// Transaction id.
+        xid: Xid,
+    },
+}
+
+impl OfMessage {
+    /// Convenience constructor for a no-match packet-in.
+    pub fn packet_in(xid: Xid, header: PacketHeader) -> Self {
+        OfMessage::PacketIn {
+            xid,
+            body: PacketIn {
+                buffer_id: None,
+                reason: PacketInReason::NoMatch,
+                header,
+            },
+        }
+    }
+
+    /// Returns the message's transaction id.
+    pub fn xid(&self) -> Xid {
+        match self {
+            OfMessage::Hello { xid, .. }
+            | OfMessage::EchoRequest { xid, .. }
+            | OfMessage::EchoReply { xid, .. }
+            | OfMessage::FeaturesRequest { xid }
+            | OfMessage::FeaturesReply { xid, .. }
+            | OfMessage::PacketIn { xid, .. }
+            | OfMessage::PacketOut { xid, .. }
+            | OfMessage::FlowMod { xid, .. }
+            | OfMessage::FlowRemoved { xid, .. }
+            | OfMessage::PortStatus { xid, .. }
+            | OfMessage::StatsRequest { xid, .. }
+            | OfMessage::StatsReply { xid, .. }
+            | OfMessage::BarrierRequest { xid }
+            | OfMessage::BarrierReply { xid } => *xid,
+        }
+    }
+
+    /// Returns a short name for the message type (used in logs and feature
+    /// metadata).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            OfMessage::Hello { .. } => "HELLO",
+            OfMessage::EchoRequest { .. } => "ECHO_REQUEST",
+            OfMessage::EchoReply { .. } => "ECHO_REPLY",
+            OfMessage::FeaturesRequest { .. } => "FEATURES_REQUEST",
+            OfMessage::FeaturesReply { .. } => "FEATURES_REPLY",
+            OfMessage::PacketIn { .. } => "PACKET_IN",
+            OfMessage::PacketOut { .. } => "PACKET_OUT",
+            OfMessage::FlowMod { .. } => "FLOW_MOD",
+            OfMessage::FlowRemoved { .. } => "FLOW_REMOVED",
+            OfMessage::PortStatus { .. } => "PORT_STATUS",
+            OfMessage::StatsRequest { .. } => "STATS_REQUEST",
+            OfMessage::StatsReply { .. } => "STATS_REPLY",
+            OfMessage::BarrierRequest { .. } => "BARRIER_REQUEST",
+            OfMessage::BarrierReply { .. } => "BARRIER_REPLY",
+        }
+    }
+}
+
+impl fmt::Display for OfMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.type_name(), self.xid())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::Ipv4Addr;
+
+    #[test]
+    fn cookie_encodes_app_id() {
+        let fm = FlowMod::add(MatchFields::new(), 1, vec![]).with_app(AppId::new(7));
+        assert_eq!(fm.app_id(), AppId::new(7));
+        // Sequence bits are preserved.
+        let cookie = FlowMod::cookie_for_app(AppId::new(7), 12345);
+        assert_eq!(cookie & 0x0000_ffff_ffff_ffff, 12345);
+        assert_eq!(cookie >> 48, 7);
+    }
+
+    #[test]
+    fn flow_mod_builders() {
+        let fm = FlowMod::add(MatchFields::new(), 5, vec![Action::Output(PortNo::new(1))])
+            .with_idle_timeout(SimDuration::from_secs(10))
+            .with_hard_timeout(SimDuration::from_secs(60));
+        assert_eq!(fm.command, FlowModCommand::Add);
+        assert_eq!(fm.idle_timeout, SimDuration::from_secs(10));
+        assert_eq!(fm.hard_timeout, SimDuration::from_secs(60));
+        let del = FlowMod::delete(MatchFields::new());
+        assert_eq!(del.command, FlowModCommand::Delete);
+    }
+
+    #[test]
+    fn xid_is_uniform_across_variants() {
+        let xid = Xid::new(99);
+        let msgs = [
+            OfMessage::Hello { xid, version: 4 },
+            OfMessage::FeaturesRequest { xid },
+            OfMessage::BarrierRequest { xid },
+            OfMessage::packet_in(
+                xid,
+                PacketHeader::tcp_syn(
+                    PortNo::new(1),
+                    Ipv4Addr::new(1, 1, 1, 1),
+                    1,
+                    Ipv4Addr::new(2, 2, 2, 2),
+                    2,
+                ),
+            ),
+        ];
+        for m in &msgs {
+            assert_eq!(m.xid(), xid, "{m}");
+        }
+    }
+
+    #[test]
+    fn type_names_are_distinct() {
+        use std::collections::HashSet;
+        let xid = Xid::new(0);
+        let names: HashSet<&str> = [
+            OfMessage::Hello { xid, version: 1 }.type_name(),
+            OfMessage::FeaturesRequest { xid }.type_name(),
+            OfMessage::BarrierRequest { xid }.type_name(),
+            OfMessage::BarrierReply { xid }.type_name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 4);
+    }
+}

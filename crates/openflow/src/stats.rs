@@ -1,0 +1,192 @@
+//! OpenFlow statistics bodies.
+//!
+//! Athena's protocol-centric features are derived directly from these
+//! structures: packet/byte counts and durations from [`FlowStatsEntry`],
+//! port counters from [`PortStatsEntry`], and table occupancy from
+//! [`TableStatsEntry`].
+
+use crate::action::Action;
+use crate::match_fields::MatchFields;
+use athena_types::{PortNo, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow statistics, one entry per reported flow-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowStatsEntry {
+    /// The table holding the entry.
+    pub table_id: u8,
+    /// The entry's match.
+    pub match_fields: MatchFields,
+    /// The entry's priority.
+    pub priority: u16,
+    /// How long the entry has been installed.
+    pub duration: SimDuration,
+    /// The entry's idle timeout.
+    pub idle_timeout: SimDuration,
+    /// The entry's hard timeout.
+    pub hard_timeout: SimDuration,
+    /// The entry's cookie (upper 16 bits = installing app).
+    pub cookie: u64,
+    /// Packets matched so far.
+    pub packet_count: u64,
+    /// Bytes matched so far.
+    pub byte_count: u64,
+    /// The entry's actions.
+    pub actions: Vec<Action>,
+}
+
+impl FlowStatsEntry {
+    /// Duration in whole seconds (the OpenFlow `duration_sec` field).
+    pub fn duration_sec(&self) -> u64 {
+        self.duration.as_secs()
+    }
+
+    /// Sub-second remainder in nanoseconds (the `duration_nsec` field).
+    pub fn duration_nsec(&self) -> u64 {
+        (self.duration.as_micros() % 1_000_000) * 1_000
+    }
+}
+
+/// Per-port counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PortStatsEntry {
+    /// The port.
+    pub port_no: PortNo,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Inbound packets dropped (e.g. by a saturated link).
+    pub rx_dropped: u64,
+    /// Outbound packets dropped.
+    pub tx_dropped: u64,
+    /// Receive errors.
+    pub rx_errors: u64,
+    /// Transmit errors.
+    pub tx_errors: u64,
+}
+
+/// Per-table statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TableStatsEntry {
+    /// The table id.
+    pub table_id: u8,
+    /// Number of live entries.
+    pub active_count: u32,
+    /// Packets looked up in the table.
+    pub lookup_count: u64,
+    /// Packets that hit an entry.
+    pub matched_count: u64,
+}
+
+impl TableStatsEntry {
+    /// The table-miss ratio in `[0, 1]` (zero when no lookups occurred).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.lookup_count == 0 {
+            0.0
+        } else {
+            1.0 - self.matched_count as f64 / self.lookup_count as f64
+        }
+    }
+}
+
+/// Aggregate statistics over a set of flow entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct AggregateStats {
+    /// Total matched packets.
+    pub packet_count: u64,
+    /// Total matched bytes.
+    pub byte_count: u64,
+    /// Number of entries aggregated.
+    pub flow_count: u32,
+}
+
+/// A statistics reply body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StatsReply {
+    /// Per-flow statistics.
+    Flow(Vec<FlowStatsEntry>),
+    /// Aggregate statistics.
+    Aggregate(AggregateStats),
+    /// Per-port statistics.
+    Port(Vec<PortStatsEntry>),
+    /// Per-table statistics.
+    Table(Vec<TableStatsEntry>),
+}
+
+impl StatsReply {
+    /// Returns a short name for the reply kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StatsReply::Flow(_) => "FLOW",
+            StatsReply::Aggregate(_) => "AGGREGATE",
+            StatsReply::Port(_) => "PORT",
+            StatsReply::Table(_) => "TABLE",
+        }
+    }
+
+    /// Number of entries in the reply body.
+    pub fn len(&self) -> usize {
+        match self {
+            StatsReply::Flow(v) => v.len(),
+            StatsReply::Aggregate(_) => 1,
+            StatsReply::Port(v) => v.len(),
+            StatsReply::Table(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the reply carries no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::SimDuration;
+
+    #[test]
+    fn duration_split_matches_openflow_fields() {
+        let e = FlowStatsEntry {
+            table_id: 0,
+            match_fields: MatchFields::new(),
+            priority: 1,
+            duration: SimDuration::from_micros(2_500_000),
+            idle_timeout: SimDuration::ZERO,
+            hard_timeout: SimDuration::ZERO,
+            cookie: 0,
+            packet_count: 10,
+            byte_count: 1000,
+            actions: vec![],
+        };
+        assert_eq!(e.duration_sec(), 2);
+        assert_eq!(e.duration_nsec(), 500_000_000);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let t = TableStatsEntry {
+            table_id: 0,
+            active_count: 5,
+            lookup_count: 100,
+            matched_count: 75,
+        };
+        assert!((t.miss_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(TableStatsEntry::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reply_kind_and_len() {
+        let r = StatsReply::Port(vec![PortStatsEntry::default(); 3]);
+        assert_eq!(r.kind(), "PORT");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert_eq!(StatsReply::Aggregate(AggregateStats::default()).len(), 1);
+        assert!(StatsReply::Flow(vec![]).is_empty());
+    }
+}

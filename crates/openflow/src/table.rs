@@ -1,0 +1,553 @@
+//! The switch flow table: priority-ordered matching, timeout expiry, and
+//! per-entry counters.
+
+use crate::action::Action;
+use crate::match_fields::MatchFields;
+use crate::message::{FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason};
+use crate::packet::PacketHeader;
+use crate::stats::{AggregateStats, FlowStatsEntry, TableStatsEntry};
+use athena_types::{AthenaError, Result, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A single flow-table entry with live counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowEntry {
+    /// The match.
+    pub match_fields: MatchFields,
+    /// The priority (higher wins).
+    pub priority: u16,
+    /// The action list (empty = drop).
+    pub actions: Vec<Action>,
+    /// The cookie from the installing flow-mod.
+    pub cookie: u64,
+    /// Idle timeout (zero = disabled).
+    pub idle_timeout: SimDuration,
+    /// Hard timeout (zero = disabled).
+    pub hard_timeout: SimDuration,
+    /// When the entry was installed.
+    pub installed_at: SimTime,
+    /// When the entry last matched a packet.
+    pub last_matched_at: SimTime,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+    /// Whether removal should emit a [`FlowRemoved`].
+    pub send_flow_removed: bool,
+    /// Monotone insertion sequence, used to break priority ties (later
+    /// installations shadow earlier equal-priority, equal-specificity ones).
+    seq: u64,
+}
+
+impl FlowEntry {
+    /// Returns the instant this entry expires, or [`SimTime::MAX`] if it
+    /// has no timeouts.
+    pub fn expires_at(&self) -> SimTime {
+        let hard = if self.hard_timeout.is_zero() {
+            SimTime::MAX
+        } else {
+            self.installed_at + self.hard_timeout
+        };
+        let idle = if self.idle_timeout.is_zero() {
+            SimTime::MAX
+        } else {
+            self.last_matched_at + self.idle_timeout
+        };
+        hard.min(idle)
+    }
+
+    /// Returns the expiry reason if the entry is expired at `now`.
+    pub fn expiry_reason(&self, now: SimTime) -> Option<FlowRemovedReason> {
+        if !self.hard_timeout.is_zero() && now >= self.installed_at + self.hard_timeout {
+            return Some(FlowRemovedReason::HardTimeout);
+        }
+        if !self.idle_timeout.is_zero() && now >= self.last_matched_at + self.idle_timeout {
+            return Some(FlowRemovedReason::IdleTimeout);
+        }
+        None
+    }
+
+    fn to_flow_removed(&self, now: SimTime, reason: FlowRemovedReason) -> FlowRemoved {
+        FlowRemoved {
+            match_fields: self.match_fields,
+            cookie: self.cookie,
+            priority: self.priority,
+            reason,
+            duration: now.saturating_since(self.installed_at),
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+        }
+    }
+
+    fn to_stats(&self, now: SimTime) -> FlowStatsEntry {
+        FlowStatsEntry {
+            table_id: 0,
+            match_fields: self.match_fields,
+            priority: self.priority,
+            duration: now.saturating_since(self.installed_at),
+            idle_timeout: self.idle_timeout,
+            hard_timeout: self.hard_timeout,
+            cookie: self.cookie,
+            packet_count: self.packet_count,
+            byte_count: self.byte_count,
+            actions: self.actions.clone(),
+        }
+    }
+}
+
+/// A priority-ordered OpenFlow flow table.
+///
+/// Lookup semantics follow the specification: the highest-priority matching
+/// entry wins; among equal priorities the more specific match wins, and
+/// among equal specificity the most recently installed wins. Matched
+/// entries update their packet/byte counters and idle-timeout clock.
+///
+/// # Examples
+///
+/// ```
+/// use athena_openflow::{Action, FlowMod, FlowTable, MatchFields};
+/// use athena_types::{IpProto, Ipv4Addr, PortNo, SimTime};
+///
+/// let mut table = FlowTable::new(0);
+/// table.apply(
+///     &FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(1))]),
+///     SimTime::ZERO,
+/// )?;
+/// assert_eq!(table.len(), 1);
+/// # Ok::<(), athena_types::AthenaError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowTable {
+    table_id: u8,
+    entries: Vec<FlowEntry>,
+    next_seq: u64,
+    lookup_count: u64,
+    matched_count: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table with the given id.
+    pub fn new(table_id: u8) -> Self {
+        FlowTable {
+            table_id,
+            ..FlowTable::default()
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the entries in match order (highest priority first).
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Applies a flow-mod. Returns any [`FlowRemoved`] notifications the
+    /// operation produced (for deletes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::InvalidState`] for a `Modify`/`DeleteStrict`
+    /// that names a non-existent entry — callers that want OpenFlow's
+    /// silent-ignore behaviour can discard the error.
+    pub fn apply(&mut self, fm: &FlowMod, now: SimTime) -> Result<Vec<FlowRemoved>> {
+        match fm.command {
+            FlowModCommand::Add => {
+                // Adding replaces an entry with identical match + priority.
+                self.entries
+                    .retain(|e| !(e.priority == fm.priority && e.match_fields == fm.match_fields));
+                let entry = FlowEntry {
+                    match_fields: fm.match_fields,
+                    priority: fm.priority,
+                    actions: fm.actions.clone(),
+                    cookie: fm.cookie,
+                    idle_timeout: fm.idle_timeout,
+                    hard_timeout: fm.hard_timeout,
+                    installed_at: now,
+                    last_matched_at: now,
+                    packet_count: 0,
+                    byte_count: 0,
+                    send_flow_removed: fm.send_flow_removed,
+                    seq: self.next_seq,
+                };
+                self.next_seq += 1;
+                // Insert keeping (priority desc, specificity desc, seq desc).
+                let key = |e: &FlowEntry| {
+                    (
+                        std::cmp::Reverse(e.priority),
+                        std::cmp::Reverse(e.match_fields.specificity()),
+                        std::cmp::Reverse(e.seq),
+                    )
+                };
+                let pos = self
+                    .entries
+                    .binary_search_by_key(&key(&entry), key)
+                    .unwrap_or_else(|p| p);
+                self.entries.insert(pos, entry);
+                Ok(Vec::new())
+            }
+            FlowModCommand::Modify => {
+                let mut touched = 0;
+                for e in &mut self.entries {
+                    if e.match_fields.is_subset_of(&fm.match_fields) {
+                        e.actions = fm.actions.clone();
+                        e.cookie = fm.cookie;
+                        touched += 1;
+                    }
+                }
+                if touched == 0 {
+                    Err(AthenaError::InvalidState(format!(
+                        "modify matched no entries in table {}",
+                        self.table_id
+                    )))
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            FlowModCommand::Delete => {
+                let mut removed = Vec::new();
+                self.entries.retain(|e| {
+                    if e.match_fields.is_subset_of(&fm.match_fields) {
+                        if e.send_flow_removed {
+                            removed.push(e.to_flow_removed(now, FlowRemovedReason::Delete));
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                Ok(removed)
+            }
+            FlowModCommand::DeleteStrict => {
+                let before = self.entries.len();
+                let mut removed = Vec::new();
+                self.entries.retain(|e| {
+                    if e.priority == fm.priority && e.match_fields == fm.match_fields {
+                        if e.send_flow_removed {
+                            removed.push(e.to_flow_removed(now, FlowRemovedReason::Delete));
+                        }
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if self.entries.len() == before {
+                    Err(AthenaError::InvalidState(format!(
+                        "strict delete matched no entry in table {}",
+                        self.table_id
+                    )))
+                } else {
+                    Ok(removed)
+                }
+            }
+        }
+    }
+
+    /// Looks up the packet, updating the winning entry's counters.
+    ///
+    /// Returns the matched entry (post-update), or `None` for a table miss.
+    /// `packets`/`bytes` are the amounts to credit (a flow-level simulator
+    /// may credit a burst at once).
+    pub fn lookup(
+        &mut self,
+        pkt: &PacketHeader,
+        now: SimTime,
+        packets: u64,
+        bytes: u64,
+    ) -> Option<&FlowEntry> {
+        self.lookup_count += 1;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.expiry_reason(now).is_none() && e.match_fields.matches(pkt))?;
+        self.matched_count += 1;
+        let e = &mut self.entries[idx];
+        e.packet_count += packets;
+        e.byte_count += bytes;
+        e.last_matched_at = now;
+        Some(&self.entries[idx])
+    }
+
+    /// Looks up the packet without mutating any counters (used by the
+    /// simulator's routing phase; a subsequent [`FlowTable::lookup`]
+    /// credits the traffic).
+    pub fn peek(&self, pkt: &PacketHeader, now: SimTime) -> Option<&FlowEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.expiry_reason(now).is_none() && e.match_fields.matches(pkt))
+    }
+
+    /// Removes expired entries, returning their [`FlowRemoved`]
+    /// notifications (only for entries that requested them).
+    pub fn expire(&mut self, now: SimTime) -> Vec<FlowRemoved> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| match e.expiry_reason(now) {
+            Some(reason) => {
+                if e.send_flow_removed {
+                    removed.push(e.to_flow_removed(now, reason));
+                }
+                false
+            }
+            None => true,
+        });
+        removed
+    }
+
+    /// Returns the earliest instant at which some entry expires, if any.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .map(FlowEntry::expires_at)
+            .filter(|t| *t != SimTime::MAX)
+            .min()
+    }
+
+    /// Per-flow statistics for entries whose match is a subset of `filter`.
+    pub fn flow_stats(&self, filter: &MatchFields, now: SimTime) -> Vec<FlowStatsEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.match_fields.is_subset_of(filter))
+            .map(|e| {
+                let mut s = e.to_stats(now);
+                s.table_id = self.table_id;
+                s
+            })
+            .collect()
+    }
+
+    /// Aggregate statistics over entries whose match is a subset of
+    /// `filter`.
+    pub fn aggregate_stats(&self, filter: &MatchFields) -> AggregateStats {
+        let mut agg = AggregateStats::default();
+        for e in &self.entries {
+            if e.match_fields.is_subset_of(filter) {
+                agg.packet_count += e.packet_count;
+                agg.byte_count += e.byte_count;
+                agg.flow_count += 1;
+            }
+        }
+        agg
+    }
+
+    /// Table-level statistics.
+    pub fn table_stats(&self) -> TableStatsEntry {
+        TableStatsEntry {
+            table_id: self.table_id,
+            active_count: self.entries.len() as u32,
+            lookup_count: self.lookup_count,
+            matched_count: self.matched_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::{IpProto, Ipv4Addr, PortNo};
+
+    fn pkt(dst_port: u16) -> PacketHeader {
+        PacketHeader::tcp_syn(
+            PortNo::new(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            50000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            dst_port,
+        )
+    }
+
+    fn add(table: &mut FlowTable, m: MatchFields, prio: u16, out: u32) {
+        table
+            .apply(
+                &FlowMod::add(m, prio, vec![Action::Output(PortNo::new(out))]),
+                SimTime::ZERO,
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn highest_priority_wins() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new(), 1, 1);
+        add(
+            &mut t,
+            MatchFields::new().with_ip_proto(IpProto::Tcp),
+            100,
+            2,
+        );
+        let hit = t.lookup(&pkt(80), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&hit.actions), Some(PortNo::new(2)));
+    }
+
+    #[test]
+    fn specificity_breaks_priority_ties() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new().with_ip_proto(IpProto::Tcp), 5, 1);
+        add(
+            &mut t,
+            MatchFields::new()
+                .with_ip_proto(IpProto::Tcp)
+                .with_tp_dst(80),
+            5,
+            2,
+        );
+        let hit = t.lookup(&pkt(80), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&hit.actions), Some(PortNo::new(2)));
+        let hit = t.lookup(&pkt(443), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&hit.actions), Some(PortNo::new(1)));
+    }
+
+    #[test]
+    fn add_replaces_identical_match_and_priority() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new(), 1, 1);
+        add(&mut t, MatchFields::new(), 1, 2);
+        assert_eq!(t.len(), 1);
+        let hit = t.lookup(&pkt(80), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&hit.actions), Some(PortNo::new(2)));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new(), 1, 1);
+        t.lookup(&pkt(80), SimTime::ZERO, 3, 300);
+        t.lookup(&pkt(80), SimTime::from_secs(1), 2, 200);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count, 5);
+        assert_eq!(e.byte_count, 500);
+        assert_eq!(e.last_matched_at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new(0);
+        let fm = FlowMod::add(MatchFields::new(), 1, vec![])
+            .with_hard_timeout(SimDuration::from_secs(10));
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        assert!(t.expire(SimTime::from_secs(9)).is_empty());
+        let removed = t.expire(SimTime::from_secs(10));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_resets_on_traffic() {
+        let mut t = FlowTable::new(0);
+        let fm = FlowMod::add(MatchFields::new(), 1, vec![])
+            .with_idle_timeout(SimDuration::from_secs(5));
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        // Traffic at t=4 pushes expiry to t=9.
+        t.lookup(&pkt(80), SimTime::from_secs(4), 1, 64);
+        assert!(t.expire(SimTime::from_secs(8)).is_empty());
+        let removed = t.expire(SimTime::from_secs(9));
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].reason, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn expired_entries_do_not_match_before_gc() {
+        let mut t = FlowTable::new(0);
+        let fm = FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(1))])
+            .with_hard_timeout(SimDuration::from_secs(1));
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        assert!(t.lookup(&pkt(80), SimTime::from_secs(2), 1, 64).is_none());
+    }
+
+    #[test]
+    fn non_strict_delete_removes_subsets() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new().with_tp_dst(80), 1, 1);
+        add(&mut t, MatchFields::new().with_tp_dst(443), 1, 1);
+        add(&mut t, MatchFields::new().with_ip_proto(IpProto::Udp), 1, 1);
+        // Delete everything under "tcp dst 80": only the first entry.
+        let removed = t
+            .apply(&FlowMod::delete(MatchFields::new().with_tp_dst(80)), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 2);
+        // Delete-all removes the rest.
+        let removed = t
+            .apply(&FlowMod::delete(MatchFields::new()), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(removed.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn strict_delete_requires_exact_entry() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new().with_tp_dst(80), 7, 1);
+        let mut fm = FlowMod::delete(MatchFields::new().with_tp_dst(80));
+        fm.command = FlowModCommand::DeleteStrict;
+        fm.priority = 8; // wrong priority
+        assert!(t.apply(&fm, SimTime::ZERO).is_err());
+        fm.priority = 7;
+        assert_eq!(t.apply(&fm, SimTime::ZERO).unwrap().len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn modify_rewrites_actions() {
+        let mut t = FlowTable::new(0);
+        add(&mut t, MatchFields::new().with_tp_dst(80), 1, 1);
+        let mut fm = FlowMod::add(
+            MatchFields::new(),
+            0,
+            vec![Action::Output(PortNo::new(9))],
+        );
+        fm.command = FlowModCommand::Modify;
+        t.apply(&fm, SimTime::ZERO).unwrap();
+        let hit = t.lookup(&pkt(80), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&hit.actions), Some(PortNo::new(9)));
+    }
+
+    #[test]
+    fn stats_queries() {
+        let mut t = FlowTable::new(3);
+        add(&mut t, MatchFields::new().with_tp_dst(80), 1, 1);
+        add(&mut t, MatchFields::new().with_tp_dst(443), 1, 1);
+        t.lookup(&pkt(80), SimTime::from_secs(1), 4, 400);
+        t.lookup(&pkt(443), SimTime::from_secs(1), 6, 600);
+        t.lookup(&pkt(999), SimTime::from_secs(1), 1, 64); // miss
+
+        let all = t.flow_stats(&MatchFields::new(), SimTime::from_secs(2));
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|s| s.table_id == 3));
+
+        let agg = t.aggregate_stats(&MatchFields::new());
+        assert_eq!(agg.packet_count, 10);
+        assert_eq!(agg.byte_count, 1000);
+        assert_eq!(agg.flow_count, 2);
+
+        let ts = t.table_stats();
+        assert_eq!(ts.active_count, 2);
+        assert_eq!(ts.lookup_count, 3);
+        assert_eq!(ts.matched_count, 2);
+    }
+
+    #[test]
+    fn next_expiry_reports_earliest() {
+        let mut t = FlowTable::new(0);
+        t.apply(
+            &FlowMod::add(MatchFields::new().with_tp_dst(1), 1, vec![])
+                .with_hard_timeout(SimDuration::from_secs(30)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        t.apply(
+            &FlowMod::add(MatchFields::new().with_tp_dst(2), 1, vec![])
+                .with_idle_timeout(SimDuration::from_secs(10)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(10)));
+    }
+}

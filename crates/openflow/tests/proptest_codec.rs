@@ -1,0 +1,266 @@
+//! Property-based tests: wire-codec round-trips for arbitrary messages and
+//! flow-table invariants under arbitrary operation sequences.
+
+use athena_openflow::{
+    decode_message, encode_message, Action, FlowMod, FlowTable, MatchFields, OfMessage, OfVersion,
+    PacketHeader,
+};
+use athena_types::{EtherType, IpProto, Ipv4Addr, MacAddr, PortNo, SimDuration, SimTime, Xid};
+use proptest::prelude::*;
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from_raw)
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_proto() -> impl Strategy<Value = IpProto> {
+    any::<u8>().prop_map(IpProto::from_number)
+}
+
+fn arb_match() -> impl Strategy<Value = MatchFields> {
+    (
+        proptest::option::of(any::<u16>().prop_map(|p| PortNo::new(u32::from(p) + 1))),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(any::<u16>().prop_map(EtherType::from_number)),
+        proptest::option::of(0u16..4096),
+        proptest::option::of((arb_ip(), 1u8..=32)),
+        proptest::option::of((arb_ip(), 1u8..=32)),
+        proptest::option::of(arb_proto()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u16>()),
+    )
+        .prop_map(
+            |(in_port, eth_src, eth_dst, eth_type, vlan_id, ip_src, ip_dst, ip_proto, tp_src, tp_dst)| {
+                MatchFields {
+                    in_port,
+                    eth_src,
+                    eth_dst,
+                    eth_type,
+                    vlan_id,
+                    ip_src,
+                    ip_dst,
+                    ip_proto,
+                    tp_src,
+                    tp_dst,
+                }
+            },
+        )
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        any::<u16>().prop_map(|p| Action::Output(PortNo::new(u32::from(p)))),
+        arb_mac().prop_map(Action::SetEthSrc),
+        arb_mac().prop_map(Action::SetEthDst),
+        arb_ip().prop_map(Action::SetIpSrc),
+        arb_ip().prop_map(Action::SetIpDst),
+        any::<u16>().prop_map(Action::SetTpSrc),
+        any::<u16>().prop_map(Action::SetTpDst),
+        (any::<u16>(), any::<u32>()).prop_map(|(p, q)| Action::Enqueue {
+            port: PortNo::new(u32::from(p)),
+            queue_id: q
+        }),
+    ]
+}
+
+fn arb_header() -> impl Strategy<Value = PacketHeader> {
+    (
+        1u32..1000,
+        arb_ip(),
+        any::<u16>(),
+        arb_ip(),
+        any::<u16>(),
+        64u32..1500,
+    )
+        .prop_map(|(port, src, sp, dst, dp, len)| {
+            PacketHeader::from_five_tuple(
+                PortNo::new(port),
+                athena_types::FiveTuple::tcp(src, sp, dst, dp),
+                len,
+            )
+        })
+}
+
+fn arb_flow_mod() -> impl Strategy<Value = FlowMod> {
+    (
+        arb_match(),
+        any::<u16>(),
+        proptest::collection::vec(arb_action(), 0..4),
+        0u64..100,
+        0u64..100,
+        any::<u64>(),
+    )
+        .prop_map(|(m, prio, actions, idle, hard, cookie)| {
+            let mut fm = FlowMod::add(m, prio, actions)
+                .with_idle_timeout(SimDuration::from_secs(idle))
+                .with_hard_timeout(SimDuration::from_secs(hard));
+            fm.cookie = cookie;
+            fm
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = OfMessage> {
+    let xid = any::<u32>().prop_map(Xid::new);
+    prop_oneof![
+        (xid.clone(), any::<u8>()).prop_map(|(xid, v)| OfMessage::Hello { xid, version: v }),
+        xid.clone().prop_map(|xid| OfMessage::FeaturesRequest { xid }),
+        xid.clone().prop_map(|xid| OfMessage::BarrierRequest { xid }),
+        (xid.clone(), arb_header()).prop_map(|(xid, h)| OfMessage::packet_in(xid, h)),
+        (xid.clone(), arb_flow_mod())
+            .prop_map(|(xid, body)| OfMessage::FlowMod { xid, body }),
+        (xid, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(xid, data)| {
+            OfMessage::EchoRequest {
+                xid,
+                data: athena_openflow::EchoData(data),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_v10(msg in arb_message()) {
+        let wire = encode_message(&msg, OfVersion::V1_0);
+        let (back, v) = decode_message(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(v, OfVersion::V1_0);
+    }
+
+    #[test]
+    fn codec_roundtrip_v13(msg in arb_message()) {
+        let wire = encode_message(&msg, OfVersion::V1_3);
+        let (back, v) = decode_message(&wire).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(v, OfVersion::V1_3);
+    }
+
+    #[test]
+    fn match_never_matches_less_specific_than_subset(m in arb_match(), h in arb_header()) {
+        // If a match hits a packet, every match it is a subset of also hits.
+        let wide = MatchFields::new().with_eth_type(EtherType::Ipv4);
+        if m.is_subset_of(&wide) && m.matches(&h) {
+            prop_assert!(wide.matches(&h));
+        }
+        // The all-wildcard match hits everything.
+        prop_assert!(MatchFields::new().matches(&h));
+    }
+
+    #[test]
+    fn highest_priority_entry_wins(
+        mods in proptest::collection::vec(arb_flow_mod(), 1..20),
+        h in arb_header(),
+    ) {
+        let mut table = FlowTable::new(0);
+        for fm in &mods {
+            table.apply(fm, SimTime::ZERO).unwrap();
+        }
+        let best: Option<u16> = table
+            .iter()
+            .filter(|e| e.match_fields.matches(&h))
+            .map(|e| e.priority)
+            .max();
+        // Ignore timeouts by looking up at install time.
+        if let Some(hit_priority) = table
+            .lookup(&h, SimTime::ZERO, 1, 64)
+            .map(|e| e.priority)
+        {
+            prop_assert_eq!(Some(hit_priority), best);
+        } else {
+            prop_assert_eq!(best, None);
+        }
+    }
+
+    #[test]
+    fn expiry_is_monotone(
+        fm in arb_flow_mod(),
+        t1 in 0u64..200,
+        t2 in 0u64..200,
+    ) {
+        // If an entry is expired at t1, it is expired at every t2 >= t1.
+        let (t1, t2) = (t1.min(t2), t1.max(t2));
+        let mut a = FlowTable::new(0);
+        a.apply(&fm, SimTime::ZERO).unwrap();
+        let mut b = a.clone();
+        let removed_early = !a.expire(SimTime::from_secs(t1)).is_empty();
+        let removed_late = !b.expire(SimTime::from_secs(t2)).is_empty();
+        if removed_early {
+            prop_assert!(removed_late);
+        }
+    }
+
+    #[test]
+    fn delete_all_empties_table(mods in proptest::collection::vec(arb_flow_mod(), 0..20)) {
+        let mut table = FlowTable::new(0);
+        for fm in &mods {
+            table.apply(fm, SimTime::ZERO).unwrap();
+        }
+        table.apply(&FlowMod::delete(MatchFields::new()), SimTime::ZERO).unwrap();
+        prop_assert!(table.is_empty());
+    }
+}
+
+// Oracle test: the flow table's winner must agree with a naive reference
+// implementation of OpenFlow matching semantics (highest priority, then
+// specificity, then recency).
+proptest! {
+    #[test]
+    fn table_agrees_with_naive_oracle(
+        mods in proptest::collection::vec(arb_flow_mod(), 1..25),
+        h in arb_header(),
+    ) {
+        let mut table = FlowTable::new(0);
+        // The naive oracle: (priority, specificity, insertion seq, actions).
+        let mut oracle: Vec<(u16, u32, usize, MatchFields)> = Vec::new();
+        for (seq, fm) in mods.iter().enumerate() {
+            table.apply(fm, SimTime::ZERO).unwrap();
+            // Adds replace identical (match, priority) entries.
+            oracle.retain(|(p, _, _, m)| !(*p == fm.priority && *m == fm.match_fields));
+            oracle.push((
+                fm.priority,
+                fm.match_fields.specificity(),
+                seq,
+                fm.match_fields,
+            ));
+        }
+        let expected = oracle
+            .iter()
+            .filter(|(_, _, _, m)| m.matches(&h))
+            .max_by_key(|(p, s, seq, _)| (*p, *s, *seq))
+            .map(|(p, s, _, _)| (*p, *s));
+        let got = table
+            .lookup(&h, SimTime::ZERO, 1, 64)
+            .map(|e| (e.priority, e.match_fields.specificity()));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Flow statistics are conserved: the aggregate equals the sum of the
+    /// per-flow entries, however traffic is credited.
+    #[test]
+    fn aggregate_equals_sum_of_flows(
+        mods in proptest::collection::vec(arb_flow_mod(), 1..12),
+        hits in proptest::collection::vec((arb_header(), 1u64..50, 1u64..5_000), 0..40),
+    ) {
+        let mut table = FlowTable::new(0);
+        for fm in &mods {
+            table.apply(fm, SimTime::ZERO).unwrap();
+        }
+        for (h, pkts, bytes) in &hits {
+            let _ = table.lookup(h, SimTime::ZERO, *pkts, *bytes);
+        }
+        let agg = table.aggregate_stats(&MatchFields::new());
+        let flows = table.flow_stats(&MatchFields::new(), SimTime::ZERO);
+        prop_assert_eq!(agg.flow_count as usize, flows.len());
+        prop_assert_eq!(
+            agg.packet_count,
+            flows.iter().map(|f| f.packet_count).sum::<u64>()
+        );
+        prop_assert_eq!(
+            agg.byte_count,
+            flows.iter().map(|f| f.byte_count).sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! The distributed store: sharding, replication, journaling, metrics.
+//!
+//! A [`StoreCluster`] is a set of [`StoreNode`]s. Each collection is hash-
+//! sharded across all nodes by document id; each shard is replicated onto
+//! the next `replication - 1` nodes in ring order. Writes run on the
+//! primary and every replica and append a serialized journal record — real
+//! work that the Table IX benchmark measures.
+
+use crate::collection::Collection;
+use crate::document::{DocId, Document};
+use crate::filter::Filter;
+use crate::query::{Aggregation, FindOptions};
+use athena_types::{AthenaError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A single store node: the shards it hosts plus its write journal.
+#[derive(Debug, Default)]
+pub struct StoreNode {
+    collections: RwLock<HashMap<String, RwLock<Collection>>>,
+    journal_bytes: AtomicU64,
+    journal_records: AtomicU64,
+}
+
+impl StoreNode {
+    fn new() -> Self {
+        StoreNode::default()
+    }
+
+    fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+        {
+            let map = self.collections.read();
+            if let Some(coll) = map.get(name) {
+                return f(&mut coll.write());
+            }
+        }
+        let mut map = self.collections.write();
+        let coll = map
+            .entry(name.to_owned())
+            .or_insert_with(|| RwLock::new(Collection::new(name)));
+        let result = f(&mut coll.write());
+        result
+    }
+
+    fn read_collection<R: Default>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> R {
+        let map = self.collections.read();
+        map.get(name).map_or_else(R::default, |c| f(&c.read()))
+    }
+
+    fn journal(&self, encoded_len: u64) {
+        let bytes = encoded_len + 16; // header overhead
+        self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.journal_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes appended to this node's journal.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total records appended to this node's journal.
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records.load(Ordering::Relaxed)
+    }
+}
+
+/// Cluster-wide operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClusterMetrics {
+    /// Documents inserted (per logical insert, not per replica).
+    pub inserts: u64,
+    /// Replica writes performed (including the primary).
+    pub replica_writes: u64,
+    /// Find operations served.
+    pub finds: u64,
+    /// Aggregations served.
+    pub aggregations: u64,
+    /// Documents deleted.
+    pub deletes: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    inserts: AtomicU64,
+    replica_writes: AtomicU64,
+    finds: AtomicU64,
+    aggregations: AtomicU64,
+    deletes: AtomicU64,
+}
+
+/// A distributed document store: N nodes, hash sharding, replication.
+///
+/// Cloning yields another handle to the same cluster.
+///
+/// # Examples
+///
+/// ```
+/// use athena_store::{doc, Filter, FindOptions, StoreCluster};
+///
+/// let cluster = StoreCluster::new(3, 2);
+/// let features = cluster.collection("features");
+/// for sw in 0..6 {
+///     features.insert(doc! { "sw" => sw })?;
+/// }
+/// assert_eq!(features.count(&Filter::All), 6);
+/// // Every write hit a primary and one replica.
+/// assert_eq!(cluster.metrics().replica_writes, 12);
+/// # Ok::<(), athena_types::AthenaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreCluster {
+    nodes: Arc<Vec<StoreNode>>,
+    replication: usize,
+    next_id: Arc<AtomicU64>,
+    metrics: Arc<MetricsInner>,
+    index_requests: Arc<Mutex<HashMap<String, Vec<String>>>>,
+}
+
+impl StoreCluster {
+    /// Creates a cluster of `nodes` store nodes with the given replication
+    /// factor (total copies per document, clamped to the node count; at
+    /// least 1).
+    pub fn new(nodes: usize, replication: usize) -> Self {
+        let nodes = nodes.max(1);
+        StoreCluster {
+            nodes: Arc::new((0..nodes).map(|_| StoreNode::new()).collect()),
+            replication: replication.clamp(1, nodes),
+            next_id: Arc::new(AtomicU64::new(1)),
+            metrics: Arc::new(MetricsInner::default()),
+            index_requests: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The replication factor (copies per document).
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Returns a handle to a named collection (created lazily on first
+    /// write).
+    pub fn collection(&self, name: impl Into<String>) -> CollectionHandle {
+        CollectionHandle {
+            cluster: self.clone(),
+            name: name.into(),
+        }
+    }
+
+    /// A snapshot of the operation counters.
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics {
+            inserts: self.metrics.inserts.load(Ordering::Relaxed),
+            replica_writes: self.metrics.replica_writes.load(Ordering::Relaxed),
+            finds: self.metrics.finds.load(Ordering::Relaxed),
+            aggregations: self.metrics.aggregations.load(Ordering::Relaxed),
+            deletes: self.metrics.deletes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total journal bytes across all nodes.
+    pub fn total_journal_bytes(&self) -> u64 {
+        self.nodes.iter().map(StoreNode::journal_bytes).sum()
+    }
+
+    /// Access a node by index (for inspection in tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn node(&self, i: usize) -> &StoreNode {
+        &self.nodes[i]
+    }
+
+    fn primary_for(&self, id: DocId) -> usize {
+        // Fibonacci hashing of the id spreads sequential ids uniformly.
+        (id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.nodes.len()
+    }
+
+    fn replicas_for(&self, id: DocId) -> impl Iterator<Item = usize> + '_ {
+        let primary = self.primary_for(id);
+        (0..self.replication).map(move |k| (primary + k) % self.nodes.len())
+    }
+}
+
+/// A handle to one logical (cluster-wide) collection.
+#[derive(Debug, Clone)]
+pub struct CollectionHandle {
+    cluster: StoreCluster,
+    name: String,
+}
+
+impl CollectionHandle {
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Inserts a document, assigning it a cluster-unique id.
+    ///
+    /// The write is journaled and applied on the primary and every replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Store`] if the cluster has no nodes (cannot
+    /// happen via [`StoreCluster::new`]).
+    pub fn insert(&self, doc: Document) -> Result<DocId> {
+        if self.cluster.nodes.is_empty() {
+            return Err(AthenaError::Store("no store nodes".into()));
+        }
+        let id = DocId(self.cluster.next_id.fetch_add(1, Ordering::Relaxed));
+        self.cluster.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+        let indexed_fields = self
+            .cluster
+            .index_requests
+            .lock()
+            .get(&self.name)
+            .cloned()
+            .unwrap_or_default();
+        // The primary serializes the record once; replicas receive the
+        // same bytes (so journaling costs one encode per logical write,
+        // as in a real replicated store).
+        let encoded_len = doc.encoded_len() as u64;
+        for node_idx in self.cluster.replicas_for(id) {
+            let node = &self.cluster.nodes[node_idx];
+            node.journal(encoded_len);
+            node.with_collection(&self.name, |c| {
+                for f in &indexed_fields {
+                    c.create_index(f.clone());
+                }
+                c.insert_with_id(id, doc.clone());
+            });
+            self.cluster
+                .metrics
+                .replica_writes
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(id)
+    }
+
+    /// Inserts many documents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing insert.
+    pub fn insert_many(&self, docs: impl IntoIterator<Item = Document>) -> Result<Vec<DocId>> {
+        docs.into_iter().map(|d| self.insert(d)).collect()
+    }
+
+    /// Registers a secondary index on `field` across all shards.
+    pub fn create_index(&self, field: impl Into<String>) {
+        let field = field.into();
+        self.cluster
+            .index_requests
+            .lock()
+            .entry(self.name.clone())
+            .or_default()
+            .push(field.clone());
+        for node in self.cluster.nodes.iter() {
+            node.with_collection(&self.name, |c| c.create_index(field.clone()));
+        }
+    }
+
+    /// Finds matching documents cluster-wide, then applies `opts`.
+    ///
+    /// Reads are served by each shard's primary copy only, so replicated
+    /// documents are not duplicated in the result.
+    pub fn find(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        self.cluster.metrics.finds.fetch_add(1, Ordering::Relaxed);
+        opts.apply(self.find_primaries(filter))
+    }
+
+    /// Counts matching documents cluster-wide.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find_primaries(filter).len()
+    }
+
+    /// Runs an aggregation pipeline over the matching documents.
+    pub fn aggregate(&self, pipeline: &Aggregation) -> Vec<Document> {
+        self.cluster
+            .metrics
+            .aggregations
+            .fetch_add(1, Ordering::Relaxed);
+        pipeline.run(self.find_primaries(&Filter::All))
+    }
+
+    /// Deletes matching documents on every replica. Returns the number of
+    /// logical documents removed.
+    pub fn delete(&self, filter: &Filter) -> usize {
+        let victims: Vec<DocId> = self
+            .find_primaries(filter)
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        for id in &victims {
+            for node_idx in self.cluster.replicas_for(*id).collect::<Vec<_>>() {
+                let node = &self.cluster.nodes[node_idx];
+                node.with_collection(&self.name, |c| {
+                    c.delete_by_id(*id);
+                });
+            }
+        }
+        self.cluster
+            .metrics
+            .deletes
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        victims.len()
+    }
+
+    /// All documents (primary copies), unordered.
+    pub fn all(&self) -> Vec<Document> {
+        self.find_primaries(&Filter::All)
+    }
+
+    fn find_primaries(&self, filter: &Filter) -> Vec<Document> {
+        let mut out = Vec::new();
+        for (node_idx, node) in self.cluster.nodes.iter().enumerate() {
+            let mut hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
+            hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
+            out.append(&mut hits);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::query::SortSpec;
+
+    #[test]
+    fn insert_then_find_roundtrips() {
+        let cluster = StoreCluster::new(4, 2);
+        let coll = cluster.collection("c");
+        for i in 0..100i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        assert_eq!(coll.count(&Filter::All), 100);
+        let out = coll.find(
+            &Filter::gte("i", 90),
+            &FindOptions::default().sort(SortSpec::asc("i")),
+        );
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[0].get_i64("i"), Some(90));
+    }
+
+    #[test]
+    fn no_duplicates_despite_replication() {
+        let cluster = StoreCluster::new(3, 3);
+        let coll = cluster.collection("c");
+        for i in 0..50i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        let all = coll.all();
+        assert_eq!(all.len(), 50);
+        let mut ids: Vec<u64> = all.iter().map(|d| d.id.0).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+    }
+
+    #[test]
+    fn replication_writes_all_copies() {
+        let cluster = StoreCluster::new(5, 3);
+        let coll = cluster.collection("c");
+        for i in 0..10i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.inserts, 10);
+        assert_eq!(m.replica_writes, 30);
+        // Journals received every replica write.
+        let total_records: u64 = (0..5).map(|i| cluster.node(i).journal_records()).sum();
+        assert_eq!(total_records, 30);
+        assert!(cluster.total_journal_bytes() > 0);
+    }
+
+    #[test]
+    fn sharding_spreads_documents() {
+        let cluster = StoreCluster::new(4, 1);
+        let coll = cluster.collection("c");
+        for i in 0..400i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        // Every node should hold a reasonable share (loose bound).
+        for i in 0..4 {
+            let n = cluster.node(i).read_collection("c", |c| c.len());
+            assert!(n > 40, "node {i} holds only {n} docs");
+        }
+    }
+
+    #[test]
+    fn aggregate_over_cluster() {
+        use crate::query::{Accumulator, GroupSpec};
+        let cluster = StoreCluster::new(3, 2);
+        let coll = cluster.collection("c");
+        for i in 0..30i64 {
+            coll.insert(doc! { "k" => i % 3, "v" => i }).unwrap();
+        }
+        let out = coll.aggregate(
+            &Aggregation::new()
+                .group(GroupSpec::by(&["k"]).with("n", Accumulator::Count))
+                .sort(vec![SortSpec::asc("k")]),
+        );
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|d| d.get_i64("n") == Some(10)));
+    }
+
+    #[test]
+    fn replication_factor_is_clamped() {
+        let cluster = StoreCluster::new(2, 10);
+        assert_eq!(cluster.replication(), 2);
+        let cluster = StoreCluster::new(3, 0);
+        assert_eq!(cluster.replication(), 1);
+    }
+
+    #[test]
+    fn indexes_apply_to_future_inserts_on_all_shards() {
+        let cluster = StoreCluster::new(3, 1);
+        let coll = cluster.collection("c");
+        coll.create_index("k");
+        for i in 0..60i64 {
+            coll.insert(doc! { "k" => i % 5 }).unwrap();
+        }
+        assert_eq!(coll.count(&Filter::eq("k", 2)), 12);
+    }
+}

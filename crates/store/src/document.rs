@@ -1,0 +1,182 @@
+//! Documents: schemaless JSON objects with generated ids.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use std::fmt;
+
+/// A document id, unique within a collection.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DocId(pub u64);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc-{}", self.0)
+    }
+}
+
+/// A schemaless document: a JSON object plus its id.
+///
+/// Field access supports dotted paths (`"meta.timestamp"`), mirroring the
+/// query syntax.
+///
+/// # Examples
+///
+/// ```
+/// use athena_store::{doc, Document};
+///
+/// let d = doc! { "switch" => 3, "stats" => serde_json::json!({"pkts": 10}) };
+/// assert_eq!(d.get_f64("stats.pkts"), Some(10.0));
+/// assert_eq!(d.get("missing"), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Document {
+    /// The document id (assigned on insert; zero before).
+    pub id: DocId,
+    /// The fields.
+    pub fields: Map<String, Value>,
+}
+
+impl Document {
+    /// Creates an empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Creates a document from a JSON object value.
+    ///
+    /// Non-object values become a document with a single `"value"` field.
+    pub fn from_value(v: Value) -> Self {
+        match v {
+            Value::Object(fields) => Document {
+                id: DocId(0),
+                fields,
+            },
+            other => {
+                let mut fields = Map::new();
+                fields.insert("value".to_owned(), other);
+                Document { id: DocId(0), fields }
+            }
+        }
+    }
+
+    /// Sets a field (builder style).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Sets a field in place.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.fields.insert(key.into(), value.into());
+    }
+
+    /// Looks up a field by dotted path.
+    pub fn get(&self, path: &str) -> Option<&Value> {
+        let mut parts = path.split('.');
+        let first = parts.next()?;
+        let mut cur = self.fields.get(first)?;
+        for part in parts {
+            cur = cur.as_object()?.get(part)?;
+        }
+        Some(cur)
+    }
+
+    /// Looks up a numeric field by dotted path.
+    pub fn get_f64(&self, path: &str) -> Option<f64> {
+        self.get(path)?.as_f64()
+    }
+
+    /// Looks up an integer field by dotted path.
+    pub fn get_i64(&self, path: &str) -> Option<i64> {
+        self.get(path)?.as_i64()
+    }
+
+    /// Looks up a string field by dotted path.
+    pub fn get_str(&self, path: &str) -> Option<&str> {
+        self.get(path)?.as_str()
+    }
+
+    /// Serialized size in bytes (the journal representation).
+    pub fn encoded_len(&self) -> usize {
+        serde_json::to_vec(&self.fields).map_or(0, |v| v.len())
+    }
+}
+
+impl From<Value> for Document {
+    fn from(v: Value) -> Self {
+        Document::from_value(v)
+    }
+}
+
+impl fmt::Display for Document {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, Value::Object(self.fields.clone()))
+    }
+}
+
+/// Builds a [`Document`] from `key => value` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use athena_store::doc;
+/// let d = doc! { "a" => 1, "b" => "two" };
+/// assert_eq!(d.get_i64("a"), Some(1));
+/// assert_eq!(d.get_str("b"), Some("two"));
+/// ```
+#[macro_export]
+macro_rules! doc {
+    () => { $crate::Document::new() };
+    ( $( $key:expr => $value:expr ),+ $(,)? ) => {{
+        let mut d = $crate::Document::new();
+        $( d.set($key, $value); )+
+        d
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn doc_macro_builds_fields() {
+        let d = doc! { "x" => 1, "y" => 2.5, "z" => "s" };
+        assert_eq!(d.get_i64("x"), Some(1));
+        assert_eq!(d.get_f64("y"), Some(2.5));
+        assert_eq!(d.get_str("z"), Some("s"));
+        assert_eq!(doc!().fields.len(), 0);
+    }
+
+    #[test]
+    fn dotted_path_navigation() {
+        let d = doc! { "a" => json!({"b": {"c": 42}}) };
+        assert_eq!(d.get_i64("a.b.c"), Some(42));
+        assert_eq!(d.get("a.b.missing"), None);
+        assert_eq!(d.get("a.b.c.too_deep"), None);
+    }
+
+    #[test]
+    fn from_value_wraps_scalars() {
+        let d = Document::from_value(json!(7));
+        assert_eq!(d.get_i64("value"), Some(7));
+        let d = Document::from_value(json!({"k": true}));
+        assert_eq!(d.get("k"), Some(&json!(true)));
+    }
+
+    #[test]
+    fn encoded_len_is_positive_for_nonempty() {
+        let d = doc! { "k" => 1 };
+        assert!(d.encoded_len() >= 7); // {"k":1}
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = doc! { "n" => 1, "s" => "x" };
+        let s = serde_json::to_string(&d).unwrap();
+        let back: Document = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, d);
+    }
+}

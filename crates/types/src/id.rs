@@ -1,0 +1,411 @@
+//! Newtyped identifiers for every entity in the SDN stack.
+//!
+//! Using distinct types for datapath ids, ports, hosts, links, controllers,
+//! applications, flows, and OpenFlow transaction ids prevents a whole class
+//! of unit-confusion bugs (e.g. passing a port number where a switch id is
+//! expected) at zero runtime cost.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An OpenFlow datapath identifier (the unique id of a switch).
+///
+/// Displayed in the conventional `of:%016x` form used by ONOS.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::Dpid;
+/// let dpid = Dpid::new(0x2a);
+/// assert_eq!(dpid.to_string(), "of:000000000000002a");
+/// assert_eq!(dpid.raw(), 0x2a);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Dpid(u64);
+
+impl Dpid {
+    /// Creates a datapath id from its raw 64-bit value.
+    pub const fn new(raw: u64) -> Self {
+        Dpid(raw)
+    }
+
+    /// Returns the raw 64-bit datapath id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Dpid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "of:{:016x}", self.0)
+    }
+}
+
+impl From<u64> for Dpid {
+    fn from(raw: u64) -> Self {
+        Dpid(raw)
+    }
+}
+
+/// A switch port number.
+///
+/// Port numbers are scoped to a switch: `(Dpid, PortNo)` identifies a
+/// physical port in the network. Reserved values mirror OpenFlow's special
+/// ports.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::PortNo;
+/// assert!(PortNo::new(3).is_physical());
+/// assert!(!PortNo::CONTROLLER.is_physical());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PortNo(u32);
+
+impl PortNo {
+    /// The reserved port meaning "send to the controller".
+    pub const CONTROLLER: PortNo = PortNo(0xffff_fffd);
+    /// The reserved port meaning "flood out of all ports".
+    pub const FLOOD: PortNo = PortNo(0xffff_fffb);
+    /// The reserved port meaning "the port the packet came in on".
+    pub const IN_PORT: PortNo = PortNo(0xffff_fff8);
+    /// The reserved "any/none" wildcard port.
+    pub const ANY: PortNo = PortNo(0xffff_ffff);
+
+    /// Creates a port number from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        PortNo(raw)
+    }
+
+    /// Returns the raw port number.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is a physical (non-reserved) port.
+    pub const fn is_physical(self) -> bool {
+        self.0 < 0xffff_ff00 && self.0 > 0
+    }
+}
+
+impl fmt::Display for PortNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PortNo::CONTROLLER => write!(f, "CONTROLLER"),
+            PortNo::FLOOD => write!(f, "FLOOD"),
+            PortNo::IN_PORT => write!(f, "IN_PORT"),
+            PortNo::ANY => write!(f, "ANY"),
+            PortNo(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<u32> for PortNo {
+    fn from(raw: u32) -> Self {
+        PortNo(raw)
+    }
+}
+
+/// Identifier of an end host attached to the data plane.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::HostId;
+/// assert_eq!(HostId::new(7).to_string(), "h7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(u64);
+
+impl HostId {
+    /// Creates a host id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        HostId(raw)
+    }
+
+    /// Returns the raw host id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link between two switch ports.
+///
+/// A [`LinkId`] names the link as `(src switch, src port) -> (dst switch,
+/// dst port)`.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::{Dpid, LinkId, PortNo};
+/// let l = LinkId::new(Dpid::new(1), PortNo::new(2), Dpid::new(3), PortNo::new(1));
+/// assert_eq!(l.reversed().src, Dpid::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId {
+    /// The switch at the source end of the link.
+    pub src: Dpid,
+    /// The egress port on the source switch.
+    pub src_port: PortNo,
+    /// The switch at the destination end of the link.
+    pub dst: Dpid,
+    /// The ingress port on the destination switch.
+    pub dst_port: PortNo,
+}
+
+impl LinkId {
+    /// Creates a link id from its four endpoints.
+    pub const fn new(src: Dpid, src_port: PortNo, dst: Dpid, dst_port: PortNo) -> Self {
+        LinkId {
+            src,
+            src_port,
+            dst,
+            dst_port,
+        }
+    }
+
+    /// Returns the same link in the opposite direction.
+    pub const fn reversed(self) -> Self {
+        LinkId {
+            src: self.dst,
+            src_port: self.dst_port,
+            dst: self.src,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} -> {}/{}",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// Identifier of a controller instance in the distributed control plane.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::ControllerId;
+/// assert_eq!(ControllerId::new(0).to_string(), "ctrl-0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ControllerId(u32);
+
+impl ControllerId {
+    /// Creates a controller id from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        ControllerId(raw)
+    }
+
+    /// Returns the raw controller id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ControllerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctrl-{}", self.0)
+    }
+}
+
+/// Identifier of a network application registered with the controller.
+///
+/// The paper's NAE use case aggregates features *per application*; flow
+/// rules are attributed to the [`AppId`] that installed them.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::AppId;
+/// assert_eq!(AppId::new(2).to_string(), "app-2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AppId(u32);
+
+impl AppId {
+    /// The controller's own core services (device/host/link discovery).
+    pub const CORE: AppId = AppId(0);
+
+    /// Creates an application id from its raw value.
+    pub const fn new(raw: u32) -> Self {
+        AppId(raw)
+    }
+
+    /// Returns the raw application id.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app-{}", self.0)
+    }
+}
+
+/// Identifier of a flow (a flow-table entry instance) inside the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::FlowId;
+/// assert_eq!(FlowId::new(9).raw(), 9);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    /// Creates a flow id from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        FlowId(raw)
+    }
+
+    /// Returns the raw flow id.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flow-{}", self.0)
+    }
+}
+
+/// An OpenFlow transaction id.
+///
+/// The paper's prototype *marks* the XIDs of the statistics requests Athena
+/// issues so that variation features can be attributed to Athena's own
+/// polling rather than ONOS's background polling. [`Xid::is_athena_marked`]
+/// reproduces that mechanism.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::Xid;
+/// let xid = Xid::athena_marked(17);
+/// assert!(xid.is_athena_marked());
+/// assert!(!Xid::new(17).is_athena_marked());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Xid(u32);
+
+impl Xid {
+    /// The high bit used to mark Athena-issued statistics requests.
+    pub const ATHENA_MARK: u32 = 0x8000_0000;
+
+    /// Creates an unmarked transaction id.
+    pub const fn new(raw: u32) -> Self {
+        Xid(raw)
+    }
+
+    /// Creates a transaction id carrying the Athena mark.
+    pub const fn athena_marked(seq: u32) -> Self {
+        Xid(seq | Self::ATHENA_MARK)
+    }
+
+    /// Returns the raw 32-bit transaction id (including any mark).
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this XID was issued by Athena's stats poller.
+    pub const fn is_athena_marked(self) -> bool {
+        self.0 & Self::ATHENA_MARK != 0
+    }
+}
+
+impl fmt::Display for Xid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xid:{:#010x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpid_display_uses_onos_form() {
+        assert_eq!(Dpid::new(0xff).to_string(), "of:00000000000000ff");
+    }
+
+    #[test]
+    fn dpid_roundtrips_raw() {
+        assert_eq!(Dpid::from(42u64).raw(), 42);
+    }
+
+    #[test]
+    fn reserved_ports_are_not_physical() {
+        assert!(!PortNo::CONTROLLER.is_physical());
+        assert!(!PortNo::FLOOD.is_physical());
+        assert!(!PortNo::ANY.is_physical());
+        assert!(!PortNo::new(0).is_physical());
+        assert!(PortNo::new(1).is_physical());
+    }
+
+    #[test]
+    fn reserved_port_display_names() {
+        assert_eq!(PortNo::CONTROLLER.to_string(), "CONTROLLER");
+        assert_eq!(PortNo::FLOOD.to_string(), "FLOOD");
+        assert_eq!(PortNo::new(7).to_string(), "7");
+    }
+
+    #[test]
+    fn link_reversal_is_involutive() {
+        let l = LinkId::new(Dpid::new(1), PortNo::new(2), Dpid::new(3), PortNo::new(4));
+        assert_eq!(l.reversed().reversed(), l);
+        assert_eq!(l.reversed().src_port, PortNo::new(4));
+    }
+
+    #[test]
+    fn xid_marking() {
+        let marked = Xid::athena_marked(5);
+        assert!(marked.is_athena_marked());
+        assert_eq!(marked.raw() & !Xid::ATHENA_MARK, 5);
+        assert!(!Xid::new(5).is_athena_marked());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Dpid> = [3u64, 1, 2].into_iter().map(Dpid::new).collect();
+        let v: Vec<u64> = set.into_iter().map(Dpid::raw).collect();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let l = LinkId::new(Dpid::new(1), PortNo::new(2), Dpid::new(3), PortNo::new(4));
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LinkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, l);
+    }
+}

@@ -1,0 +1,333 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated layers (data plane, controller, Athena's feature
+//! timestamps) share one microsecond-resolution clock. Virtual time makes
+//! every experiment deterministic and lets the compute cluster model a
+//! multi-node schedule on a single-core host (see the design document).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A span of virtual time with microsecond resolution.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::SimDuration;
+/// let d = SimDuration::from_millis(1500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// assert_eq!(d * 2, SimDuration::from_secs(3));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative");
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns `true` for the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+/// An instant on the virtual timeline (microseconds since simulation start).
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::{SimDuration, SimTime};
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_millis(250);
+/// assert_eq!(t1 - t0, SimDuration::from_millis(250));
+/// assert!(t1 > t0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant (used as an "infinity" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from whole seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Returns microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns fractional seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration since an earlier instant, saturating at zero.
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_micros())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_micros();
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.as_micros())
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration::from_micros(self.0 - rhs.0)
+    }
+}
+
+/// A shared, monotonically-advancing virtual clock.
+///
+/// The simulator's event loop advances the clock; every other component
+/// (controllers, Athena instances, the store) reads it. Cloning a
+/// `VirtualClock` yields a handle to the *same* clock.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::{SimDuration, SimTime, VirtualClock};
+/// let clock = VirtualClock::new();
+/// let handle = clock.clone();
+/// clock.advance_to(SimTime::from_secs(3));
+/// assert_eq!(handle.now(), SimTime::from_secs(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        VirtualClock {
+            micros: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Returns the current virtual instant.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.micros.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock to `t`.
+    ///
+    /// The clock is monotone: advancing to an instant in the past is a
+    /// no-op rather than a rewind.
+    pub fn advance_to(&self, t: SimTime) {
+        self.micros.fetch_max(t.as_micros(), Ordering::AcqRel);
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance_by(&self, d: SimDuration) -> SimTime {
+        let new = self.micros.fetch_add(d.as_micros(), Ordering::AcqRel) + d.as_micros();
+        SimTime::from_micros(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions() {
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_micros(), 250_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(1);
+        let b = SimDuration::from_millis(500);
+        assert_eq!(a + b, SimDuration::from_millis(1500));
+        assert_eq!(a - b, SimDuration::from_millis(500));
+        assert_eq!(a * 3, SimDuration::from_secs(3));
+        assert_eq!(a / 4, SimDuration::from_millis(250));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_display() {
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_secs(10);
+        assert_eq!(t + SimDuration::from_secs(5), SimTime::from_secs(15));
+        assert_eq!(t - SimDuration::from_secs(5), SimTime::from_secs(5));
+        assert_eq!(SimTime::from_secs(15) - t, SimDuration::from_secs(5));
+        assert_eq!(t.saturating_since(SimTime::from_secs(20)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clock_is_shared_and_monotone() {
+        let clock = VirtualClock::new();
+        let other = clock.clone();
+        clock.advance_to(SimTime::from_secs(5));
+        assert_eq!(other.now(), SimTime::from_secs(5));
+        // Rewinds are ignored.
+        clock.advance_to(SimTime::from_secs(1));
+        assert_eq!(clock.now(), SimTime::from_secs(5));
+        let t = other.advance_by(SimDuration::from_secs(1));
+        assert_eq!(t, SimTime::from_secs(6));
+    }
+}

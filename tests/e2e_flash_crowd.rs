@@ -1,0 +1,115 @@
+//! The paper's introduction motivates distinguishing *benign* anomalies
+//! (flash crowds) from attacks. A flash crowd is a volume surge of
+//! legitimate, bidirectional connections — the pair-flow features of
+//! Table V are exactly what separates it from a flood. This test trains
+//! the DDoS detector live, then checks that a subsequent flash crowd does
+//! not alarm while a real flood does.
+
+use athena::apps::{DdosDetector, DdosDetectorConfig};
+use athena::controller::ControllerCluster;
+use athena::core::{Athena, AthenaConfig};
+use athena::dataplane::{workload, Network, Topology};
+use athena::types::{SimDuration, SimTime};
+
+#[test]
+fn flash_crowd_is_not_flagged_but_a_flood_is() {
+    let topo = Topology::enterprise();
+    let victim = topo.hosts[0].ip;
+    let popular_server = topo.hosts[47].ip;
+    let mut net = Network::new(topo.clone());
+    let mut cluster = ControllerCluster::new(&topo);
+    let athena = Athena::new(AthenaConfig::default());
+    athena.attach(&mut cluster);
+
+    // Phase 1: labeled training traffic (benign mix + flood).
+    net.inject_flows(workload::benign_mix_on(
+        &topo,
+        120,
+        SimDuration::from_secs(25),
+        301,
+    ));
+    net.inject_flows(workload::ddos_flood(
+        &topo,
+        victim,
+        workload::DdosParams {
+            start: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(20),
+            n_flows: 200,
+            ..workload::DdosParams::default()
+        },
+        302,
+    ));
+    net.run_until(SimTime::from_secs(30), &mut cluster);
+    let det = DdosDetector::new(DdosDetectorConfig {
+        victim,
+        ..DdosDetectorConfig::default()
+    });
+    let model = det.train(&athena).expect("training");
+
+    // Phase 2: a flash crowd toward a popular server — benign volume.
+    athena
+        .runtime()
+        .feature_manager
+        .lock()
+        .purge(&athena::core::Query::all());
+    net.inject_flows(workload::flash_crowd(
+        &topo,
+        popular_server,
+        60,
+        SimTime::from_secs(32),
+        SimDuration::from_secs(15),
+        303,
+    ));
+    net.run_until(SimTime::from_secs(50), &mut cluster);
+    let crowd_records =
+        athena.request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
+    let crowd_alarms = crowd_records
+        .iter()
+        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == popular_server))
+        .filter(|r| model.is_malicious(r) == Some(true))
+        .count();
+    let crowd_total = crowd_records
+        .iter()
+        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == popular_server))
+        .count();
+    assert!(crowd_total > 20, "the crowd produced {crowd_total} records");
+    let crowd_rate = crowd_alarms as f64 / crowd_total as f64;
+
+    // Phase 3: another flood — must alarm.
+    athena
+        .runtime()
+        .feature_manager
+        .lock()
+        .purge(&athena::core::Query::all());
+    net.inject_flows(workload::ddos_flood(
+        &topo,
+        victim,
+        workload::DdosParams {
+            start: SimTime::from_secs(52),
+            duration: SimDuration::from_secs(15),
+            n_flows: 150,
+            ..workload::DdosParams::default()
+        },
+        304,
+    ));
+    net.run_until(SimTime::from_secs(70), &mut cluster);
+    let flood_records =
+        athena.request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
+    let flood_alarms = flood_records
+        .iter()
+        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == victim))
+        .filter(|r| model.is_malicious(r) == Some(true))
+        .count();
+    let flood_total = flood_records
+        .iter()
+        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == victim))
+        .count();
+    assert!(flood_total > 20, "the flood produced {flood_total} records");
+    let flood_rate = flood_alarms as f64 / flood_total as f64;
+
+    assert!(
+        crowd_rate < 0.3,
+        "flash crowd misclassified as attack: {crowd_rate}"
+    );
+    assert!(flood_rate > 0.8, "flood missed: {flood_rate}");
+}

@@ -1,0 +1,83 @@
+//! End-to-end LFA mitigation: a Crossfire-style attack congests a core
+//! link; the Athena application detects it from volume features and the
+//! Block reactions clear the congestion (the paper's scenario 2).
+
+use athena::apps::{LfaMitigator, LfaMitigatorConfig};
+use athena::controller::ControllerCluster;
+use athena::core::{Athena, AthenaConfig};
+use athena::dataplane::{workload, Network, Topology};
+use athena::types::{Dpid, PortNo, SimDuration, SimTime};
+
+#[test]
+fn crossfire_is_detected_and_mitigated() {
+    let topo = Topology::linear(4, 6);
+    let mut net = Network::new(topo.clone());
+    let mut cluster = ControllerCluster::new(&topo);
+    let athena = Athena::new(AthenaConfig::default());
+    athena.attach(&mut cluster);
+    let mut lfa = LfaMitigator::new(LfaMitigatorConfig::default());
+    lfa.deploy(&athena);
+
+    net.inject_flows(workload::crossfire(
+        &topo,
+        Dpid::new(2),
+        Dpid::new(3),
+        workload::CrossfireParams {
+            start: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(60),
+            n_flows: 300,
+            per_flow_rate_bps: 6_000_000,
+        },
+        77,
+    ));
+
+    let bottleneck = topo
+        .link_from(Dpid::new(2), PortNo::new(1))
+        .expect("bottleneck");
+    let mut peak_before = 0.0f64;
+    let mut blocked = 0usize;
+    let mut util_after_mitigation = f64::INFINITY;
+    for step in 1..=7u64 {
+        net.run_until(SimTime::from_secs(step * 10), &mut cluster);
+        let util = net.link(bottleneck).map_or(0.0, |l| l.utilization());
+        if blocked == 0 {
+            peak_before = peak_before.max(util);
+        } else {
+            util_after_mitigation = util_after_mitigation.min(util);
+        }
+        blocked += lfa.mitigate(&athena).len();
+    }
+
+    assert!(peak_before > 1.0, "attack must congest the link: {peak_before}");
+    assert!(blocked > 0, "bots must be blocked");
+    assert!(
+        util_after_mitigation < peak_before,
+        "mitigation must relieve the link: {util_after_mitigation} vs {peak_before}"
+    );
+    // The reactor actually installed drop rules.
+    assert_eq!(athena.mitigated_hosts().len(), lfa.blocked_hosts().len());
+}
+
+#[test]
+fn benign_traffic_does_not_trigger_mitigation() {
+    let topo = Topology::linear(4, 6);
+    let mut net = Network::new(topo.clone());
+    let mut cluster = ControllerCluster::new(&topo);
+    let athena = Athena::new(AthenaConfig::default());
+    athena.attach(&mut cluster);
+    let mut lfa = LfaMitigator::new(LfaMitigatorConfig::default());
+    lfa.deploy(&athena);
+
+    net.inject_flows(workload::benign_mix_on(
+        &topo,
+        60,
+        SimDuration::from_secs(40),
+        78,
+    ));
+    net.run_until(SimTime::from_secs(45), &mut cluster);
+    let blocked = lfa.mitigate(&athena);
+    assert!(
+        blocked.is_empty(),
+        "benign traffic must not be blocked: {blocked:?}"
+    );
+}

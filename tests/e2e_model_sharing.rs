@@ -1,0 +1,51 @@
+//! Off-the-shelf model sharing (paper §II): a detection model trained on
+//! one Athena deployment serializes to JSON, loads on a second deployment,
+//! and produces identical verdicts there.
+
+use athena::apps::dataset::{DdosDataset, FEATURES};
+use athena::apps::{DdosDetector, DdosDetectorConfig};
+use athena::compute::ComputeCluster;
+use athena::core::{DetectionModel, DetectorManager};
+use athena::ml::Algorithm;
+
+fn features() -> Vec<String> {
+    FEATURES.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn models_roundtrip_through_json_with_identical_verdicts() {
+    let data = DdosDataset::generate(10_000, 8);
+    let det = DdosDetector::new(DdosDetectorConfig::default());
+    let dm = DetectorManager::new(ComputeCluster::new(2));
+    for algorithm in [
+        Algorithm::kmeans(4),
+        Algorithm::logistic_regression(),
+        Algorithm::decision_tree(),
+        Algorithm::NaiveBayes,
+        Algorithm::threshold(4, 350.0),
+    ] {
+        let model = dm
+            .generate_from_points(
+                data.points.clone(),
+                &features(),
+                &det.preprocessor(),
+                &algorithm,
+            )
+            .unwrap();
+        let json = model.to_json().unwrap();
+        let loaded = DetectionModel::from_json(&json).unwrap();
+        assert_eq!(loaded, model, "{}", algorithm.name());
+
+        // Identical verdicts on a second "deployment" (fresh manager).
+        let other = DetectorManager::new(ComputeCluster::new(5));
+        let a = dm.validate_points(&data.points, &model);
+        let b = other.validate_points(&data.points, &loaded);
+        assert_eq!(a.confusion, b.confusion, "{}", algorithm.name());
+    }
+}
+
+#[test]
+fn malformed_model_json_is_rejected() {
+    assert!(DetectionModel::from_json("{}").is_err());
+    assert!(DetectionModel::from_json("not json").is_err());
+}

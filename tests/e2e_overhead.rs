@@ -1,0 +1,73 @@
+//! The Table IX invariant end-to-end: Athena's overhead is real and
+//! ordered — bare controller > Athena-without-DB > Athena-with-DB in
+//! Cbench throughput — and the store actually receives the features.
+
+use athena::controller::cbench::{summarize, throughput_round, CbenchResponder};
+use athena::controller::ControllerCluster;
+use athena::core::{Athena, AthenaConfig};
+use athena::dataplane::Topology;
+
+fn cluster_with(athena: Option<&Athena>) -> ControllerCluster {
+    let topo = Topology::enterprise();
+    let mut cluster = ControllerCluster::bare(&topo);
+    cluster.add_processor(Box::new(CbenchResponder));
+    if let Some(a) = athena {
+        a.attach(&mut cluster);
+    }
+    cluster
+}
+
+fn avg_rate(athena: Option<&Athena>) -> f64 {
+    let mut cluster = cluster_with(athena);
+    let rounds: Vec<_> = (0..5)
+        .map(|i| throughput_round(&mut cluster, 4_000, i))
+        .collect();
+    // Every packet-in got exactly one flow-mod in every configuration.
+    assert!(rounds.iter().all(|r| r.responses == r.requests));
+    summarize(&rounds).avg
+}
+
+#[test]
+fn cbench_overhead_ordering_holds() {
+    let without = avg_rate(None);
+
+    let with_db = Athena::new(AthenaConfig::default());
+    let with_db_rate = avg_rate(Some(&with_db));
+
+    let no_db = Athena::new(AthenaConfig {
+        store_enabled: false,
+        ..AthenaConfig::default()
+    });
+    let no_db_rate = avg_rate(Some(&no_db));
+
+    assert!(
+        without > no_db_rate,
+        "athena must cost something: {without} vs {no_db_rate}"
+    );
+    assert!(
+        no_db_rate > with_db_rate,
+        "db publication must cost more: {no_db_rate} vs {with_db_rate}"
+    );
+
+    // The with-DB deployment actually stored the per-event features.
+    assert!(
+        with_db.stored_feature_count() > 10_000,
+        "features stored: {}",
+        with_db.stored_feature_count()
+    );
+    // The no-DB deployment stored nothing.
+    assert_eq!(no_db.stored_feature_count(), 0);
+}
+
+#[test]
+fn store_receives_replicated_journaled_writes() {
+    let athena = Athena::new(AthenaConfig::default());
+    let mut cluster = cluster_with(Some(&athena));
+    let _ = throughput_round(&mut cluster, 2_000, 9);
+    let store = &athena.runtime().store;
+    let metrics = store.metrics();
+    assert!(metrics.inserts >= 2_000);
+    // Replication factor 2: every insert hit two nodes' journals.
+    assert_eq!(metrics.replica_writes, metrics.inserts * 2);
+    assert!(store.total_journal_bytes() > 0);
+}
