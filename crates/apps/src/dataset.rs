@@ -71,8 +71,8 @@ impl DdosDataset {
         let (mut bi, mut mi) = (0usize, 0usize);
         for k in 0..total_entries {
             // Weighted round-robin by class share.
-            let take_benign = (k as f64 * benign_fraction).fract()
-                < benign_fraction && bi < benign.len();
+            let take_benign =
+                (k as f64 * benign_fraction).fract() < benign_fraction && bi < benign.len();
             if take_benign || mi >= malicious.len() {
                 shuffled.push(benign[bi % benign.len().max(1)].clone());
                 bi += 1;

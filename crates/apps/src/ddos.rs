@@ -5,9 +5,9 @@
 //! algorithm; call `GenerateDetectionModel`; then validate a test query
 //! with `ValidateFeatures` and show the Figure 6 summary.
 
-use athena_core::{Athena, DetectionModel, Query, QueryBuilder};
 use athena_core::nb::reaction_manager::Reaction;
 use athena_core::FeatureRecord;
+use athena_core::{Athena, DetectionModel, Query, QueryBuilder};
 use athena_ml::{Algorithm, Normalization, Preprocessor, ValidationSummary};
 use athena_types::{IpProto, Ipv4Addr, Result};
 
@@ -51,14 +51,15 @@ impl DdosDetector {
 
     /// The Table V candidate feature set (the 10-tuple of Table VI).
     pub fn features() -> Vec<String> {
-        crate::dataset::FEATURES.iter().map(|s| (*s).to_owned()).collect()
+        crate::dataset::FEATURES
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect()
     }
 
     /// The training/testing query: flow-scoped features only.
     pub fn query(&self) -> Query {
-        QueryBuilder::new()
-            .eq("message_type", "FLOW_STATS")
-            .build()
+        QueryBuilder::new().eq("message_type", "FLOW_STATS").build()
     }
 
     /// The preprocessor of the pseudocode: normalization plus weighting.
@@ -74,9 +75,9 @@ impl DdosDetector {
     pub fn truth(&self) -> impl Fn(&FeatureRecord) -> bool + '_ {
         let victim = self.config.victim;
         move |r: &FeatureRecord| {
-            r.index.five_tuple.is_some_and(|ft| {
-                ft.dst == victim && ft.proto == IpProto::Udp
-            })
+            r.index
+                .five_tuple
+                .is_some_and(|ft| ft.dst == victim && ft.proto == IpProto::Udp)
         }
     }
 
@@ -124,8 +125,8 @@ impl DdosDetector {
 mod tests {
     use super::*;
     use crate::dataset::DdosDataset;
-    use athena_core::{AthenaConfig, DetectorManager};
     use athena_compute::ComputeCluster;
+    use athena_core::{AthenaConfig, DetectorManager};
 
     #[test]
     fn detector_reaches_the_papers_operating_point_on_synthetic_data() {

@@ -80,9 +80,7 @@ impl LfaMitigator {
     /// features whose utilization or drop variation exceed the
     /// thresholds.
     pub fn deploy(&self, athena: &Athena) -> usize {
-        let q: Query = QueryBuilder::new()
-            .eq("message_type", "PORT_STATS")
-            .build();
+        let q: Query = QueryBuilder::new().eq("message_type", "PORT_STATS").build();
         let alerts = Arc::clone(&self.alerts);
         let util_threshold = self.config.utilization_threshold;
         let drop_threshold = self.config.drop_var_threshold;
@@ -179,10 +177,7 @@ mod tests {
     use athena_core::{AthenaConfig, FeatureIndex, FeatureRecord};
 
     fn port_record(switch: u64, port: u32, util: f64, drops: f64) -> FeatureRecord {
-        let mut r = FeatureRecord::new(FeatureIndex::port(
-            Dpid::new(switch),
-            PortNo::new(port),
-        ));
+        let mut r = FeatureRecord::new(FeatureIndex::port(Dpid::new(switch), PortNo::new(port)));
         r.meta.message_type = "PORT_STATS".into();
         r.push_field("PORT_TX_UTILIZATION", util);
         r.push_field("PORT_TX_DROPPED_VAR", drops);

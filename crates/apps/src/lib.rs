@@ -17,6 +17,8 @@
 //! - [`dataset`] — the synthetic labeled DDoS dataset generator shared by
 //!   the Figure 6 / Figure 10 / Table VIII experiments.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod dataset;
 pub mod ddos;
 pub mod lfa;

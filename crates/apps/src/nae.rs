@@ -228,7 +228,8 @@ mod tests {
         {
             let mut fm = athena.runtime().feature_manager.lock();
             for t in 0..3 {
-                fm.ingest(&switch_record(3, t, f64::from(t as u32))).unwrap();
+                fm.ingest(&switch_record(3, t, f64::from(t as u32)))
+                    .unwrap();
                 fm.ingest(&switch_record(6, t, 10.0)).unwrap();
             }
         }

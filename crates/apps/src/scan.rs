@@ -65,9 +65,7 @@ impl ScanDetector {
     /// Registers the event handler: unpaired, low-volume flows accumulate
     /// per-(source, target) port sets.
     pub fn deploy(&self, athena: &Athena) -> usize {
-        let q: Query = QueryBuilder::new()
-            .eq("message_type", "FLOW_STATS")
-            .build();
+        let q: Query = QueryBuilder::new().eq("message_type", "FLOW_STATS").build();
         let state = Arc::clone(&self.state);
         let probe_max = self.config.probe_max_bytes;
         athena.add_event_handler(
@@ -145,7 +143,13 @@ mod tests {
     use athena_core::{AthenaConfig, FeatureIndex};
     use athena_types::{Dpid, FiveTuple};
 
-    fn flow_record(src: Ipv4Addr, dst: Ipv4Addr, port: u16, paired: bool, bytes: f64) -> FeatureRecord {
+    fn flow_record(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+        paired: bool,
+        bytes: f64,
+    ) -> FeatureRecord {
         let ft = FiveTuple::tcp(src, 40_000, dst, port);
         let mut r = FeatureRecord::new(FeatureIndex::flow(Dpid::new(1), ft));
         r.meta.message_type = "FLOW_STATS".into();
@@ -212,8 +216,14 @@ mod tests {
         {
             let mut fm = athena.runtime().feature_manager.lock();
             for port in 1..=6u16 {
-                fm.ingest(&flow_record(scanner, Ipv4Addr::new(10, 0, 1, 1), port, false, 64.0))
-                    .unwrap();
+                fm.ingest(&flow_record(
+                    scanner,
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    port,
+                    false,
+                    64.0,
+                ))
+                .unwrap();
             }
         }
         assert_eq!(det.detect(&athena), vec![scanner]);

@@ -32,9 +32,15 @@ fn run(train: &[RawFlowSample], test: &[RawFlowSample], algorithm: Algorithm) ->
     ingest(&athena, test, "test");
 
     // >>> measured
-    let features: Vec<String> = crate::dataset::FEATURES.iter().map(|s| s.to_string()).collect();
+    let features: Vec<String> = crate::dataset::FEATURES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     /* Define the features to be trained */
-    let mut q_train = QueryBuilder::new().eq("message_type", "FLOW_STATS").eq("phase", "train").build();
+    let mut q_train = QueryBuilder::new()
+        .eq("message_type", "FLOW_STATS")
+        .eq("phase", "train")
+        .build();
     q_train.features = features.clone();
     /* Define data pre-processing: normalization plus feature weights */
     let f = Preprocessor::new()
@@ -47,7 +53,10 @@ fn run(train: &[RawFlowSample], test: &[RawFlowSample], algorithm: Algorithm) ->
         .generate_detection_model(&q_train, &f, &algorithm, truth)
         .expect("model generation");
     /* Define the features to be tested */
-    let mut q_test = QueryBuilder::new().eq("message_type", "FLOW_STATS").eq("phase", "test").build();
+    let mut q_test = QueryBuilder::new()
+        .eq("message_type", "FLOW_STATS")
+        .eq("phase", "test")
+        .build();
     q_test.features = features;
     /* Test the features */
     let summary = athena.validate_features(&q_test, &m, truth);
@@ -69,8 +78,7 @@ fn run(train: &[RawFlowSample], test: &[RawFlowSample], algorithm: Algorithm) ->
 /// generates on a live deployment), tagging each with the phase and its
 /// ground-truth label.
 fn ingest(athena: &Athena, samples: &[RawFlowSample], phase: &str) {
-    let tuples: HashSet<athena_types::FiveTuple> =
-        samples.iter().map(|s| s.five_tuple).collect();
+    let tuples: HashSet<athena_types::FiveTuple> = samples.iter().map(|s| s.five_tuple).collect();
     let pair_total = tuples
         .iter()
         .filter(|t| tuples.contains(&t.reversed()))

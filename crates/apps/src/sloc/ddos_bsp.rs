@@ -438,11 +438,7 @@ fn logistic_job(train: &mut [PeerState]) -> ([f64; DIM], f64) {
 // Validation over sharded test data.
 // -------------------------------------------------------------------
 
-fn validate_kmeans(
-    test: &[PeerState],
-    centroids: &[[f64; DIM]],
-    flags: &[bool],
-) -> DetectorOutput {
+fn validate_kmeans(test: &[PeerState], centroids: &[[f64; DIM]], flags: &[bool]) -> DetectorOutput {
     let mut confusion = ConfusionMatrix::default();
     let mut clusters = vec![(0u64, 0u64, false); K];
     for state in test {
@@ -458,7 +454,10 @@ fn validate_kmeans(
             clusters[c].2 = predicted;
         }
     }
-    DetectorOutput { confusion, clusters }
+    DetectorOutput {
+        confusion,
+        clusters,
+    }
 }
 
 fn validate_logistic(test: &[PeerState], weights: &[f64; DIM], bias: f64) -> DetectorOutput {
@@ -489,12 +488,20 @@ fn run(train: &[RawFlowSample], test: &[RawFlowSample], mode: Mode) -> DetectorO
                 s.lo = train_states[MASTER].lo;
                 s.hi = train_states[MASTER].hi;
             }
-            normalize_with(&mut test_states, train_states[MASTER].lo, train_states[MASTER].hi);
+            normalize_with(
+                &mut test_states,
+                train_states[MASTER].lo,
+                train_states[MASTER].hi,
+            );
             validate_kmeans(&test_states, &centroids, &flags)
         }
         Mode::Logistic => {
             let (weights, bias) = logistic_job(&mut train_states);
-            normalize_with(&mut test_states, train_states[MASTER].lo, train_states[MASTER].hi);
+            normalize_with(
+                &mut test_states,
+                train_states[MASTER].lo,
+                train_states[MASTER].hi,
+            );
             validate_logistic(&test_states, &weights, bias)
         }
     }

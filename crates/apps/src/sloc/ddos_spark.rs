@@ -433,7 +433,10 @@ fn merge_validation(partials: Vec<ValidationPartial>) -> DetectorOutput {
             slot.2 |= f;
         }
     }
-    DetectorOutput { confusion, clusters }
+    DetectorOutput {
+        confusion,
+        clusters,
+    }
 }
 
 /// Builds the operator-facing report by hand.

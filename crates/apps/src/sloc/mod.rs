@@ -223,10 +223,7 @@ let after = 3;
         assert!(athena > 0 && spark > 0 && bsp > 0);
         // The paper reports Athena at ~5% of the baselines; we assert the
         // order-of-magnitude relationship.
-        assert!(
-            athena * 5 < spark,
-            "athena {athena} vs spark {spark}"
-        );
+        assert!(athena * 5 < spark, "athena {athena} vs spark {spark}");
         assert!(athena * 5 < bsp, "athena {athena} vs bsp {bsp}");
     }
 }

@@ -62,7 +62,11 @@ fn bench_flow_table(c: &mut Criterion) {
     }
     let pkt = PacketHeader::from_five_tuple(PortNo::new(1), ft(500), 64);
     c.bench_function("flow_table/lookup_1k_entries", |b| {
-        b.iter(|| table.lookup(black_box(&pkt), SimTime::ZERO, 1, 64).is_some())
+        b.iter(|| {
+            table
+                .lookup(black_box(&pkt), SimTime::ZERO, 1, 64)
+                .is_some()
+        })
     });
 }
 

@@ -59,7 +59,11 @@ fn main() {
             curve[1] * 100.0,
             curve[3] * 100.0,
             curve[5] * 100.0,
-            if (serial - 0.15).abs() < 1e-9 { "27.6%" } else { "" }
+            if (serial - 0.15).abs() < 1e-9 {
+                "27.6%"
+            } else {
+                ""
+            }
         );
         six_node.push((format!("serial={serial}"), curve[5]));
     }
@@ -85,7 +89,8 @@ fn main() {
         assert!(*six < 1.0, "{label} did not speed up at all");
     }
     assert!(
-        six_node[0].1 < six_node[1].1 && six_node[1].1 < six_node[2].1
+        six_node[0].1 < six_node[1].1
+            && six_node[1].1 < six_node[2].1
             && six_node[2].1 < six_node[3].1,
         "serial fraction must monotonically flatten the curve"
     );

@@ -37,13 +37,15 @@ fn main() {
         )
         .expect("model");
 
-    println!("{:<8} {:>16} {:>16} {:>12} {:>12}", "nodes", "athena (vt ms)", "raw spark (vt ms)", "% of 1-node", "overhead");
+    println!(
+        "{:<8} {:>16} {:>16} {:>12} {:>12}",
+        "nodes", "athena (vt ms)", "raw spark (vt ms)", "% of 1-node", "overhead"
+    );
     let mut athena_times = Vec::new();
     let mut spark_times = Vec::new();
     for nodes in 1..=6 {
         let dm = DetectorManager::new(ComputeCluster::new(nodes));
-        let (summary, athena_vt) =
-            dm.validate_points_distributed(data.points.clone(), &model);
+        let (summary, athena_vt) = dm.validate_points_distributed(data.points.clone(), &model);
         assert_eq!(summary.total_entries(), entries as u64);
 
         // The raw-Spark comparator: the same validation written directly
@@ -57,7 +59,10 @@ fn main() {
             let mut cm = ConfusionMatrix::default();
             for p in part {
                 let prepared = model_for_job.preprocessor.apply_point(p);
-                cm.record(p.is_malicious(), model_for_job.model.predict(&prepared.features) >= 0.5);
+                cm.record(
+                    p.is_malicious(),
+                    model_for_job.model.predict(&prepared.features) >= 0.5,
+                );
             }
             vec![cm]
         });
@@ -67,8 +72,7 @@ fn main() {
         }
         let spark_vt = cluster.total_virtual_time() - before;
 
-        let overhead = (athena_vt.as_secs_f64() - spark_vt.as_secs_f64())
-            / spark_vt.as_secs_f64();
+        let overhead = (athena_vt.as_secs_f64() - spark_vt.as_secs_f64()) / spark_vt.as_secs_f64();
         athena_times.push(athena_vt);
         spark_times.push(spark_vt);
         println!(
@@ -113,6 +117,9 @@ fn main() {
         six_node_pct > 0.15 && six_node_pct < 0.45,
         "6-node time should land near the paper's 27.6%: {six_node_pct}"
     );
-    assert!(max_overhead < 0.10, "athena overhead must stay under 10%: {max_overhead}");
+    assert!(
+        max_overhead < 0.10,
+        "athena overhead must stay under 10%: {max_overhead}"
+    );
     println!("\nshape verified: linear decrease, 6-node ≈ paper's 27.6%, overhead < 10%");
 }

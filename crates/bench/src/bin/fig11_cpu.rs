@@ -53,7 +53,11 @@ fn stats_reply(n: usize, seed: u32) -> OfMessage {
 
 /// Measures the cost (seconds) of handling one flow-stats event through
 /// the given cluster, amortized over `reps` repetitions.
-fn cost_per_flow_event(cluster: &mut ControllerCluster, flows_per_reply: usize, reps: usize) -> f64 {
+fn cost_per_flow_event(
+    cluster: &mut ControllerCluster,
+    flows_per_reply: usize,
+    reps: usize,
+) -> f64 {
     // Warm-up.
     let _ = cluster.on_message(Dpid::new(1), stats_reply(flows_per_reply, 0), SimTime::ZERO);
     let start = Instant::now();
@@ -93,7 +97,10 @@ fn main() {
 
     // The curve: utilization at each offered flow-event rate. The paper's
     // x-axis tops out around 160K flows/s.
-    println!("{:>14} {:>14} {:>14}", "flows/s", "ONOS CPU%", "ONOS+Athena CPU%");
+    println!(
+        "{:>14} {:>14} {:>14}",
+        "flows/s", "ONOS CPU%", "ONOS+Athena CPU%"
+    );
     let mut saturation_rate = None;
     let mut baseline_at_saturation = 0.0;
     for rate in (20_000..=200_000).step_by(20_000) {

@@ -17,7 +17,10 @@ use athena_ml::group_digits;
 fn main() {
     header("Figure 6 — DDoS detector output (K-Means, K=8)");
     let entries = env_scale("ATHENA_FIG6_ENTRIES", 373_704);
-    println!("dataset: {} entries (paper: 37,370,466; scale with ATHENA_FIG6_ENTRIES)\n", group_digits(entries as u64));
+    println!(
+        "dataset: {} entries (paper: 37,370,466; scale with ATHENA_FIG6_ENTRIES)\n",
+        group_digits(entries as u64)
+    );
 
     let data = DdosDataset::generate(entries, 20170607);
     let (train, test) = data.points.split_at(entries / 2);
@@ -63,13 +66,27 @@ fn main() {
     compare_row(
         "False Alarm Rate",
         "0.0446 (4.46%)",
-        &format!("{:.4} ({})", c.false_alarm_rate(), pct(c.false_alarm_rate())),
+        &format!(
+            "{:.4} ({})",
+            c.false_alarm_rate(),
+            pct(c.false_alarm_rate())
+        ),
     );
-    compare_row("Clusters", "K(8), Iterations(20), Runs(5)", "same configuration");
+    compare_row(
+        "Clusters",
+        "K(8), Iterations(20), Runs(5)",
+        "same configuration",
+    );
 
     // Shape assertions: the detector must land in the paper's operating
     // region (high detection, low-single-digit false alarms).
-    assert!(c.detection_rate() > 0.97, "detection rate off the paper's operating point");
-    assert!(c.false_alarm_rate() < 0.10, "false alarms off the paper's operating point");
+    assert!(
+        c.detection_rate() > 0.97,
+        "detection rate off the paper's operating point"
+    );
+    assert!(
+        c.false_alarm_rate() < 0.10,
+        "false alarms off the paper's operating point"
+    );
     println!("\nshape verified: detection > 97%, false alarms < 10%");
 }

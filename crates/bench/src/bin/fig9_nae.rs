@@ -22,7 +22,10 @@ fn main() {
     let topo = Topology::nae();
     let mut net = Network::new(topo.clone());
     let mut cluster = ControllerCluster::new(&topo);
-    cluster.add_processor(Box::new(LoadBalancer::new((Ipv4Addr::new(10, 0, 4, 0), 24))));
+    cluster.add_processor(Box::new(LoadBalancer::new((
+        Ipv4Addr::new(10, 0, 4, 0),
+        24,
+    ))));
     cluster.add_processor(Box::new(
         SecurityApp::new(Dpid::new(6)).activate_at(SimTime::from_secs(ACTIVATE_AT)),
     ));
@@ -60,7 +63,10 @@ fn main() {
     net.run_until(SimTime::from_secs(RUN_FOR), &mut cluster);
 
     let series = monitor.series();
-    println!("{}", athena.show_series("per-switch packet counts (S3 vs S6)", &series));
+    println!(
+        "{}",
+        athena.show_series("per-switch packet counts (S3 vs S6)", &series)
+    );
     println!("CSV:\n{}", athena.ui().to_csv(&series));
 
     // Quantify the takeover: mean per-sample packet share of S6 before
@@ -101,14 +107,25 @@ fn main() {
     compare_row(
         "SLA violations detected",
         "alerted via Athena UI manager",
-        &format!("{} (first at {:?}s)", violations.len(),
-            violations.first().map(|v| v.at.as_secs_f64())),
+        &format!(
+            "{} (first at {:?}s)",
+            violations.len(),
+            violations.first().map(|v| v.at.as_secs_f64())
+        ),
     );
 
-    assert!(before_ratio > 0.3 && before_ratio < 0.7, "pre-activation should be roughly balanced: {before_ratio}");
-    assert!(after_ratio > 0.8, "post-activation S6 must dominate: {after_ratio}");
     assert!(
-        violations.iter().any(|v| v.at >= SimTime::from_secs(ACTIVATE_AT)),
+        before_ratio > 0.3 && before_ratio < 0.7,
+        "pre-activation should be roughly balanced: {before_ratio}"
+    );
+    assert!(
+        after_ratio > 0.8,
+        "post-activation S6 must dominate: {after_ratio}"
+    );
+    assert!(
+        violations
+            .iter()
+            .any(|v| v.at >= SimTime::from_secs(ACTIVATE_AT)),
         "SLA violations must appear after activation"
     );
     println!("\nshape verified: balanced -> takeover at t={ACTIVATE_AT}s, SLA alarms raised");

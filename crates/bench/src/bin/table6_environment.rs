@@ -49,7 +49,10 @@ fn main() {
     let ui = UiManager::new();
     println!(
         "{}",
-        ui.render_table(&["Category", "Braga et al. [10]", "Athena (this repo)"], &rows)
+        ui.render_table(
+            &["Category", "Braga et al. [10]", "Athena (this repo)"],
+            &rows
+        )
     );
 
     // Sanity: the measured values match the paper's Table VI claims.

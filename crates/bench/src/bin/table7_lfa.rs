@@ -18,7 +18,10 @@ fn main() {
         .skip(1)
         .map(|r| r.iter().map(|s| (*s).to_owned()).collect())
         .collect();
-    println!("{}", ui.render_table(&["Category", "Spiffy [26]", "Athena"], &rows));
+    println!(
+        "{}",
+        ui.render_table(&["Category", "Spiffy [26]", "Athena"], &rows)
+    );
 
     header("live mitigation run (Crossfire on link 2->3)");
     let topo = Topology::linear(4, 6);
@@ -29,7 +32,12 @@ fn main() {
     let mut lfa = LfaMitigator::new(LfaMitigatorConfig::default());
     lfa.deploy(&athena);
 
-    net.inject_flows(workload::benign_mix_on(&topo, 40, SimDuration::from_secs(60), 31));
+    net.inject_flows(workload::benign_mix_on(
+        &topo,
+        40,
+        SimDuration::from_secs(60),
+        31,
+    ));
     net.inject_flows(workload::crossfire(
         &topo,
         Dpid::new(2),

@@ -45,9 +45,21 @@ fn main() {
     println!("(both algorithm variants share the same parameterized app code here,\n so the two rows coincide; the paper's Java versions differed by a few lines)\n");
 
     header("paper vs measured");
-    compare_row("Athena K-Means / LogReg", "45 / 42 lines", &format!("{athena} lines"));
-    compare_row("Spark K-Means / LogReg", "825 / 851 lines", &format!("{spark} lines"));
-    compare_row("Hama K-Means / LogReg", "817 / 829 lines", &format!("{bsp} lines"));
+    compare_row(
+        "Athena K-Means / LogReg",
+        "45 / 42 lines",
+        &format!("{athena} lines"),
+    );
+    compare_row(
+        "Spark K-Means / LogReg",
+        "825 / 851 lines",
+        &format!("{spark} lines"),
+    );
+    compare_row(
+        "Hama K-Means / LogReg",
+        "817 / 829 lines",
+        &format!("{bsp} lines"),
+    );
     compare_row(
         "Athena / baseline ratio",
         "~5%",

@@ -91,9 +91,21 @@ fn main() {
     );
 
     header("paper vs measured");
-    compare_row("Without Athena (avg rps)", "831,366", &format!("{:.0}", without.avg));
-    compare_row("With Athena (avg rps)", "389,584", &format!("{:.0}", with_db.avg));
-    compare_row("With, no DB (avg rps)", "658,514", &format!("{:.0}", no_db.avg));
+    compare_row(
+        "Without Athena (avg rps)",
+        "831,366",
+        &format!("{:.0}", without.avg),
+    );
+    compare_row(
+        "With Athena (avg rps)",
+        "389,584",
+        &format!("{:.0}", with_db.avg),
+    );
+    compare_row(
+        "With, no DB (avg rps)",
+        "658,514",
+        &format!("{:.0}", no_db.avg),
+    );
     compare_row("Avg overhead (with DB)", "53.13%", &pct(overhead_db));
     compare_row("Avg overhead (no DB)", "20.79%", &pct(overhead_nodb));
 

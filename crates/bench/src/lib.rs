@@ -19,6 +19,8 @@
 //! that finish in seconds and can be raised with the `ATHENA_SCALE`
 //! environment variable (1 = paper scale where feasible).
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 use std::env;
 
 /// Reads a scale knob from the environment (`name`), defaulting to

@@ -135,9 +135,7 @@ impl ComputeCluster {
             job_id,
             label: label.to_owned(),
             tasks: partitions.len(),
-            total_task_time: SimDuration::from_micros(
-                costs.iter().map(|d| d.as_micros()).sum(),
-            ),
+            total_task_time: SimDuration::from_micros(costs.iter().map(|d| d.as_micros()).sum()),
             virtual_time,
         });
         results

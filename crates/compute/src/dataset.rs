@@ -90,11 +90,9 @@ impl<T> Dataset<T> {
 impl<T: Clone> Dataset<T> {
     /// Applies `f` to every element (one job, one task per partition).
     pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Dataset<U> {
-        let parts = self
-            .cluster
-            .run_job("map", &self.partitions, |p: &Vec<T>| {
-                p.iter().map(&f).collect::<Vec<U>>()
-            });
+        let parts = self.cluster.run_job("map", &self.partitions, |p: &Vec<T>| {
+            p.iter().map(&f).collect::<Vec<U>>()
+        });
         Dataset::from_partitions(self.cluster.clone(), parts)
     }
 
@@ -122,21 +120,14 @@ impl<T: Clone> Dataset<T> {
         let partials = self
             .cluster
             .run_job("reduce", &self.partitions, |p: &Vec<T>| {
-                p.iter()
-                    .cloned()
-                    .reduce(&f)
+                p.iter().cloned().reduce(&f)
             });
         partials.into_iter().flatten().reduce(f)
     }
 
     /// Spark's `aggregate`: per-partition fold with `seq`, then a driver
     /// combine with `comb`.
-    pub fn fold<A: Clone>(
-        &self,
-        init: A,
-        seq: impl Fn(A, &T) -> A,
-        comb: impl Fn(A, A) -> A,
-    ) -> A {
+    pub fn fold<A: Clone>(&self, init: A, seq: impl Fn(A, &T) -> A, comb: impl Fn(A, A) -> A) -> A {
         let partials = self
             .cluster
             .run_job("fold", &self.partitions, |p: &Vec<T>| {
@@ -181,10 +172,7 @@ impl<T: Clone> Dataset<T> {
         let parts = self
             .cluster
             .run_job("sample", &self.partitions, |p: &Vec<T>| {
-                p.iter()
-                    .step_by(keep_every)
-                    .cloned()
-                    .collect::<Vec<T>>()
+                p.iter().step_by(keep_every).cloned().collect::<Vec<T>>()
             });
         Dataset::from_partitions(self.cluster.clone(), parts)
     }

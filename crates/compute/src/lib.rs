@@ -34,6 +34,8 @@
 //! assert!(cluster.total_virtual_time().as_micros() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod cluster;
 pub mod dataset;
 pub mod scheduler;

@@ -98,10 +98,7 @@ impl VirtualScheduler {
         costs.sort_unstable_by(|a, b| b.cmp(a));
         let mut loads = vec![0u64; self.workers];
         for c in costs {
-            let min = loads
-                .iter_mut()
-                .min()
-                .expect("at least one worker");
+            let min = loads.iter_mut().min().expect("at least one worker");
             *min += c;
         }
         let parallel = loads.into_iter().max().unwrap_or(0);

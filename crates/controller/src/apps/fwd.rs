@@ -113,10 +113,7 @@ mod tests {
         let OfMessage::FlowMod { body, .. } = &cmds[2].1 else {
             panic!("flow mod expected")
         };
-        assert_eq!(
-            Action::first_output(&body.actions),
-            Some(dst.port)
-        );
+        assert_eq!(Action::first_output(&body.actions), Some(dst.port));
         assert_eq!(cmds[2].0, dst.switch);
     }
 

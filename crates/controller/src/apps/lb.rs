@@ -47,12 +47,7 @@ impl LoadBalancer {
 /// Up to `k` link-disjoint shortest paths between two switches.
 ///
 /// Computes the shortest path, removes its links, repeats.
-pub fn disjoint_paths(
-    topo: &Topology,
-    from: Dpid,
-    to: Dpid,
-    k: usize,
-) -> Vec<Vec<(Dpid, PortNo)>> {
+pub fn disjoint_paths(topo: &Topology, from: Dpid, to: Dpid, k: usize) -> Vec<Vec<(Dpid, PortNo)>> {
     let mut paths = Vec::new();
     let mut excluded: HashSet<(Dpid, PortNo)> = HashSet::new();
     for _ in 0..k {

@@ -88,12 +88,7 @@ impl PacketProcessor for CbenchResponder {
 /// Runs one Cbench throughput round: `events` synthetic packet-ins spread
 /// round-robin over the cluster's switches.
 pub fn throughput_round(cluster: &mut ControllerCluster, events: u64, seed: u64) -> CbenchRound {
-    let switches: Vec<Dpid> = cluster
-        .topology()
-        .switches
-        .iter()
-        .map(|s| s.dpid)
-        .collect();
+    let switches: Vec<Dpid> = cluster.topology().switches.iter().map(|s| s.dpid).collect();
     let mut responses = 0u64;
     let start = Instant::now();
     let mut state = seed | 1;

@@ -177,8 +177,7 @@ impl ControllerLink for ControllerCluster {
             OfMessage::PacketIn { body, .. } => {
                 self.counters.packet_ins += 1;
                 // Host learning from observed source addresses.
-                if let (Some(ip), true) = (body.header.ip_src, body.header.in_port.is_physical())
-                {
+                if let (Some(ip), true) = (body.header.ip_src, body.header.in_port.is_physical()) {
                     if self.hosts.location_of(ip).is_none() {
                         self.hosts.learn(ip, from, body.header.in_port);
                     }
@@ -307,14 +306,8 @@ mod tests {
         let topo = Topology::enterprise();
         let cluster = ControllerCluster::new(&topo);
         assert_eq!(cluster.instance_count(), 3);
-        assert_eq!(
-            cluster.master_of(Dpid::new(1)),
-            Some(ControllerId::new(0))
-        );
-        assert_eq!(
-            cluster.master_of(Dpid::new(5)),
-            Some(ControllerId::new(2))
-        );
+        assert_eq!(cluster.master_of(Dpid::new(1)), Some(ControllerId::new(0)));
+        assert_eq!(cluster.master_of(Dpid::new(5)), Some(ControllerId::new(2)));
     }
 
     #[test]

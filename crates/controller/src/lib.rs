@@ -39,6 +39,8 @@
 //! assert_eq!(cluster.instance_count(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod apps;
 pub mod cbench;
 pub mod cluster;

@@ -53,8 +53,13 @@ impl<'a> PacketContext<'a> {
     /// flow-rule service so the rule is attributed to the app).
     pub fn install_rule(&mut self, app: AppId, dpid: Dpid, fm: FlowMod) {
         let fm = self.flow_rules.register(app, fm, dpid, self.now);
-        self.commands
-            .push((dpid, OfMessage::FlowMod { xid: Xid::new(0), body: fm }));
+        self.commands.push((
+            dpid,
+            OfMessage::FlowMod {
+                xid: Xid::new(0),
+                body: fm,
+            },
+        ));
     }
 
     /// Emits a raw command (e.g. a packet-out).

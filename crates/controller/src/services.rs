@@ -29,7 +29,11 @@ impl MastershipService {
     /// Builds the mastership map from the topology's assignments.
     pub fn from_topology(topo: &Topology) -> Self {
         MastershipService {
-            masters: topo.switches.iter().map(|s| (s.dpid, s.controller)).collect(),
+            masters: topo
+                .switches
+                .iter()
+                .map(|s| (s.dpid, s.controller))
+                .collect(),
         }
     }
 

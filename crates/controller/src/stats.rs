@@ -76,10 +76,7 @@ mod tests {
 
     #[test]
     fn polls_on_the_interval() {
-        let mut p = StatsPoller::new(
-            vec![Dpid::new(1), Dpid::new(2)],
-            SimDuration::from_secs(5),
-        );
+        let mut p = StatsPoller::new(vec![Dpid::new(1), Dpid::new(2)], SimDuration::from_secs(5));
         // First poll fires immediately.
         assert_eq!(p.poll(SimTime::from_secs(1)).len(), 4);
         // Too soon.

@@ -231,7 +231,10 @@ impl Athena {
     /// `AddEventHandler(q)`: registers a handler receiving live features
     /// matching the query. Returns the registration index.
     pub fn add_event_handler(&self, q: &Query, handler: EventHandler) -> usize {
-        self.runtime.feature_manager.lock().register_handler(q, handler)
+        self.runtime
+            .feature_manager
+            .lock()
+            .register_handler(q, handler)
     }
 
     /// `AddOnlineValidator(f, m, e)`: registers a live validator scoring

@@ -112,11 +112,8 @@ pub const TABLE_FEATURES: &[&str] = &[
 /// Per-event packet-in features (derived from each `PACKET_IN` directly —
 /// the per-message protocol-centric path that dominates Athena's Table IX
 /// overhead).
-pub const PACKET_IN_FEATURES: &[&str] = &[
-    "PACKET_IN_BYTE_LEN",
-    "PACKET_IN_PORT",
-    "PACKET_IN_BUFFERED",
-];
+pub const PACKET_IN_FEATURES: &[&str] =
+    &["PACKET_IN_BYTE_LEN", "PACKET_IN_PORT", "PACKET_IN_BUFFERED"];
 
 /// Flow-removed features.
 pub const FLOW_REMOVED_FEATURES: &[&str] = &[
@@ -273,10 +270,7 @@ mod tests {
             FeatureCategory::Stateful,
             FeatureCategory::Variation,
         ] {
-            assert!(
-                all.iter().any(|f| category_of(f) == cat),
-                "{cat:?} missing"
-            );
+            assert!(all.iter().any(|f| category_of(f) == cat), "{cat:?} missing");
         }
     }
 
@@ -288,12 +282,12 @@ mod tests {
             category_of("FLOW_PACKET_COUNT"),
             FeatureCategory::ProtocolCentric
         );
-        assert_eq!(category_of("FLOW_UTILIZATION"), FeatureCategory::Combination);
-        assert_eq!(category_of("PAIR_FLOW_RATIO"), FeatureCategory::Stateful);
         assert_eq!(
-            category_of("PORT_RX_BYTES_VAR"),
-            FeatureCategory::Variation
+            category_of("FLOW_UTILIZATION"),
+            FeatureCategory::Combination
         );
+        assert_eq!(category_of("PAIR_FLOW_RATIO"), FeatureCategory::Stateful);
+        assert_eq!(category_of("PORT_RX_BYTES_VAR"), FeatureCategory::Variation);
     }
 
     #[test]

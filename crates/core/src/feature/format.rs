@@ -119,19 +119,13 @@ impl FeatureRecord {
 
     /// Looks up a field by name.
     pub fn field(&self, name: &str) -> Option<f64> {
-        self.fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// Extracts the named fields as a feature vector; `None` if any is
     /// missing (the record is not of the right kind for the model).
     pub fn vector(&self, names: &[impl AsRef<str>]) -> Option<Vec<f64>> {
-        names
-            .iter()
-            .map(|n| self.field(n.as_ref()))
-            .collect()
+        names.iter().map(|n| self.field(n.as_ref())).collect()
     }
 
     /// Serializes the record into a store document, flattening index and
@@ -170,9 +164,7 @@ impl FeatureRecord {
     /// [`FeatureRecord::to_document`]); unknown fields become feature
     /// fields.
     pub fn from_document(d: &Document) -> Self {
-        let mut index = FeatureIndex::switch(Dpid::new(
-            d.get_i64("switch").unwrap_or(0) as u64
-        ));
+        let mut index = FeatureIndex::switch(Dpid::new(d.get_i64("switch").unwrap_or(0) as u64));
         if let Some(p) = d.get_i64("port") {
             index.port = Some(PortNo::new(p as u32));
         }
@@ -223,7 +215,11 @@ impl FeatureRecord {
                 fields.push((k.clone(), x));
             }
         }
-        FeatureRecord { index, meta, fields }
+        FeatureRecord {
+            index,
+            meta,
+            fields,
+        }
     }
 }
 

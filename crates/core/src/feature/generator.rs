@@ -137,10 +137,8 @@ impl FeatureGenerator {
                                 .prev_table
                                 .insert(from, (e.active_count, e.lookup_count))
                                 .unwrap_or((e.active_count, e.lookup_count));
-                            let mut r =
-                                FeatureRecord::new(FeatureIndex::switch(from)).with_meta(
-                                    self.meta(now, "TABLE_STATS", polled),
-                                );
+                            let mut r = FeatureRecord::new(FeatureIndex::switch(from))
+                                .with_meta(self.meta(now, "TABLE_STATS", polled));
                             r.push_field("TABLE_ACTIVE_COUNT", f64::from(e.active_count));
                             r.push_field("TABLE_LOOKUP_COUNT", e.lookup_count as f64);
                             r.push_field("TABLE_MATCHED_COUNT", e.matched_count as f64);
@@ -197,8 +195,7 @@ impl FeatureGenerator {
                 let mut index = FeatureIndex::switch(from);
                 index.five_tuple = body.header.five_tuple();
                 index.port = Some(body.header.in_port);
-                let mut r =
-                    FeatureRecord::new(index).with_meta(self.meta(now, "PACKET_IN", false));
+                let mut r = FeatureRecord::new(index).with_meta(self.meta(now, "PACKET_IN", false));
                 r.push_field("PACKET_IN_BYTE_LEN", f64::from(body.header.byte_len));
                 r.push_field("PACKET_IN_PORT", f64::from(body.header.in_port.raw()));
                 r.push_field(
@@ -227,8 +224,11 @@ impl FeatureGenerator {
                 .prev_msg_counts
                 .insert(dpid, counts)
                 .unwrap_or_default();
-            let mut r = FeatureRecord::new(FeatureIndex::switch(dpid))
-                .with_meta(self.meta(now, "MSG_WINDOW", false));
+            let mut r = FeatureRecord::new(FeatureIndex::switch(dpid)).with_meta(self.meta(
+                now,
+                "MSG_WINDOW",
+                false,
+            ));
             r.push_field("MSG_PACKET_IN_COUNT", counts.packet_in as f64);
             r.push_field("MSG_PACKET_OUT_COUNT", counts.packet_out as f64);
             r.push_field("MSG_FLOW_MOD_COUNT", counts.flow_mod as f64);
@@ -371,7 +371,10 @@ impl FeatureGenerator {
                 "FLOW_BYTE_PER_PACKET",
                 safe_div(e.byte_count as f64, e.packet_count as f64),
             );
-            r.push_field("FLOW_PACKET_PER_DURATION", safe_div(e.packet_count as f64, dur));
+            r.push_field(
+                "FLOW_PACKET_PER_DURATION",
+                safe_div(e.packet_count as f64, dur),
+            );
             r.push_field("FLOW_BYTE_PER_DURATION", safe_div(e.byte_count as f64, dur));
             r.push_field(
                 "FLOW_UTILIZATION",
@@ -431,8 +434,11 @@ impl FeatureGenerator {
 
         // The per-switch stateful aggregate record.
         if !entries.is_empty() {
-            let mut r = FeatureRecord::new(FeatureIndex::switch(from))
-                .with_meta(self.meta(now, "SWITCH_STATE", polled));
+            let mut r = FeatureRecord::new(FeatureIndex::switch(from)).with_meta(self.meta(
+                now,
+                "SWITCH_STATE",
+                polled,
+            ));
             r.push_field("SWITCH_FLOW_COUNT", entries.len() as f64);
             r.push_field("SWITCH_PAIR_FLOW_COUNT", pair_count as f64);
             r.push_field("SWITCH_PAIR_FLOW_RATIO", pair_ratio);
@@ -565,14 +571,32 @@ impl FeatureGenerator {
             let p = prev.map(|p| p.stats).unwrap_or_default();
             let rx_var = e.rx_bytes as f64 - p.rx_bytes as f64;
             let tx_var = e.tx_bytes as f64 - p.tx_bytes as f64;
-            r.push_field("PORT_RX_PACKETS_VAR", e.rx_packets as f64 - p.rx_packets as f64);
-            r.push_field("PORT_TX_PACKETS_VAR", e.tx_packets as f64 - p.tx_packets as f64);
+            r.push_field(
+                "PORT_RX_PACKETS_VAR",
+                e.rx_packets as f64 - p.rx_packets as f64,
+            );
+            r.push_field(
+                "PORT_TX_PACKETS_VAR",
+                e.tx_packets as f64 - p.tx_packets as f64,
+            );
             r.push_field("PORT_RX_BYTES_VAR", rx_var);
             r.push_field("PORT_TX_BYTES_VAR", tx_var);
-            r.push_field("PORT_RX_DROPPED_VAR", e.rx_dropped as f64 - p.rx_dropped as f64);
-            r.push_field("PORT_TX_DROPPED_VAR", e.tx_dropped as f64 - p.tx_dropped as f64);
-            r.push_field("PORT_RX_ERRORS_VAR", e.rx_errors as f64 - p.rx_errors as f64);
-            r.push_field("PORT_TX_ERRORS_VAR", e.tx_errors as f64 - p.tx_errors as f64);
+            r.push_field(
+                "PORT_RX_DROPPED_VAR",
+                e.rx_dropped as f64 - p.rx_dropped as f64,
+            );
+            r.push_field(
+                "PORT_TX_DROPPED_VAR",
+                e.tx_dropped as f64 - p.tx_dropped as f64,
+            );
+            r.push_field(
+                "PORT_RX_ERRORS_VAR",
+                e.rx_errors as f64 - p.rx_errors as f64,
+            );
+            r.push_field(
+                "PORT_TX_ERRORS_VAR",
+                e.tx_errors as f64 - p.tx_errors as f64,
+            );
             // Utilization over the sampling window.
             r.push_field(
                 "PORT_RX_UTILIZATION",
@@ -721,7 +745,9 @@ mod tests {
             .collect();
         assert_eq!(flows.len(), 2);
         assert!(flows.iter().all(|r| r.field("PAIR_FLOW") == Some(1.0)));
-        assert!(flows.iter().all(|r| r.field("PAIR_FLOW_RATIO") == Some(1.0)));
+        assert!(flows
+            .iter()
+            .all(|r| r.field("PAIR_FLOW_RATIO") == Some(1.0)));
         let sw = records
             .iter()
             .find(|r| r.meta.message_type == "SWITCH_STATE")

@@ -58,6 +58,8 @@
 //! # Ok::<(), athena_types::AthenaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod athena;
 pub mod feature;
 pub mod nb;

@@ -62,9 +62,7 @@ impl DetectionModel {
     /// features.
     pub fn score(&self, record: &FeatureRecord) -> Option<f64> {
         let v = record.vector(&self.features)?;
-        let p = self
-            .preprocessor
-            .apply_point(&LabeledPoint::unlabeled(v));
+        let p = self.preprocessor.apply_point(&LabeledPoint::unlabeled(v));
         Some(self.model.predict(&p.features))
     }
 
@@ -179,9 +177,7 @@ impl DetectorManager {
             let Some(v) = r.vector(&model.features) else {
                 continue;
             };
-            let point = model
-                .preprocessor
-                .apply_point(&LabeledPoint::unlabeled(v));
+            let point = model.preprocessor.apply_point(&LabeledPoint::unlabeled(v));
             let actual = truth(r);
             let (predicted, cluster) = model.model.verdict_and_cluster(&point.features);
             confusion.record(actual, predicted);

@@ -213,8 +213,7 @@ mod tests {
         }
         let all = fm.request_features(&Query::all());
         assert_eq!(all.len(), 10);
-        let hot = fm
-            .request_features(&Query::parse("FLOW_PACKET_COUNT>50").unwrap());
+        let hot = fm.request_features(&Query::parse("FLOW_PACKET_COUNT>50").unwrap());
         assert_eq!(hot.len(), 4);
         assert_eq!(fm.count_features(&Query::parse("switch==0").unwrap()), 4);
     }

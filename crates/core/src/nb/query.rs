@@ -253,10 +253,11 @@ impl QueryBuilder {
 
     /// Builds the query.
     pub fn build(self) -> Query {
-        let predicate = match self.conjuncts.len() {
+        let mut conjuncts = self.conjuncts;
+        let predicate = match conjuncts.len() {
             0 => None,
-            1 => Some(self.conjuncts.into_iter().next().expect("one conjunct")),
-            _ => Some(Predicate::And(self.conjuncts)),
+            1 => conjuncts.pop(),
+            _ => Some(Predicate::And(conjuncts)),
         };
         Query {
             predicate,
@@ -336,14 +337,13 @@ fn parse_query(text: &str) -> Result<Query> {
     let mut tokens: Vec<&str> = norm.split_whitespace().collect();
     // Repair two-char ops that single-char splitting broke apart.
     let mut fixed: Vec<String> = Vec::with_capacity(tokens.len());
-    let mut i = 0;
-    while i < tokens.len() {
-        if (tokens[i] == "<" || tokens[i] == ">") && tokens.get(i + 1) == Some(&"=") {
-            fixed.push(format!("{}=", tokens[i]));
-            i += 2;
+    let mut parts = tokens.iter().peekable();
+    while let Some(&tok) = parts.next() {
+        if (tok == "<" || tok == ">") && parts.peek() == Some(&&"=") {
+            parts.next();
+            fixed.push(format!("{tok}="));
         } else {
-            fixed.push(tokens[i].to_owned());
-            i += 1;
+            fixed.push(tok.to_owned());
         }
     }
     tokens = fixed.iter().map(String::as_str).collect();
@@ -352,8 +352,8 @@ fn parse_query(text: &str) -> Result<Query> {
     let mut comparisons: Vec<Predicate> = Vec::new();
     let mut any_or = false;
     let mut i = 0;
-    while i < tokens.len() {
-        match tokens[i] {
+    while let Some(tok) = tokens.get(i) {
+        match *tok {
             "and" | "," => {
                 i += 1;
             }
@@ -418,7 +418,7 @@ fn parse_query(text: &str) -> Result<Query> {
     }
     query.predicate = match comparisons.len() {
         0 => None,
-        1 => Some(comparisons.into_iter().next().expect("one comparison")),
+        1 => comparisons.pop(),
         _ if any_or => Some(Predicate::Or(comparisons)),
         _ => Some(Predicate::And(comparisons)),
     };

@@ -166,7 +166,11 @@ mod tests {
     // Toward any host: its access port when local, else the "uplink".
     fn next_hop(from: Dpid, dest: Ipv4Addr) -> Option<PortNo> {
         let (dst_switch, dst_port) = locate(dest)?;
-        Some(if from == dst_switch { dst_port } else { PortNo::new(1) })
+        Some(if from == dst_switch {
+            dst_port
+        } else {
+            PortNo::new(1)
+        })
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl UiManager {
     pub fn render_series(&self, title: &str, series: &[Series]) -> String {
         let glyphs = ['*', 'o', '+', 'x', '#', '@'];
         let (w, h) = (self.width.max(20), self.height.max(5));
-        let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        let all: Vec<(f64, f64)> = series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
         if all.is_empty() {
             return format!("{title}\n(no data)");
         }
@@ -178,8 +181,14 @@ mod tests {
     #[test]
     fn series_chart_plots_every_series() {
         let ui = UiManager::new();
-        let s1: Series = ("sw6".into(), (0..20).map(|i| (f64::from(i), f64::from(i * 2))).collect());
-        let s2: Series = ("sw3".into(), (0..20).map(|i| (f64::from(i), 10.0)).collect());
+        let s1: Series = (
+            "sw6".into(),
+            (0..20).map(|i| (f64::from(i), f64::from(i * 2))).collect(),
+        );
+        let s2: Series = (
+            "sw3".into(),
+            (0..20).map(|i| (f64::from(i), 10.0)).collect(),
+        );
         let chart = ui.render_series("packet counts", &[s1, s2]);
         assert!(chart.contains("packet counts"));
         assert!(chart.contains('*'));

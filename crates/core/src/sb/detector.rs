@@ -203,12 +203,7 @@ mod tests {
     #[test]
     fn records_without_model_features_are_skipped() {
         let mut det = AttackDetector::new();
-        det.add_validator(
-            "v",
-            &Query::all(),
-            threshold_model(),
-            Box::new(|_| None),
-        );
+        det.add_validator("v", &Query::all(), threshold_model(), Box::new(|_| None));
         let empty = FeatureRecord::new(FeatureIndex::switch(Dpid::new(1)));
         det.process(&empty);
         assert_eq!(det.validator_stats()[0].1, 0);

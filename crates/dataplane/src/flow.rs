@@ -170,6 +170,9 @@ mod tests {
         let f = spec();
         let fwd = f.header(PortNo::new(1));
         let rev = f.reverse_header(PortNo::new(2));
-        assert_eq!(fwd.five_tuple().unwrap().reversed(), rev.five_tuple().unwrap());
+        assert_eq!(
+            fwd.five_tuple().unwrap().reversed(),
+            rev.five_tuple().unwrap()
+        );
     }
 }

@@ -41,6 +41,8 @@
 //! assert!(net.delivered_bytes() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod flow;
 pub mod link;
 pub mod network;

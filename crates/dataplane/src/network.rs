@@ -186,11 +186,10 @@ impl Network {
             // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
             let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
             for dpid in &dpids {
-                let removed = self
-                    .switches
-                    .get_mut(dpid)
-                    .expect("switch exists")
-                    .expire(t);
+                let removed = match self.switches.get_mut(dpid) {
+                    Some(sw) => sw.expire(t),
+                    None => continue,
+                };
                 for fr in removed {
                     self.counters.flow_removeds += 1;
                     let xid = self.fresh_xid();
@@ -204,12 +203,7 @@ impl Network {
             }
 
             // 2. Activate flows whose start time has arrived.
-            while self
-                .pending
-                .last()
-                .is_some_and(|f| f.start <= t)
-            {
-                let spec = self.pending.pop().expect("checked non-empty");
+            while let Some(spec) = self.pending.pop_if(|f| f.start <= t) {
                 self.activate_flow(spec, ctrl);
             }
 
@@ -273,8 +267,7 @@ impl Network {
             if fwd_bytes > 0 {
                 if let Some(src) = self.topology.host_by_ip(spec.five_tuple.src).copied() {
                     let header = spec.header(src.port);
-                    let (links, delivered) =
-                        self.route_path(src.switch, header, ctrl);
+                    let (links, delivered) = self.route_path(src.switch, header, ctrl);
                     routed.push(Routed {
                         flow_idx: idx,
                         header,
@@ -290,8 +283,7 @@ impl Network {
                 if rev_bytes > 0 {
                     if let Some(dst) = self.topology.host_by_ip(spec.five_tuple.dst).copied() {
                         let header = spec.reverse_header(dst.port);
-                        let (links, delivered) =
-                            self.route_path(dst.switch, header, ctrl);
+                        let (links, delivered) = self.route_path(dst.switch, header, ctrl);
                         routed.push(Routed {
                             flow_idx: idx,
                             header,
@@ -328,7 +320,9 @@ impl Network {
                 .product();
             let delivered_bytes = (r.bytes as f64 * frac) as u64;
             let dropped = r.bytes - delivered_bytes;
-            let spec = self.active[r.flow_idx].spec;
+            let Some(spec) = self.active.get(r.flow_idx).map(|f| f.spec) else {
+                continue;
+            };
             let packets = spec.packets_for(delivered_bytes.max(1));
             // Credit the counters along the path with the delivered share.
             self.credit_path(r.entry_switch, r.header, packets, delivered_bytes);
@@ -344,7 +338,9 @@ impl Network {
                     }
                 }
             }
-            let f = &mut self.active[r.flow_idx];
+            let Some(f) = self.active.get_mut(r.flow_idx) else {
+                continue;
+            };
             f.last_tick_routed = r.delivered;
             if r.delivered {
                 f.delivered_bytes += delivered_bytes;
@@ -423,13 +419,7 @@ impl Network {
     }
 
     /// Credits counters along an (already-routed) path.
-    fn credit_path(
-        &mut self,
-        entry_switch: Dpid,
-        header: PacketHeader,
-        packets: u64,
-        bytes: u64,
-    ) {
+    fn credit_path(&mut self, entry_switch: Dpid, header: PacketHeader, packets: u64, bytes: u64) {
         let mut dpid = entry_switch;
         let mut pkt = header;
         let max_hops = self.switches.len() + 2;
@@ -500,8 +490,8 @@ impl Network {
                             let pkt = body.header.with_in_port(PortNo::CONTROLLER);
                             // Inject at the named switch's egress port.
                             if let Some(link) = self.topology.link_from(dpid, out) {
-                                let next = apply_rewrites(&body.actions, pkt)
-                                    .with_in_port(link.dst_port);
+                                let next =
+                                    apply_rewrites(&body.actions, pkt).with_in_port(link.dst_port);
                                 self.credit_path(link.dst, next, 1, bytes);
                             }
                         }
@@ -559,10 +549,19 @@ fn via_wire(msg: OfMessage, wire: Option<athena_openflow::OfVersion>) -> OfMessa
         None => msg,
         Some(v) => {
             let bytes = athena_openflow::encode_message(&msg, v);
-            let (decoded, _) =
-                athena_openflow::decode_message(&bytes).expect("wire round-trip decode");
-            debug_assert_eq!(decoded, msg, "codec round-trip must be lossless");
-            decoded
+            match athena_openflow::decode_message(&bytes) {
+                Ok((decoded, _)) => {
+                    debug_assert_eq!(decoded, msg, "codec round-trip must be lossless");
+                    decoded
+                }
+                Err(e) => {
+                    // A decode failure is a codec bug; surface it under
+                    // test but degrade to the in-memory message in release
+                    // rather than taking down the whole simulation.
+                    debug_assert!(false, "wire round-trip decode failed: {e}");
+                    msg
+                }
+            }
         }
     }
 }
@@ -636,12 +635,8 @@ impl ControllerLink for LearningControllerStub {
                 *hop,
                 OfMessage::FlowMod {
                     xid: Xid::new(0),
-                    body: athena_openflow::FlowMod::add(
-                        m,
-                        100,
-                        vec![Action::Output(*port)],
-                    )
-                    .with_idle_timeout(self.idle_timeout),
+                    body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(*port)])
+                        .with_idle_timeout(self.idle_timeout),
                 },
             ));
         }
@@ -651,12 +646,8 @@ impl ControllerLink for LearningControllerStub {
             dst.switch,
             OfMessage::FlowMod {
                 xid: Xid::new(0),
-                body: athena_openflow::FlowMod::add(
-                    m,
-                    100,
-                    vec![Action::Output(dst.port)],
-                )
-                .with_idle_timeout(self.idle_timeout),
+                body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(dst.port)])
+                    .with_idle_timeout(self.idle_timeout),
             },
         ));
         cmds
@@ -673,8 +664,16 @@ mod tests {
         let topo = Topology::linear(3, 1);
         let net = Network::new(topo);
         let ctrl = LearningControllerStub::new(&net);
-        let src = net.topology().host(athena_types::HostId::new(1)).unwrap().ip;
-        let dst = net.topology().host(athena_types::HostId::new(3)).unwrap().ip;
+        let src = net
+            .topology()
+            .host(athena_types::HostId::new(1))
+            .unwrap()
+            .ip;
+        let dst = net
+            .topology()
+            .host(athena_types::HostId::new(3))
+            .unwrap()
+            .ip;
         let ft = FiveTuple::tcp(src, 40_000, dst, 80);
         (net, ctrl, ft)
     }
@@ -700,7 +699,9 @@ mod tests {
         assert!(ctrl.installs() >= 3);
         // Flow counters on the ingress switch reflect the traffic.
         let sw1 = net.switch(Dpid::new(1)).unwrap();
-        let stats = sw1.table().flow_stats(&athena_openflow::MatchFields::new(), net.now());
+        let stats = sw1
+            .table()
+            .flow_stats(&athena_openflow::MatchFields::new(), net.now());
         assert!(!stats.is_empty());
         assert!(stats.iter().any(|s| s.byte_count > 1_000_000));
     }
@@ -712,7 +713,12 @@ mod tests {
         // Two short bursts separated by a long gap.
         net.inject_flows([
             FlowSpec::new(ft, SimTime::ZERO, SimDuration::from_secs(2), 1_000_000),
-            FlowSpec::new(ft, SimTime::from_secs(10), SimDuration::from_secs(2), 1_000_000),
+            FlowSpec::new(
+                ft,
+                SimTime::from_secs(10),
+                SimDuration::from_secs(2),
+                1_000_000,
+            ),
         ]);
         net.run_until(SimTime::from_secs(15), &mut net_ctrl(&mut ctrl));
         assert!(net.counters().flow_removeds >= 3, "{:?}", net.counters());
@@ -754,8 +760,18 @@ mod tests {
         };
         let (a, b, c, d) = (h(1), h(2), h(3), h(4));
         net.inject_flows([
-            FlowSpec::new(FiveTuple::tcp(a, 1, c, 80), SimTime::ZERO, SimDuration::from_secs(5), 800_000_000),
-            FlowSpec::new(FiveTuple::tcp(b, 2, d, 80), SimTime::ZERO, SimDuration::from_secs(5), 800_000_000),
+            FlowSpec::new(
+                FiveTuple::tcp(a, 1, c, 80),
+                SimTime::ZERO,
+                SimDuration::from_secs(5),
+                800_000_000,
+            ),
+            FlowSpec::new(
+                FiveTuple::tcp(b, 2, d, 80),
+                SimTime::ZERO,
+                SimDuration::from_secs(5),
+                800_000_000,
+            ),
         ]);
         net.run_until(SimTime::from_secs(7), &mut ctrl);
         assert!(net.counters().dropped_bytes > 0, "{:?}", net.counters());
@@ -772,7 +788,11 @@ mod tests {
         let topo = Topology::linear(2, 1);
         let mut net = Network::new(topo);
         let mut ctrl = LearningControllerStub::new(&net);
-        let src = net.topology().host(athena_types::HostId::new(1)).unwrap().ip;
+        let src = net
+            .topology()
+            .host(athena_types::HostId::new(1))
+            .unwrap()
+            .ip;
         let ft = FiveTuple::tcp(src, 1, Ipv4Addr::new(99, 99, 99, 99), 80);
         net.inject_flows([FlowSpec::new(
             ft,
@@ -829,13 +849,10 @@ mod tests {
     #[test]
     fn bidirectional_flows_create_pair_entries() {
         let (mut net, mut ctrl, ft) = two_host_net();
-        net.inject_flows([FlowSpec::new(
-            ft,
-            SimTime::ZERO,
-            SimDuration::from_secs(4),
-            1_000_000,
-        )
-        .bidirectional(0.5)]);
+        net.inject_flows([
+            FlowSpec::new(ft, SimTime::ZERO, SimDuration::from_secs(4), 1_000_000)
+                .bidirectional(0.5),
+        ]);
         net.run_until(SimTime::from_secs(6), &mut ctrl);
         // The middle switch carries entries for both directions.
         let sw2 = net.switch(Dpid::new(2)).unwrap();

@@ -1,9 +1,9 @@
 //! The simulated OpenFlow switch.
 
+use athena_openflow::stats::PortStatsEntry;
 use athena_openflow::{
     Action, FlowMod, FlowRemoved, FlowTable, MatchFields, PacketHeader, StatsReply, StatsRequest,
 };
-use athena_openflow::stats::PortStatsEntry;
 use athena_types::{Dpid, PortNo, SimTime};
 use std::collections::HashMap;
 

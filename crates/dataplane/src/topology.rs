@@ -399,7 +399,7 @@ mod tests {
         assert_eq!(t.switches.len(), 7);
         let upper = t.shortest_path(Dpid::new(1), Dpid::new(4)).unwrap();
         assert_eq!(upper.len(), 3); // both candidate paths are 3 hops
-        // The FTP server exists.
+                                    // The FTP server exists.
         assert!(t.host_by_ip(Ipv4Addr::new(10, 0, 4, 1)).is_some());
     }
 

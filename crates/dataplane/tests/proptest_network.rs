@@ -21,12 +21,8 @@ fn arb_flow(topo: &Topology) -> impl Strategy<Value = FlowSpec> + use<> {
                 if s == d {
                     return None;
                 }
-                let ft = FiveTuple::tcp(
-                    hosts[s].ip,
-                    (10_000 + s * 131 + d) as u16,
-                    hosts[d].ip,
-                    80,
-                );
+                let ft =
+                    FiveTuple::tcp(hosts[s].ip, (10_000 + s * 131 + d) as u16, hosts[d].ip, 80);
                 let mut f = FlowSpec::new(
                     ft,
                     SimTime::from_secs(start),

@@ -1,0 +1,79 @@
+//! Command-line entry point for the static-analysis gate.
+//!
+//! Usage: `cargo run -p athena-lint [-- --root <dir>]`
+//!
+//! Prints `file:line:col` diagnostics and exits non-zero when any
+//! error-severity violation (or stale allowlist entry) is found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use athena_lint::Severity;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("athena-lint: static-analysis gate for the Athena workspace");
+                println!("usage: athena-lint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("athena-lint: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| athena_lint::find_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("athena-lint: no lint.toml found above the current directory");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match athena_lint::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("athena-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    for s in &report.stale_allows {
+        println!("lint.toml: error[stale-allow]: {s}");
+    }
+
+    let errors = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count()
+        + report.stale_allows.len();
+    let warnings = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    println!(
+        "athena-lint: {} files scanned, {errors} error(s), {warnings} warning(s)",
+        report.files_scanned
+    );
+
+    if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

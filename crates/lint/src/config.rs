@@ -1,0 +1,305 @@
+//! `lint.toml` parsing.
+//!
+//! The workspace cannot take a dependency on a TOML crate, so this module
+//! parses the small TOML subset the lint configuration uses: `[table]`
+//! headers, `[[allow]]` array-of-table headers, `key = "string"`, and
+//! `key = [ "array", "of", "strings" ]` (single- or multi-line).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How a rule's findings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Reported and fails the gate.
+    Error,
+    /// Reported but does not fail the gate.
+    Warn,
+    /// Rule disabled.
+    Off,
+}
+
+impl Severity {
+    fn parse(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "error" => Ok(Severity::Error),
+            "warn" => Ok(Severity::Warn),
+            "off" => Ok(Severity::Off),
+            other => Err(ConfigError::new(format!(
+                "unknown severity {other:?} (expected \"error\", \"warn\", or \"off\")"
+            ))),
+        }
+    }
+}
+
+/// One grandfathered violation.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule name the entry silences.
+    pub rule: String,
+    /// Workspace-relative file the violation lives in.
+    pub file: String,
+    /// Substring of the offending source line.
+    pub pattern: String,
+    /// Why the site is allowed (required; shown in `--list-allowed`).
+    pub reason: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Files subject to the panic-freedom rule.
+    pub hot_paths: Vec<String>,
+    /// Coarse lock names in required acquisition order.
+    pub lock_order: Vec<String>,
+    /// Method names treated as send/event-bus calls by lock-discipline.
+    pub bus_calls: Vec<String>,
+    /// Per-rule severity overrides.
+    pub severity: HashMap<String, Severity>,
+    /// Grandfathered sites.
+    pub allow: Vec<AllowEntry>,
+}
+
+/// Error produced by [`Config::parse`].
+#[derive(Debug)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: String) -> Self {
+        ConfigError { message }
+    }
+
+    fn at(line_no: usize, message: String) -> Self {
+        ConfigError::new(format!("lint.toml:{line_no}: {message}"))
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the configuration text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on syntax this subset does not understand,
+    /// unknown keys, or an `[[allow]]` entry missing a field.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Config::default();
+        let mut section = String::new();
+
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if header != "allow" {
+                    return Err(ConfigError::at(
+                        line_no,
+                        format!("unknown array table [[{header}]]"),
+                    ));
+                }
+                section = "allow".to_string();
+                config.allow.push(AllowEntry {
+                    rule: String::new(),
+                    file: String::new(),
+                    pattern: String::new(),
+                    reason: String::new(),
+                });
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                match header {
+                    "lint" | "severity" => section = header.to_string(),
+                    other => {
+                        return Err(ConfigError::at(line_no, format!("unknown table [{other}]")))
+                    }
+                }
+                continue;
+            }
+
+            let (key, mut value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| {
+                    ConfigError::at(line_no, format!("expected `key = value`, got {line:?}"))
+                })?;
+
+            // Multi-line arrays: keep consuming until brackets balance.
+            while value.starts_with('[') && !brackets_balanced(&value) {
+                let (_, next) = lines
+                    .next()
+                    .ok_or_else(|| ConfigError::at(line_no, "unterminated array".to_string()))?;
+                value.push(' ');
+                value.push_str(strip_comment(next).trim());
+            }
+
+            match (section.as_str(), key.as_str()) {
+                ("lint", "hot_paths") => config.hot_paths = parse_string_array(&value, line_no)?,
+                ("lint", "lock_order") => config.lock_order = parse_string_array(&value, line_no)?,
+                ("lint", "bus_calls") => config.bus_calls = parse_string_array(&value, line_no)?,
+                ("severity", rule) => {
+                    let sev = Severity::parse(&parse_string(&value, line_no)?)?;
+                    config.severity.insert(rule.to_string(), sev);
+                }
+                ("allow", field) => {
+                    let entry = config.allow.last_mut().ok_or_else(|| {
+                        ConfigError::at(line_no, "allow key outside [[allow]]".to_string())
+                    })?;
+                    let s = parse_string(&value, line_no)?;
+                    match field {
+                        "rule" => entry.rule = s,
+                        "file" => entry.file = s,
+                        "pattern" => entry.pattern = s,
+                        "reason" => entry.reason = s,
+                        other => {
+                            return Err(ConfigError::at(
+                                line_no,
+                                format!("unknown allow key {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                (sec, k) => {
+                    return Err(ConfigError::at(
+                        line_no,
+                        format!("unknown key {k:?} in section [{sec}]"),
+                    ))
+                }
+            }
+        }
+
+        for (i, entry) in config.allow.iter().enumerate() {
+            if entry.rule.is_empty() || entry.file.is_empty() || entry.pattern.is_empty() {
+                return Err(ConfigError::new(format!(
+                    "[[allow]] entry #{} must set rule, file, and pattern",
+                    i + 1
+                )));
+            }
+            if entry.reason.is_empty() {
+                return Err(ConfigError::new(format!(
+                    "[[allow]] entry #{} ({} in {}) must carry a reason",
+                    i + 1,
+                    entry.rule,
+                    entry.file
+                )));
+            }
+        }
+
+        Ok(config)
+    }
+
+    /// The effective severity for a rule, honoring overrides.
+    pub fn severity_for(&self, rule: &str, default: Severity) -> Severity {
+        self.severity.get(rule).copied().unwrap_or(default)
+    }
+
+    /// Whether an allow entry matches the diagnostic site.
+    pub fn is_allowed(&self, rule: &str, file: &str, line_text: &str) -> bool {
+        self.allow
+            .iter()
+            .any(|a| a.rule == rule && a.file == file && line_text.contains(&a.pattern))
+    }
+}
+
+/// Drops a `#` comment, respecting string literals.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in value.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '[' if !in_string => depth += 1,
+            ']' if !in_string => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| {
+            ConfigError::at(line_no, format!("expected a quoted string, got {value:?}"))
+        })?;
+    // Unescape the two escapes the config actually needs.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+fn parse_string_array(value: &str, line_no: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError::at(line_no, format!("expected an array, got {value:?}")))?;
+    let mut out = Vec::new();
+    for part in split_top_level(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        out.push(parse_string(part, line_no)?);
+    }
+    Ok(out)
+}
+
+/// Splits on commas outside string literals.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}

@@ -1,0 +1,263 @@
+//! Static-analysis gate for the Athena workspace.
+//!
+//! `athena-lint` enforces four invariants over the workspace's production
+//! sources without any external parser dependency:
+//!
+//! - **no-panic-in-hot-path** — `unwrap`/`expect`, `panic!`-family
+//!   macros, and panicking `[]` indexing are banned in the decode/forward
+//!   hot paths listed in `lint.toml`.
+//! - **forbid-unsafe** — no `unsafe` anywhere.
+//! - **lock-discipline** — while a guard is held, nested acquisitions
+//!   must follow the declared `lock_order`, the same lock may not be
+//!   re-acquired, and no send/event-bus call may run under the guard.
+//! - **error-hygiene** — `Box<dyn Error>` must not cross crate APIs;
+//!   fallible paths use `athena_types::error::AthenaError`.
+//!
+//! Grandfathered sites live in `lint.toml` under `[[allow]]`, each with a
+//! mandatory one-line justification. The `athena-lint` binary prints
+//! `file:line:col` diagnostics and exits non-zero on violations; the root
+//! integration test `tests/static_analysis.rs` runs the same check under
+//! `cargo test`.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod config;
+pub mod rules;
+pub mod tokenizer;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use config::{Config, Severity};
+pub use rules::{Rule, SourceFile};
+
+/// A resolved diagnostic ready for reporting.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let level = match self.severity {
+            Severity::Error => "error",
+            Severity::Warn => "warning",
+            Severity::Off => "off",
+        };
+        write!(
+            f,
+            "{}:{}:{}: {level}[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, sorted by file and position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// `[[allow]]` entries that matched nothing (stale grandfathering).
+    pub stale_allows: Vec<String>,
+}
+
+impl Report {
+    /// Whether the gate should fail.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+            || !self.stale_allows.is_empty()
+    }
+}
+
+/// Error from the lint engine itself (I/O or configuration).
+#[derive(Debug)]
+pub struct LintError {
+    message: String,
+}
+
+impl LintError {
+    fn new(message: String) -> Self {
+        LintError { message }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Loads `lint.toml` from the workspace root.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when the file is missing or malformed.
+pub fn load_config(root: &Path) -> Result<Config, LintError> {
+    let path = root.join("lint.toml");
+    let text = fs::read_to_string(&path)
+        .map_err(|e| LintError::new(format!("cannot read {}: {e}", path.display())))?;
+    Config::parse(&text).map_err(|e| LintError::new(e.to_string()))
+}
+
+/// Runs every rule over the workspace's production sources.
+///
+/// Scans `src/` and `crates/*/src/` under `root`. Test directories
+/// (`tests/`, `benches/`, `examples/`) and the vendored dependency shims
+/// are out of scope: the gate protects shipped code.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on I/O failures while walking the tree.
+pub fn run_lint(root: &Path, config: &Config) -> Result<Report, LintError> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rust_files(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates)
+            .map_err(|e| LintError::new(format!("cannot read {}: {e}", crates.display())))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            let crate_src = entry.join("src");
+            if crate_src.is_dir() {
+                collect_rust_files(&crate_src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let registry = rules::registry();
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    let mut allow_hits = vec![0usize; config.allow.len()];
+
+    for path in &files {
+        let text = fs::read_to_string(path)
+            .map_err(|e| LintError::new(format!("cannot read {}: {e}", path.display())))?;
+        let rel = relative_path(root, path);
+        let file = SourceFile::new(rel, text);
+
+        for rule in &registry {
+            let severity = config.severity_for(rule.name(), rule.default_severity());
+            if severity == Severity::Off {
+                continue;
+            }
+            let mut violations = Vec::new();
+            rule.check(&file, config, &mut violations);
+            for v in violations {
+                let line_text = file.line_text(v.line);
+                let allowed = config
+                    .allow
+                    .iter()
+                    .enumerate()
+                    .find(|(_, a)| {
+                        a.rule == rule.name()
+                            && a.file == file.rel_path
+                            && line_text.contains(&a.pattern)
+                    })
+                    .map(|(idx, _)| idx);
+                if let Some(idx) = allowed {
+                    allow_hits[idx] += 1;
+                    continue;
+                }
+                report.diagnostics.push(Diagnostic {
+                    rule: rule.name(),
+                    severity,
+                    file: file.rel_path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    message: v.message,
+                });
+            }
+        }
+    }
+
+    for (idx, hits) in allow_hits.iter().enumerate() {
+        if *hits == 0 {
+            let a = &config.allow[idx];
+            report.stale_allows.push(format!(
+                "[[allow]] entry for {} in {} (pattern {:?}) matched nothing — remove it",
+                a.rule, a.file, a.pattern
+            ));
+        }
+    }
+
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+/// Loads the configuration and lints the workspace in one call.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on configuration or I/O failures.
+pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
+    let config = load_config(root)?;
+    run_lint(root, &config)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = fs::read_dir(dir)
+        .map_err(|e| LintError::new(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| LintError::new(format!("walk error in {}: {e}", dir.display())))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Locates the workspace root: walks up from `start` until a directory
+/// containing `lint.toml` is found.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

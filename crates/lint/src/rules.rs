@@ -1,0 +1,415 @@
+//! Lint rules.
+//!
+//! Each rule scans one tokenized file and reports violations. Rules never
+//! see comment or literal contents (the tokenizer drops them) and skip
+//! tokens marked as test-only unless stated otherwise.
+
+use crate::config::{Config, Severity};
+use crate::tokenizer::{Token, TokenKind};
+
+/// One source file prepared for linting.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Raw text (used for allowlist pattern matching).
+    pub text: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Builds a file from its path and contents.
+    pub fn new(rel_path: String, text: String) -> Self {
+        let tokens = crate::tokenizer::tokenize(&text);
+        SourceFile {
+            rel_path,
+            text,
+            tokens,
+        }
+    }
+
+    /// The text of a 1-based line (empty when out of range).
+    pub fn line_text(&self, line: u32) -> &str {
+        self.text
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+    }
+}
+
+/// A rule violation before severity/allowlist resolution.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Violation {
+    fn at(token: &Token, message: String) -> Self {
+        Violation {
+            line: token.line,
+            col: token.col,
+            message,
+        }
+    }
+}
+
+/// A lint rule.
+pub trait Rule {
+    /// Stable kebab-case rule name (used in `lint.toml`).
+    fn name(&self) -> &'static str;
+
+    /// Severity applied when `lint.toml` has no override.
+    fn default_severity(&self) -> Severity {
+        Severity::Error
+    }
+
+    /// Scans `file` and appends violations to `out`.
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>);
+}
+
+/// All rules, in reporting order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanicInHotPath),
+        Box::new(ForbidUnsafe),
+        Box::new(LockDiscipline),
+        Box::new(ErrorHygiene),
+    ]
+}
+
+/// Keywords that may directly precede a `[` without it being indexing
+/// (array literals, types, and expression starts).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "dyn", "else", "enum", "fn", "for", "if", "impl", "in", "let",
+    "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "trait",
+    "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Bans panicking constructs and slice indexing in the configured
+/// hot-path files: `unwrap`/`expect` method calls, `panic!`/`todo!`/
+/// `unimplemented!`, and `expr[…]` indexing (which panics out of bounds).
+pub struct NoPanicInHotPath;
+
+impl Rule for NoPanicInHotPath {
+    fn name(&self) -> &'static str {
+        "no-panic-in-hot-path"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
+        if !config.hot_paths.iter().any(|p| p == &file.rel_path) {
+            return;
+        }
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            match t.kind {
+                TokenKind::Ident => {
+                    let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
+                    let next_open = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                    let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
+                    if prev_dot && next_open && (t.text == "unwrap" || t.text == "expect") {
+                        out.push(Violation::at(
+                            t,
+                            format!(".{}() can panic; return a typed error instead", t.text),
+                        ));
+                    } else if next_bang
+                        && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                    {
+                        out.push(Violation::at(
+                            t,
+                            format!("{}! is banned in hot-path code", t.text),
+                        ));
+                    }
+                }
+                TokenKind::Punct('[') => {
+                    if let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) {
+                        let indexes_expr = match prev.kind {
+                            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                            _ => false,
+                        };
+                        if indexes_expr {
+                            out.push(Violation::at(
+                                t,
+                                "slice/map indexing panics out of bounds; use .get()".to_string(),
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Bans `unsafe` everywhere, including test code: the workspace is a
+/// from-scratch simulation with no FFI, so there is never a reason.
+pub struct ForbidUnsafe;
+
+impl Rule for ForbidUnsafe {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn check(&self, file: &SourceFile, _config: &Config, out: &mut Vec<Violation>) {
+        for t in &file.tokens {
+            if t.is_ident("unsafe") {
+                out.push(Violation::at(
+                    t,
+                    "unsafe code is forbidden across the workspace".to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// Flags `Box<dyn … Error …>` in non-test code: errors crossing crate
+/// APIs must use `athena_types::error::AthenaError` so callers can match
+/// on failure kinds.
+pub struct ErrorHygiene;
+
+impl Rule for ErrorHygiene {
+    fn name(&self) -> &'static str {
+        "error-hygiene"
+    }
+
+    fn check(&self, file: &SourceFile, _config: &Config, out: &mut Vec<Violation>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if tokens[i].in_test || !tokens[i].is_ident("Box") {
+                continue;
+            }
+            if !(tokens.get(i + 1).is_some_and(|t| t.is_punct('<'))
+                && tokens.get(i + 2).is_some_and(|t| t.is_ident("dyn")))
+            {
+                continue;
+            }
+            // Scan the trait path inside the angle brackets for `Error`.
+            let mut j = i + 3;
+            let mut angle: i32 = 1;
+            while j < tokens.len() && angle > 0 && j < i + 16 {
+                match tokens[j].kind {
+                    TokenKind::Punct('<') => angle += 1,
+                    TokenKind::Punct('>') => angle -= 1,
+                    TokenKind::Ident if tokens[j].text == "Error" => {
+                        out.push(Violation::at(
+                            &tokens[i],
+                            "Box<dyn Error> erases failure kinds; use athena_types::error::AthenaError".to_string(),
+                        ));
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// One lock acquisition found in the token stream.
+struct Acquisition {
+    /// Index of the `.` starting `.lock()`/`.read()`/`.write()`.
+    dot: usize,
+    /// Index just past the closing `)`.
+    end: usize,
+    /// Coarse lock name: the receiver's final field/variable identifier.
+    name: String,
+}
+
+/// Enforces lock discipline: while a guard is held, no other lock may be
+/// acquired unless both locks appear in `lint.toml`'s `lock_order` table
+/// in acquisition order, the same lock may not be re-acquired (it would
+/// self-deadlock), and no send/event-bus call may run under the guard.
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
+        let tokens = &file.tokens;
+        let acquisitions = find_acquisitions(tokens);
+
+        for acq in &acquisitions {
+            let t = &tokens[acq.dot];
+            if t.in_test {
+                continue;
+            }
+            let held_until = guard_extent(tokens, acq);
+            let guard_var = guard_variable(tokens, acq);
+
+            for k in acq.end..held_until.min(tokens.len()) {
+                let tk = &tokens[k];
+                // Guard dropped explicitly: drop(guard) ends the window.
+                if tk.is_ident("drop")
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+                    && tokens
+                        .get(k + 2)
+                        .zip(guard_var.as_deref())
+                        .is_some_and(|(n, var)| n.is_ident(var))
+                    && tokens.get(k + 3).is_some_and(|n| n.is_punct(')'))
+                {
+                    break;
+                }
+
+                // Nested acquisition.
+                if let Some(inner) = acquisitions.iter().find(|a| a.dot == k) {
+                    if inner.name == acq.name {
+                        out.push(Violation::at(
+                            &tokens[k],
+                            format!(
+                                "lock `{}` re-acquired while its guard is held (self-deadlock)",
+                                acq.name
+                            ),
+                        ));
+                    } else {
+                        let outer_pos = config.lock_order.iter().position(|n| *n == acq.name);
+                        let inner_pos = config.lock_order.iter().position(|n| *n == inner.name);
+                        match (outer_pos, inner_pos) {
+                            (Some(o), Some(i)) if o < i => {}
+                            _ => out.push(Violation::at(
+                                &tokens[k],
+                                format!(
+                                    "lock `{}` acquired while `{}` is held, but lint.toml's \
+                                     lock_order does not declare this order",
+                                    inner.name, acq.name
+                                ),
+                            )),
+                        }
+                    }
+                }
+
+                // Send/event-bus call under the guard.
+                if tk.is_punct('.')
+                    && tokens.get(k + 1).is_some_and(|n| {
+                        n.kind == TokenKind::Ident && config.bus_calls.contains(&n.text)
+                    })
+                    && tokens.get(k + 2).is_some_and(|n| n.is_punct('('))
+                {
+                    out.push(Violation::at(
+                        &tokens[k + 1],
+                        format!(
+                            "`.{}(…)` called while lock `{}` is held; release the guard first",
+                            tokens[k + 1].text,
+                            acq.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Finds `.lock()` / `.read()` / `.write()` call sites.
+fn find_acquisitions(tokens: &[Token]) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !tokens[i].is_punct('.') {
+            continue;
+        }
+        let is_acquire = tokens
+            .get(i + 1)
+            .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"));
+        if !(is_acquire
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
+        {
+            continue;
+        }
+        out.push(Acquisition {
+            dot: i,
+            end: i + 4,
+            name: receiver_name(tokens, i),
+        });
+    }
+    out
+}
+
+/// The identifier naming the lock: the last field/variable in the
+/// receiver chain (`self.runtime.reactor.lock()` → `reactor`).
+fn receiver_name(tokens: &[Token], dot: usize) -> String {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match tokens[j].kind {
+            TokenKind::Ident => return tokens[j].text.clone(),
+            // Skip a call's argument list: find its opening paren.
+            TokenKind::Punct(')') => {
+                let mut depth = 1i32;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if tokens[j].is_punct(')') {
+                        depth += 1;
+                    } else if tokens[j].is_punct('(') {
+                        depth -= 1;
+                    }
+                }
+            }
+            _ => return "<expr>".to_string(),
+        }
+    }
+    "<expr>".to_string()
+}
+
+/// Token index (exclusive) until which the acquisition's guard is held.
+fn guard_extent(tokens: &[Token], acq: &Acquisition) -> usize {
+    let depth = tokens[acq.dot].depth;
+    let stmt_start = statement_start(tokens, acq.dot);
+
+    if tokens.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
+        // Named guard: lives to the end of the enclosing block.
+        for (off, t) in tokens[acq.end..].iter().enumerate() {
+            if t.is_punct('}') && t.depth == depth {
+                return acq.end + off;
+            }
+        }
+        tokens.len()
+    } else {
+        // Temporary guard: dies at the end of the statement.
+        for (off, t) in tokens[acq.end..].iter().enumerate() {
+            if (t.is_punct(';') || t.is_punct('}')) && t.depth == depth {
+                return acq.end + off;
+            }
+        }
+        tokens.len()
+    }
+}
+
+/// The variable a `let` guard is bound to, when the acquisition's
+/// statement is a `let` binding of a plain identifier.
+fn guard_variable(tokens: &[Token], acq: &Acquisition) -> Option<String> {
+    let stmt_start = statement_start(tokens, acq.dot);
+    if !tokens.get(stmt_start)?.is_ident("let") {
+        return None;
+    }
+    let mut j = stmt_start + 1;
+    while tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    tokens
+        .get(j)
+        .filter(|t| t.kind == TokenKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Index of the first token of the statement containing `at`.
+fn statement_start(tokens: &[Token], at: usize) -> usize {
+    let mut j = at;
+    while j > 0 {
+        let t = &tokens[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return j;
+        }
+        j -= 1;
+    }
+    0
+}

@@ -1,0 +1,143 @@
+//! Tokenizer unit tests: panicking constructs mentioned in comments,
+//! string literals, raw strings, or test-only code must never surface as
+//! tokens the rules could flag — and real violations must.
+
+use athena_lint::config::Config;
+use athena_lint::rules::{NoPanicInHotPath, Rule, SourceFile};
+use athena_lint::tokenizer::{tokenize, TokenKind};
+
+fn idents(source: &str) -> Vec<String> {
+    tokenize(source)
+        .into_iter()
+        .filter(|t| t.kind == TokenKind::Ident && !t.in_test)
+        .map(|t| t.text)
+        .collect()
+}
+
+#[test]
+fn unwrap_in_line_comment_is_not_a_token() {
+    let src = "fn f() { // .unwrap() would panic here\n let x = 1; }";
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn unwrap_in_doc_and_block_comments_is_not_a_token() {
+    let src =
+        "/// call .unwrap() at your peril\n/* nested /* .unwrap() */ still comment */ fn f() {}";
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn unwrap_in_string_literal_is_not_a_token() {
+    let src = r#"fn f() { let s = "please don't .unwrap() this"; }"#;
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+}
+
+#[test]
+fn unwrap_in_raw_string_is_not_a_token() {
+    let src = r##"fn f() { let s = r#"x.unwrap() and "quotes" inside"#; }"##;
+    let toks = idents(src);
+    assert!(!toks.contains(&"unwrap".to_string()), "{toks:?}");
+    // The binding after the raw string still tokenizes normally.
+    assert!(toks.contains(&"s".to_string()));
+}
+
+#[test]
+fn escaped_quotes_do_not_end_strings_early() {
+    let src = r#"fn f() { let s = "escaped \" quote .unwrap()"; let t = 2; }"#;
+    let toks = idents(src);
+    assert!(!toks.contains(&"unwrap".to_string()));
+    assert!(toks.contains(&"t".to_string()));
+}
+
+#[test]
+fn char_literal_contents_are_dropped_but_lifetimes_tokenize() {
+    let src = "fn f<'a>(x: &'a str) { let q = '\"'; let esc = '\\''; }";
+    let toks = idents(src);
+    // The lifetime's identifier still appears; char contents do not.
+    assert!(toks.contains(&"a".to_string()));
+    assert!(toks.contains(&"esc".to_string()));
+}
+
+#[test]
+fn cfg_test_module_is_masked() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}";
+    assert!(!idents(src).contains(&"unwrap".to_string()));
+    assert!(idents(src).contains(&"prod".to_string()));
+}
+
+#[test]
+fn mod_tests_without_cfg_attribute_is_masked() {
+    let src = "mod tests { fn t() { x.unwrap(); } }\nfn after() {}";
+    let toks = idents(src);
+    assert!(!toks.contains(&"unwrap".to_string()));
+    // Tokens after the masked block are live again.
+    assert!(toks.contains(&"after".to_string()));
+}
+
+#[test]
+fn cfg_test_on_single_item_does_not_mask_following_items() {
+    let src = "#[cfg(test)]\nfn helper() { a.unwrap(); }\nfn prod() { b.unwrap(); }";
+    let flagged: Vec<_> = tokenize(src)
+        .into_iter()
+        .filter(|t| t.is_ident("unwrap") && !t.in_test)
+        .collect();
+    assert_eq!(flagged.len(), 1, "only prod()'s unwrap is live");
+    assert_eq!(flagged[0].line, 3);
+}
+
+#[test]
+fn depth_tracks_brace_nesting() {
+    let toks = tokenize("fn f() { if x { y(); } }");
+    let max_depth = toks.iter().map(|t| t.depth).max().unwrap_or(0);
+    assert_eq!(max_depth, 2);
+    // Matching braces share a depth.
+    let opens: Vec<_> = toks.iter().filter(|t| t.is_punct('{')).collect();
+    let closes: Vec<_> = toks.iter().filter(|t| t.is_punct('}')).collect();
+    assert_eq!(opens[0].depth, closes[1].depth);
+    assert_eq!(opens[1].depth, closes[0].depth);
+}
+
+/// Runs the hot-path rule over a snippet registered as a hot file.
+fn hot_path_violations(source: &str) -> Vec<String> {
+    let file = SourceFile::new("hot.rs".to_string(), source.to_string());
+    let config = Config::parse("[lint]\nhot_paths = [\"hot.rs\"]\n").expect("valid config");
+    let mut out = Vec::new();
+    NoPanicInHotPath.check(&file, &config, &mut out);
+    out.into_iter().map(|v| v.message).collect()
+}
+
+#[test]
+fn rule_flags_live_unwrap_but_not_commented_or_test_ones() {
+    let src = "\
+fn prod(v: Option<u8>) -> u8 {
+    // v.unwrap() would be wrong here
+    v.unwrap()
+}
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+";
+    let msgs = hot_path_violations(src);
+    assert_eq!(msgs.len(), 1, "{msgs:?}");
+    assert!(msgs[0].contains("unwrap"));
+}
+
+#[test]
+fn rule_flags_panic_macros_and_indexing() {
+    let src = "fn f(v: &[u8]) -> u8 { if v.is_empty() { panic!(\"empty\") } v[0] }";
+    let msgs = hot_path_violations(src);
+    assert_eq!(msgs.len(), 2, "{msgs:?}");
+}
+
+#[test]
+fn rule_ignores_array_types_attributes_and_unwrap_or() {
+    let src = "\
+#[derive(Debug)]
+struct S { data: [u8; 6] }
+fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }
+";
+    let msgs = hot_path_violations(src);
+    assert!(msgs.is_empty(), "{msgs:?}");
+}

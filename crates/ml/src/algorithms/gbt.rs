@@ -89,12 +89,7 @@ impl GbtClassifier {
     /// The additive log-odds score.
     pub fn decision(&self, x: &[f64]) -> f64 {
         self.base_score
-            + self.params.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_value(x))
-                    .sum::<f64>()
+            + self.params.learning_rate * self.trees.iter().map(|t| t.predict_value(x)).sum::<f64>()
     }
 
     /// Probability that `x` is malicious.

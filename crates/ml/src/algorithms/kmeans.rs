@@ -183,10 +183,7 @@ fn sample_fraction(n: usize) -> f64 {
 fn plus_plus_init(points: &[&[f64]], k: usize, rng: &mut StdRng) -> Vec<DenseVector> {
     let first = points[rng.random_range(0..points.len())];
     let mut centroids = vec![DenseVector(first.to_vec())];
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| squared_distance(p, first))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| squared_distance(p, first)).collect();
     while centroids.len() < k.min(points.len()) {
         let total: f64 = d2.iter().sum();
         let next = if total <= f64::EPSILON {
@@ -246,11 +243,7 @@ fn assign_and_sum(
 }
 
 /// Moves centroids to their cluster means; returns total movement.
-fn update_centroids(
-    centroids: &mut [DenseVector],
-    sums: &[DenseVector],
-    counts: &[usize],
-) -> f64 {
+fn update_centroids(centroids: &mut [DenseVector], sums: &[DenseVector], counts: &[usize]) -> f64 {
     let mut movement = 0.0;
     for ((c, s), n) in centroids.iter_mut().zip(sums).zip(counts) {
         if *n == 0 {
@@ -324,10 +317,7 @@ mod tests {
         let dist = KMeansModel::fit_distributed(params, &ds).unwrap();
         assert_eq!(dist.k(), 2);
         // Same separation property as the serial fit.
-        assert_ne!(
-            dist.cluster_of(&[0.0, 0.0]),
-            dist.cluster_of(&[4.0, 4.0])
-        );
+        assert_ne!(dist.cluster_of(&[0.0, 0.0]), dist.cluster_of(&[4.0, 4.0]));
         // Distributed training ran jobs on the cluster.
         assert!(cluster.job_count() > 0);
     }

@@ -160,8 +160,7 @@ mod tests {
                 let x: Vec<f64> = (0..slope.len())
                     .map(|d| f64::from((i + d * 3) as u32 % 10) / 10.0)
                     .collect();
-                let y: f64 =
-                    x.iter().zip(slope).map(|(xi, s)| xi * s).sum::<f64>() + intercept;
+                let y: f64 = x.iter().zip(slope).map(|(xi, s)| xi * s).sum::<f64>() + intercept;
                 LabeledPoint::new(x, y)
             })
             .collect()

@@ -29,8 +29,9 @@ pub(crate) mod test_data {
         for _ in 0..n_per_class {
             let benign: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
             out.push(LabeledPoint::new(benign, 0.0));
-            let malicious: Vec<f64> =
-                (0..dim).map(|_| 4.0 + rng.random_range(-1.0..1.0)).collect();
+            let malicious: Vec<f64> = (0..dim)
+                .map(|_| 4.0 + rng.random_range(-1.0..1.0))
+                .collect();
             out.push(LabeledPoint::new(malicious, 1.0));
         }
         out

@@ -124,8 +124,9 @@ mod tests {
 
     #[test]
     fn requires_both_classes() {
-        let one_class: Vec<LabeledPoint> =
-            (0..10).map(|i| LabeledPoint::new(vec![f64::from(i)], 0.0)).collect();
+        let one_class: Vec<LabeledPoint> = (0..10)
+            .map(|i| LabeledPoint::new(vec![f64::from(i)], 0.0))
+            .collect();
         assert!(NaiveBayesModel::fit(&one_class).is_err());
         assert!(NaiveBayesModel::fit(&[]).is_err());
     }

@@ -213,9 +213,7 @@ fn build(
     depth: usize,
 ) -> Node {
     let parent_impurity = impurity(task, data, idx);
-    if depth >= params.max_depth
-        || idx.len() < params.min_samples_split
-        || parent_impurity < 1e-12
+    if depth >= params.max_depth || idx.len() < params.min_samples_split || parent_impurity < 1e-12
     {
         return Node::Leaf(leaf_value(task, data, idx));
     }
@@ -223,9 +221,8 @@ fn build(
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted impurity)
     for &f in features {
         for threshold in candidate_thresholds(data, idx, f, params.max_bins) {
-            let (left, right): (Vec<usize>, Vec<usize>) = idx
-                .iter()
-                .partition(|&&i| data[i].features[f] <= threshold);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| data[i].features[f] <= threshold);
             if left.is_empty() || right.is_empty() {
                 continue;
             }

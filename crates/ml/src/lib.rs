@@ -41,6 +41,8 @@
 //! # Ok::<(), athena_types::AthenaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod algorithms;
 pub mod data;
 pub mod linalg;
@@ -48,6 +50,7 @@ pub mod metrics;
 pub mod model;
 pub mod preprocess;
 
+pub use algorithms::forest::RandomForestModel;
 pub use algorithms::gbt::GbtClassifier;
 pub use algorithms::gmm::GaussianMixtureModel;
 pub use algorithms::kmeans::KMeansModel;
@@ -57,7 +60,6 @@ pub use algorithms::naive_bayes::NaiveBayesModel;
 pub use algorithms::svm::SvmModel;
 pub use algorithms::threshold::ThresholdModel;
 pub use algorithms::tree::DecisionTreeModel;
-pub use algorithms::forest::RandomForestModel;
 pub use data::LabeledPoint;
 pub use linalg::{mean_of, DenseVector};
 pub use metrics::{group_digits, ClusterReport, ConfusionMatrix, ValidationSummary};

@@ -163,10 +163,26 @@ impl fmt::Display for ValidationSummary {
             group_digits(c.actual_malicious()),
             group_digits(self.malicious_unique_flows)
         )?;
-        writeln!(f, "True Positive : {} entries", group_digits(c.true_positive))?;
-        writeln!(f, "False Positive : {} entries", group_digits(c.false_positive))?;
-        writeln!(f, "True Negative : {} entries", group_digits(c.true_negative))?;
-        writeln!(f, "False Negative : {} entries", group_digits(c.false_negative))?;
+        writeln!(
+            f,
+            "True Positive : {} entries",
+            group_digits(c.true_positive)
+        )?;
+        writeln!(
+            f,
+            "False Positive : {} entries",
+            group_digits(c.false_positive)
+        )?;
+        writeln!(
+            f,
+            "True Negative : {} entries",
+            group_digits(c.true_negative)
+        )?;
+        writeln!(
+            f,
+            "False Negative : {} entries",
+            group_digits(c.false_negative)
+        )?;
         writeln!(f, "Detection Rate : {}", c.detection_rate())?;
         writeln!(f, "False Alarm Rate: {}", c.false_alarm_rate())?;
         if !self.model_info.is_empty() {
@@ -179,7 +195,11 @@ impl fmt::Display for ValidationSummary {
                 cr.cluster,
                 group_digits(cr.benign),
                 group_digits(cr.malicious),
-                if cr.flagged_malicious { " [flagged]" } else { "" }
+                if cr.flagged_malicious {
+                    " [flagged]"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())
@@ -240,7 +260,12 @@ mod tests {
         c.record(false, true);
         c.record(false, false);
         assert_eq!(
-            (c.true_positive, c.false_negative, c.false_positive, c.true_negative),
+            (
+                c.true_positive,
+                c.false_negative,
+                c.false_positive,
+                c.true_negative
+            ),
             (1, 1, 1, 1)
         );
     }

@@ -167,9 +167,7 @@ impl Algorithm {
     /// ([`athena_types::AthenaError::Ml`]).
     pub fn fit(&self, data: &[LabeledPoint]) -> Result<TrainedModel> {
         Ok(match self {
-            Algorithm::GradientBoostedTrees(p) => {
-                TrainedModel::Gbt(GbtClassifier::fit(*p, data)?)
-            }
+            Algorithm::GradientBoostedTrees(p) => TrainedModel::Gbt(GbtClassifier::fit(*p, data)?),
             Algorithm::DecisionTree(p) => {
                 TrainedModel::DecisionTree(DecisionTreeModel::fit(*p, data)?)
             }
@@ -184,7 +182,10 @@ impl Algorithm {
             Algorithm::GaussianMixture(p) => {
                 let gmm = GaussianMixtureModel::fit(*p, data)?;
                 let flagged = flag_clusters(data, gmm.k(), |x| gmm.cluster_of(x));
-                TrainedModel::GaussianMixture { model: gmm, flagged }
+                TrainedModel::GaussianMixture {
+                    model: gmm,
+                    flagged,
+                }
             }
             Algorithm::KMeans(p) => {
                 let km = KMeansModel::fit(*p, data)?;
@@ -377,12 +378,12 @@ impl Model for TrainedModel {
             TrainedModel::NaiveBayes(m) => m.predict_proba(x),
             TrainedModel::RandomForest(m) => m.predict_proba(x),
             TrainedModel::Svm(m) => m.predict_class(x),
-            TrainedModel::GaussianMixture { model, flagged } => {
-                f64::from(u8::from(*flagged.get(model.cluster_of(x)).unwrap_or(&false)))
-            }
-            TrainedModel::KMeans { model, flagged } => {
-                f64::from(u8::from(*flagged.get(model.cluster_of(x)).unwrap_or(&false)))
-            }
+            TrainedModel::GaussianMixture { model, flagged } => f64::from(u8::from(
+                *flagged.get(model.cluster_of(x)).unwrap_or(&false),
+            )),
+            TrainedModel::KMeans { model, flagged } => f64::from(u8::from(
+                *flagged.get(model.cluster_of(x)).unwrap_or(&false),
+            )),
             TrainedModel::Linear(m) => m.predict_value(x),
             TrainedModel::Threshold(m) => m.score(x),
         }
@@ -410,12 +411,14 @@ impl Model for TrainedModel {
             TrainedModel::RandomForest(m) => {
                 format!("Classification (Random Forest): trees({})", m.trees.len())
             }
-            TrainedModel::Svm(m) => format!(
-                "Classification (SVM): iterations({})",
-                m.params.iterations
-            ),
+            TrainedModel::Svm(m) => {
+                format!("Classification (SVM): iterations({})", m.params.iterations)
+            }
             TrainedModel::GaussianMixture { model, .. } => {
-                format!("Cluster (Gaussian Mixture)\nCluster Information : K({})", model.k())
+                format!(
+                    "Cluster (Gaussian Mixture)\nCluster Information : K({})",
+                    model.k()
+                )
             }
             TrainedModel::KMeans { model, .. } => format!(
                 "Cluster (K-Means)\nCluster Information : K({}), Iterations({}), Runs({}), \

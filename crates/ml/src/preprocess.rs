@@ -157,8 +157,7 @@ impl Preprocessor {
                                 var[j] += (x - mean[j]) * (x - mean[j]) / n;
                             }
                         }
-                        let std: Vec<f64> =
-                            var.into_iter().map(|v| v.sqrt().max(1e-12)).collect();
+                        let std: Vec<f64> = var.into_iter().map(|v| v.sqrt().max(1e-12)).collect();
                         FittedStep::ZScore { mean, std }
                     }
                 },
@@ -367,7 +366,9 @@ mod tests {
             .unwrap();
         let out = f.apply(&data());
         // Still lands in [0,1] because stats were fitted post-weighting.
-        assert!(out.iter().all(|p| p.features.iter().all(|x| (0.0..=1.0).contains(x))));
+        assert!(out
+            .iter()
+            .all(|p| p.features.iter().all(|x| (0.0..=1.0).contains(x))));
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! K-Means invariants, metric identities, and model totality.
 
 use athena_ml::algorithms::kmeans::{KMeansModel, KMeansParams};
-use athena_ml::{
-    Algorithm, ConfusionMatrix, LabeledPoint, Model, Normalization, Preprocessor,
-};
+use athena_ml::{Algorithm, ConfusionMatrix, LabeledPoint, Model, Normalization, Preprocessor};
 use proptest::prelude::*;
 
 fn arb_points(dim: usize) -> impl Strategy<Value = Vec<LabeledPoint>> {

@@ -132,7 +132,11 @@ pub fn decode_message(buf: &[u8]) -> Result<(OfMessage, OfVersion)> {
         )));
     }
     let xid = Xid::new(cur.get_u32());
-    let mut body = &buf[8..length];
+    let mut body = buf.get(8..length).ok_or_else(|| {
+        AthenaError::Codec(format!(
+            "invalid message length {length} (header is 8 bytes)"
+        ))
+    })?;
     let msg = decode_body(type_code, xid, version, &mut body)?;
     Ok((msg, version))
 }
@@ -282,12 +286,7 @@ fn encode_body(msg: &OfMessage, version: OfVersion, b: &mut BytesMut) -> u8 {
     }
 }
 
-fn decode_body(
-    type_code: u8,
-    xid: Xid,
-    version: OfVersion,
-    b: &mut &[u8],
-) -> Result<OfMessage> {
+fn decode_body(type_code: u8, xid: Xid, version: OfVersion, b: &mut &[u8]) -> Result<OfMessage> {
     Ok(match type_code {
         T_HELLO => OfMessage::Hello {
             xid,
@@ -949,10 +948,7 @@ mod tests {
         assert_eq!(&back, msg, "version {version:?}");
         assert_eq!(v, version);
         // The header length field is accurate.
-        assert_eq!(
-            u16::from_be_bytes([wire[2], wire[3]]) as usize,
-            wire.len()
-        );
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]) as usize, wire.len());
     }
 
     fn sample_header() -> PacketHeader {
@@ -968,7 +964,13 @@ mod tests {
     #[test]
     fn roundtrip_simple_messages() {
         for v in [OfVersion::V1_0, OfVersion::V1_3] {
-            roundtrip(&OfMessage::Hello { xid: Xid::new(1), version: v.wire_byte() }, v);
+            roundtrip(
+                &OfMessage::Hello {
+                    xid: Xid::new(1),
+                    version: v.wire_byte(),
+                },
+                v,
+            );
             roundtrip(&OfMessage::FeaturesRequest { xid: Xid::new(2) }, v);
             roundtrip(&OfMessage::BarrierRequest { xid: Xid::new(3) }, v);
             roundtrip(&OfMessage::BarrierReply { xid: Xid::new(4) }, v);

@@ -40,6 +40,8 @@
 //! # Ok::<(), athena_types::AthenaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod action;
 pub mod codec;
 pub mod match_fields;

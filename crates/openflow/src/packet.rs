@@ -161,7 +161,12 @@ mod tests {
 
     #[test]
     fn five_tuple_roundtrip() {
-        let ft = FiveTuple::udp(Ipv4Addr::new(1, 2, 3, 4), 53, Ipv4Addr::new(5, 6, 7, 8), 999);
+        let ft = FiveTuple::udp(
+            Ipv4Addr::new(1, 2, 3, 4),
+            53,
+            Ipv4Addr::new(5, 6, 7, 8),
+            999,
+        );
         let h = PacketHeader::from_five_tuple(PortNo::new(3), ft, 128);
         assert_eq!(h.five_tuple(), Some(ft));
         assert_eq!(h.byte_len, 128);

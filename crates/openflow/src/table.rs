@@ -469,7 +469,10 @@ mod tests {
         add(&mut t, MatchFields::new().with_ip_proto(IpProto::Udp), 1, 1);
         // Delete everything under "tcp dst 80": only the first entry.
         let removed = t
-            .apply(&FlowMod::delete(MatchFields::new().with_tp_dst(80)), SimTime::ZERO)
+            .apply(
+                &FlowMod::delete(MatchFields::new().with_tp_dst(80)),
+                SimTime::ZERO,
+            )
             .unwrap();
         assert_eq!(removed.len(), 1);
         assert_eq!(t.len(), 2);
@@ -498,11 +501,7 @@ mod tests {
     fn modify_rewrites_actions() {
         let mut t = FlowTable::new(0);
         add(&mut t, MatchFields::new().with_tp_dst(80), 1, 1);
-        let mut fm = FlowMod::add(
-            MatchFields::new(),
-            0,
-            vec![Action::Output(PortNo::new(9))],
-        );
+        let mut fm = FlowMod::add(MatchFields::new(), 0, vec![Action::Output(PortNo::new(9))]);
         fm.command = FlowModCommand::Modify;
         t.apply(&fm, SimTime::ZERO).unwrap();
         let hit = t.lookup(&pkt(80), SimTime::ZERO, 1, 64).unwrap();

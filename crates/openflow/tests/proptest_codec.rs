@@ -34,7 +34,18 @@ fn arb_match() -> impl Strategy<Value = MatchFields> {
         proptest::option::of(any::<u16>()),
     )
         .prop_map(
-            |(in_port, eth_src, eth_dst, eth_type, vlan_id, ip_src, ip_dst, ip_proto, tp_src, tp_dst)| {
+            |(
+                in_port,
+                eth_src,
+                eth_dst,
+                eth_type,
+                vlan_id,
+                ip_src,
+                ip_dst,
+                ip_proto,
+                tp_src,
+                tp_dst,
+            )| {
                 MatchFields {
                     in_port,
                     eth_src,
@@ -107,11 +118,12 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
     let xid = any::<u32>().prop_map(Xid::new);
     prop_oneof![
         (xid.clone(), any::<u8>()).prop_map(|(xid, v)| OfMessage::Hello { xid, version: v }),
-        xid.clone().prop_map(|xid| OfMessage::FeaturesRequest { xid }),
-        xid.clone().prop_map(|xid| OfMessage::BarrierRequest { xid }),
+        xid.clone()
+            .prop_map(|xid| OfMessage::FeaturesRequest { xid }),
+        xid.clone()
+            .prop_map(|xid| OfMessage::BarrierRequest { xid }),
         (xid.clone(), arb_header()).prop_map(|(xid, h)| OfMessage::packet_in(xid, h)),
-        (xid.clone(), arb_flow_mod())
-            .prop_map(|(xid, body)| OfMessage::FlowMod { xid, body }),
+        (xid.clone(), arb_flow_mod()).prop_map(|(xid, body)| OfMessage::FlowMod { xid, body }),
         (xid, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(xid, data)| {
             OfMessage::EchoRequest {
                 xid,

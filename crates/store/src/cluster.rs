@@ -46,7 +46,8 @@ impl StoreNode {
 
     fn read_collection<R: Default>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> R {
         let map = self.collections.read();
-        map.get(name).map_or_else(R::default, |c| f(&c.read()))
+        map.get(name)
+            .map_or_else(R::default, |coll| f(&coll.read()))
     }
 
     fn journal(&self, encoded_len: u64) {

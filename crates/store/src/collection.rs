@@ -136,7 +136,9 @@ impl Collection {
             .collect();
         for id in &ids {
             // Maintain indexes: remove old values, apply, insert new.
-            let doc = self.docs.get_mut(id).expect("doc exists");
+            let Some(doc) = self.docs.get_mut(id) else {
+                continue;
+            };
             for (field, idx) in &mut self.indexes {
                 if let Some(v) = doc.get(field) {
                     idx.remove(*id, &v.clone());

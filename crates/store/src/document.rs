@@ -56,7 +56,10 @@ impl Document {
             other => {
                 let mut fields = Map::new();
                 fields.insert("value".to_owned(), other);
-                Document { id: DocId(0), fields }
+                Document {
+                    id: DocId(0),
+                    fields,
+                }
             }
         }
     }

@@ -25,8 +25,7 @@ use std::fmt;
 /// assert!(f.matches(&doc! { "proto" => "TCP", "packet_count" => 150 }));
 /// assert!(!f.matches(&doc! { "proto" => "UDP", "packet_count" => 150 }));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Filter {
     /// Matches every document.
     #[default]
@@ -138,7 +137,6 @@ impl Filter {
     }
 }
 
-
 impl fmt::Display for Filter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -190,7 +188,10 @@ pub fn compare_values(a: &Value, b: &Value) -> Ordering {
     }
     match (a, b) {
         (Value::Number(_), Value::Number(_)) => {
-            let (x, y) = (a.as_f64().unwrap_or(f64::NAN), b.as_f64().unwrap_or(f64::NAN));
+            let (x, y) = (
+                a.as_f64().unwrap_or(f64::NAN),
+                b.as_f64().unwrap_or(f64::NAN),
+            );
             x.partial_cmp(&y).unwrap_or(Ordering::Equal)
         }
         (Value::String(x), Value::String(y)) => x.cmp(y),
@@ -202,8 +203,7 @@ pub fn compare_values(a: &Value, b: &Value) -> Ordering {
 fn cmp_field(doc: &Document, field: &str, v: &Value) -> Option<Ordering> {
     let dv = doc.get(field)?;
     // Range comparisons only make sense within a type.
-    if std::mem::discriminant(dv) != std::mem::discriminant(v)
-        && !(dv.is_number() && v.is_number())
+    if std::mem::discriminant(dv) != std::mem::discriminant(v) && !(dv.is_number() && v.is_number())
     {
         return None;
     }

@@ -147,7 +147,10 @@ impl SecondaryIndex {
         if lo > hi {
             return Vec::new();
         }
-        self.map.range(lo..=hi).flat_map(|(_, ids)| ids.iter().copied()).collect()
+        self.map
+            .range(lo..=hi)
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
     }
 
     /// Number of distinct keys.

@@ -36,6 +36,8 @@
 //! # Ok::<(), athena_types::AthenaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod cluster;
 pub mod collection;
 pub mod document;
@@ -47,6 +49,4 @@ pub use cluster::{ClusterMetrics, StoreCluster, StoreNode};
 pub use collection::Collection;
 pub use document::{DocId, Document};
 pub use filter::Filter;
-pub use query::{
-    Accumulator, AggStage, Aggregation, FindOptions, GroupSpec, SortOrder, SortSpec,
-};
+pub use query::{Accumulator, AggStage, Aggregation, FindOptions, GroupSpec, SortOrder, SortSpec};

@@ -360,8 +360,8 @@ fn run_group(spec: &GroupSpec, docs: Vec<Document>) -> Vec<Document> {
 
     order
         .into_iter()
-        .map(|key| {
-            let (key_vals, states) = groups.remove(&key).expect("group exists");
+        .filter_map(|key| groups.remove(&key))
+        .map(|(key_vals, states)| {
             let mut out = Document::new();
             for (field, v) in spec.by.iter().zip(key_vals) {
                 out.set(field.clone(), v);
@@ -430,7 +430,9 @@ mod tests {
     fn projection_keeps_only_named_fields() {
         let opts = FindOptions::default().project("pkts");
         let out = opts.apply(docs());
-        assert!(out.iter().all(|d| d.fields.len() == 1 && d.get("pkts").is_some()));
+        assert!(out
+            .iter()
+            .all(|d| d.fields.len() == 1 && d.get("pkts").is_some()));
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
         let cases: Vec<(AthenaError, &str)> = vec![
             (AthenaError::parse("ipv4", "999.1.1.1"), "invalid ipv4"),
             (AthenaError::Codec("short buffer".into()), "codec error"),
-            (AthenaError::not_found("switch", "of:01"), "switch not found"),
+            (
+                AthenaError::not_found("switch", "of:01"),
+                "switch not found",
+            ),
             (AthenaError::InvalidQuery("empty".into()), "invalid query"),
             (AthenaError::Store("shard down".into()), "store error"),
         ];

@@ -26,6 +26,8 @@
 //! assert_eq!(t.as_secs_f64(), 5.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub mod error;
 pub mod id;
 pub mod net;

@@ -393,7 +393,12 @@ mod tests {
 
     #[test]
     fn proto_numbers_roundtrip() {
-        for p in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+        for p in [
+            IpProto::Icmp,
+            IpProto::Tcp,
+            IpProto::Udp,
+            IpProto::Other(89),
+        ] {
             assert_eq!(IpProto::from_number(p.number()), p);
         }
     }
@@ -412,7 +417,12 @@ mod tests {
 
     #[test]
     fn five_tuple_reverse_swaps_endpoints() {
-        let ft = FiveTuple::udp(Ipv4Addr::new(1, 1, 1, 1), 53, Ipv4Addr::new(2, 2, 2, 2), 5353);
+        let ft = FiveTuple::udp(
+            Ipv4Addr::new(1, 1, 1, 1),
+            53,
+            Ipv4Addr::new(2, 2, 2, 2),
+            5353,
+        );
         let r = ft.reversed();
         assert_eq!(r.src, ft.dst);
         assert_eq!(r.dst_port, ft.src_port);

@@ -315,7 +315,10 @@ mod tests {
         assert_eq!(t + SimDuration::from_secs(5), SimTime::from_secs(15));
         assert_eq!(t - SimDuration::from_secs(5), SimTime::from_secs(5));
         assert_eq!(SimTime::from_secs(15) - t, SimDuration::from_secs(5));
-        assert_eq!(t.saturating_since(SimTime::from_secs(20)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_since(SimTime::from_secs(20)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local CI gate: formatting, clippy, the static-analysis gate,
+# and the test suite. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> athena-lint"
+cargo run -q -p athena-lint --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "CI gate passed."

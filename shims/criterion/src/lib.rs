@@ -1,0 +1,169 @@
+//! In-repo criterion shim.
+//!
+//! A minimal benchmark harness exposing the criterion API surface the
+//! workspace's benches use: `Criterion::default()` with the
+//! `sample_size`/`measurement_time`/`warm_up_time` builders,
+//! `bench_function` with `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. It times a warm-up pass, then runs samples
+//! until the measurement budget is spent and prints mean and minimum
+//! per-iteration times — no statistical analysis, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver holding timing configuration.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm up and estimate per-iteration cost so samples can batch
+        // enough iterations to out-resolve the timer.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_up_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            if bencher.elapsed > Duration::ZERO {
+                per_iter = bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+            }
+            // Grow batches until one batch takes ~1ms.
+            if bencher.elapsed < Duration::from_millis(1) {
+                bencher.iters = bencher.iters.saturating_mul(2);
+            }
+        }
+
+        let per_sample = self.measurement_time / u32::try_from(self.sample_size).unwrap_or(u32::MAX);
+        let iters_per_sample = if per_iter.is_zero() {
+            bencher.iters
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u64::MAX))
+                as u64
+        };
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let mut best = Duration::MAX;
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            f(&mut bencher);
+            total += bencher.elapsed;
+            total_iters += bencher.iters;
+            let sample_per_iter =
+                bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX);
+            if sample_per_iter < best {
+                best = sample_per_iter;
+            }
+            if measure_start.elapsed() > self.measurement_time.saturating_mul(2) {
+                break; // Keep slow benches bounded.
+            }
+        }
+
+        let mean = if total_iters == 0 {
+            Duration::ZERO
+        } else {
+            total / u32::try_from(total_iters).unwrap_or(u32::MAX)
+        };
+        println!("{name:<40} mean {mean:>12.2?}   min {best:>12.2?}   ({total_iters} iters)");
+        self
+    }
+
+    /// Finalizes the run (no-op in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque value barrier, re-exported for call sites that import it from
+/// criterion rather than `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Defines a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,233 @@
+//! In-repo proptest shim.
+//!
+//! Generation-only property testing: strategies produce random values from
+//! a deterministic per-test seed and the `proptest!` macro runs each
+//! property over a configurable number of cases. No shrinking — a failing
+//! case panics with the generated inputs' debug representation instead.
+//!
+//! Covers the API surface the workspace's property tests use: `any`,
+//! ranges, tuples, `Just`, `prop_oneof!`, `prop_map`, `prop_filter_map`,
+//! `proptest::collection::vec`, `proptest::option::of`,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` macros.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+/// The RNG driving value generation.
+pub type TestRng = StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than real proptest's 256: the shim runs on constrained
+        // CI hardware and does no shrinking, so failures print directly.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// FNV-1a hash of a test path, used as the deterministic seed base.
+#[doc(hidden)]
+pub fn seed_for(path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds the RNG for one case.
+#[doc(hidden)]
+pub fn new_rng(base: u64, case: u32) -> TestRng {
+    TestRng::seed_from_u64(base ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Generates a value from a strategy (macro plumbing).
+#[doc(hidden)]
+pub fn generate<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.new_value(rng)
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing vectors of `elem` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(elem, size.into())
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` roughly a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+/// The common imports property tests start from.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{any, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { config = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __base = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::new_rng(__base, __case);
+                    $( let $pat = $crate::generate(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, panicking with context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!(
+                        "prop_assert_eq failed: `{:?}` != `{:?}`",
+                        __l, __r
+                    );
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    panic!(
+                        "prop_assert_eq failed: `{:?}` != `{:?}`: {}",
+                        __l, __r, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    panic!("prop_assert_ne failed: both `{:?}`", __l);
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    panic!(
+                        "prop_assert_ne failed: both `{:?}`: {}",
+                        __l, format!($($fmt)+)
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// Expands to a `continue` targeting the per-case loop `proptest!`
+/// generates, so it must appear at the top level of a property body (not
+/// inside a nested loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Picks uniformly among the given strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::boxed($s) ),+ ])
+    };
+}

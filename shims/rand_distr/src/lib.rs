@@ -1,0 +1,138 @@
+//! In-repo rand_distr shim: the exponential, Pareto, and Zipf
+//! distributions the data-plane workload generators sample from.
+
+#![forbid(unsafe_code)]
+
+use rand::RngCore;
+use std::fmt;
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that produce samples of `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: avoids ln(0) and division by zero.
+    let u = ((rng.next_u64() >> 11) as f64 + 1.0) * (1.0 / (1u64 << 53) as f64);
+    u.min(1.0)
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(Error("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Pareto distribution with the given scale (minimum) and shape.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto<F = f64> {
+    scale: F,
+    inv_shape: F,
+}
+
+impl Pareto<f64> {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless both parameters are finite and positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, Error> {
+        if scale.is_finite() && scale > 0.0 && shape.is_finite() && shape > 0.0 {
+            Ok(Pareto {
+                scale,
+                inv_shape: 1.0 / shape,
+            })
+        } else {
+            Err(Error("Pareto scale and shape must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Pareto<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.scale * unit_open(rng).powf(-self.inv_shape)
+    }
+}
+
+/// Zipf distribution over `{1, …, n}` with exponent `s`.
+///
+/// Samples by inversion over a precomputed cumulative table, which is exact
+/// and fast for the domain sizes this workspace uses (host counts).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates the distribution over `{1, …, n}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless `n >= 1` and `s` is finite and
+    /// non-negative.
+    pub fn new(n: f64, s: f64) -> Result<Self, Error> {
+        let count = n as usize;
+        if count < 1 || !n.is_finite() {
+            return Err(Error("Zipf needs n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Zipf exponent must be finite and non-negative"));
+        }
+        let mut cumulative = Vec::with_capacity(count);
+        let mut total = 0.0;
+        for k in 1..=count {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let total = match self.cumulative.last() {
+            Some(&t) => t,
+            None => return 1.0,
+        };
+        let target = unit_open(rng) * total;
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < target)
+            .min(self.cumulative.len() - 1);
+        (idx + 1) as f64
+    }
+}

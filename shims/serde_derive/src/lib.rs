@@ -1,0 +1,424 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! in-repo serde shim.
+//!
+//! No `syn`/`quote` (the build environment has no registry access): the item
+//! is parsed directly from the raw token stream and the impl is emitted as a
+//! string. Supports exactly the shapes this workspace derives on —
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, tuple, or struct-like. Anything else produces a compile error
+//! naming the unsupported construct.
+//!
+//! The generated impls target the shim's simplified data model: a type
+//! serializes to a `serde::Value` tree and deserializes from one, using
+//! serde's externally-tagged representation for enums and transparent
+//! newtypes, so JSON produced via `serde_json` matches what real serde
+//! would emit for these types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let (name, body) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});")
+                .parse()
+                .unwrap_or_default()
+        }
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&name, &body),
+        Direction::Deserialize => gen_deserialize(&name, &body),
+    };
+    match code.parse() {
+        Ok(ts) => ts,
+        Err(e) => format!("compile_error!(\"serde_derive shim generated invalid code: {e}\");")
+            .parse()
+            .unwrap_or_default(),
+    }
+}
+
+// ---- token-level parsing -------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Body), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum keyword, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err(format!(
+            "serde shim derive does not support where-clauses on `{name}`"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => return Err(format!("cannot derive on `{other}` items")),
+    };
+    Ok((name, body))
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth <= 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        // Now at a `,` or the end.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn gen_serialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from({f:?}), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::String(::std::string::String::from({vn:?})),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\
+                         let mut __m = ::serde::Map::new();\
+                         __m.insert(::std::string::String::from({vn:?}), \
+                         ::serde::Serialize::to_value(__f0));\
+                         ::serde::Value::Object(__m) }}\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\
+                             let mut __m = ::serde::Map::new();\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Array(vec![{}]));\
+                             ::serde::Value::Object(__m) }}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut __i = ::serde::Map::new();");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__i.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner}\
+                             let mut __m = ::serde::Map::new();\
+                             __m.insert(::std::string::String::from({vn:?}), \
+                             ::serde::Value::Object(__i));\
+                             ::serde::Value::Object(__m) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body_code}\n}}\n}}\n"
+    )
+}
+
+fn named_fields_ctor(path: &str, fields: &[String], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(\
+             {source}.get({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+        ));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn tuple_ctor(path: &str, n: usize, arr: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|k| {
+            format!(
+                "::serde::Deserialize::from_value(\
+                 {arr}.get({k}).unwrap_or(&::serde::Value::Null))?"
+            )
+        })
+        .collect();
+    format!("{path}({})", items.join(", "))
+}
+
+fn gen_deserialize(name: &str, body: &Body) -> String {
+    let body_code = match body {
+        Body::NamedStruct(fields) => format!(
+            "let __obj = __v.as_object().ok_or_else(|| \
+             ::serde::Error::custom(concat!(\"expected object for struct \", {name:?})))?;\n\
+             ::std::result::Result::Ok({})",
+            named_fields_ctor(name, fields, "__obj")
+        ),
+        Body::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Body::TupleStruct(n) => format!(
+            "let __arr = __v.as_array().ok_or_else(|| \
+             ::serde::Error::custom(concat!(\"expected array for struct \", {name:?})))?;\n\
+             ::std::result::Result::Ok({})",
+            tuple_ctor(name, *n, "__arr")
+        ),
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => tagged_arms.push_str(&format!(
+                        "{vn:?} => {{\
+                         let __arr = __inner.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for tuple variant\"))?;\
+                         return ::std::result::Result::Ok({}); }}\n",
+                        tuple_ctor(&format!("{name}::{vn}"), *n, "__arr")
+                    )),
+                    VariantFields::Named(fields) => tagged_arms.push_str(&format!(
+                        "{vn:?} => {{\
+                         let __obj = __inner.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for struct variant\"))?;\
+                         return ::std::result::Result::Ok({}); }}\n",
+                        named_fields_ctor(&format!("{name}::{vn}"), fields, "__obj")
+                    )),
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                     match __s.as_str() {{\n{unit_arms} _ => {{}} }}\n\
+                 }}\n\
+                 if let ::serde::Value::Object(__m) = __v {{\n\
+                     if let ::std::option::Option::Some((__k, __inner)) = __m.iter().next() {{\n\
+                         match __k.as_str() {{\n{tagged_arms} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 concat!(\"unknown variant for enum \", {name:?})))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body_code}\n}}\n}}\n"
+    )
+}

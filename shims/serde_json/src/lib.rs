@@ -1,0 +1,312 @@
+//! In-repo serde_json shim: JSON text over the serde shim's [`Value`] tree.
+//!
+//! Provides the functions and macros this workspace uses: [`to_string`],
+//! [`to_vec`], [`from_str`], [`from_slice`], [`to_value`], [`from_value`],
+//! and [`json!`]. Floats print with Rust's shortest-round-trip formatting,
+//! so the `float_roundtrip` feature of real serde_json is implied.
+
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::value::write_json_string;
+pub use serde::{Map, Number, Value};
+
+/// Error produced by serialization or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model; the `Result` mirrors the real
+/// API.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the shim's data model.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not match the target type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = parse_value(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+/// Parses JSON bytes into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on non-UTF-8 input, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+// ---- parser --------------------------------------------------------------
+
+fn parse_value(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while let Some(&c) = b.get(*pos) {
+        if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error(format!("expected `{lit}` at byte {}", *pos)))
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let val = parse_at(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hi = parse_hex4(b, *pos + 1)?;
+                        *pos += 4;
+                        let code = if (0xd800..0xdc00).contains(&hi) {
+                            // Surrogate pair: expect `\uXXXX` low half.
+                            if b.get(*pos + 1) == Some(&b'\\') && b.get(*pos + 2) == Some(&b'u') {
+                                let lo = parse_hex4(b, *pos + 3)?;
+                                *pos += 6;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00))
+                            } else {
+                                return Err(Error("lone high surrogate".into()));
+                            }
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error(format!("bad unicode escape {code:#x}")))?,
+                        );
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is valid UTF-8).
+                let start = *pos;
+                let mut end = start + 1;
+                while end < b.len() && (b[end] & 0xc0) == 0x80 {
+                    end += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| Error(e.to_string()))?);
+                *pos = end;
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], at: usize) -> Result<u32> {
+    let chunk = b
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    let s = std::str::from_utf8(chunk).map_err(|e| Error(e.to_string()))?;
+    u32::from_str_radix(s, 16).map_err(|e| Error(e.to_string()))
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| Error(e.to_string()))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("expected number at byte {start}")));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::PosInt(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::NegInt(i)));
+        }
+    }
+    let f: f64 = text.parse().map_err(|e: std::num::ParseFloatError| Error(e.to_string()))?;
+    Number::from_f64(f)
+        .map(Value::Number)
+        .ok_or_else(|| Error(format!("non-finite number {text}")))
+}
+
+// ---- json! macro ---------------------------------------------------------
+
+/// Builds a [`Value`] from JSON-like syntax, embedding Rust expressions.
+///
+/// Supports the forms this workspace uses: literals, `null`, arrays,
+/// objects with string-literal keys, and arbitrary `Into<Value>`
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}

@@ -50,6 +50,8 @@
 //! # Ok::<(), athena::types::AthenaError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 pub use athena_apps as apps;
 pub use athena_compute as compute;
 pub use athena_controller as controller;

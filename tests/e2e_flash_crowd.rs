@@ -65,12 +65,20 @@ fn flash_crowd_is_not_flagged_but_a_flood_is() {
         athena.request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
     let crowd_alarms = crowd_records
         .iter()
-        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == popular_server))
+        .filter(|r| {
+            r.index
+                .five_tuple
+                .is_some_and(|ft| ft.dst == popular_server)
+        })
         .filter(|r| model.is_malicious(r) == Some(true))
         .count();
     let crowd_total = crowd_records
         .iter()
-        .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == popular_server))
+        .filter(|r| {
+            r.index
+                .five_tuple
+                .is_some_and(|ft| ft.dst == popular_server)
+        })
         .count();
     assert!(crowd_total > 20, "the crowd produced {crowd_total} records");
     let crowd_rate = crowd_alarms as f64 / crowd_total as f64;

@@ -48,7 +48,10 @@ fn crossfire_is_detected_and_mitigated() {
         blocked += lfa.mitigate(&athena).len();
     }
 
-    assert!(peak_before > 1.0, "attack must congest the link: {peak_before}");
+    assert!(
+        peak_before > 1.0,
+        "attack must congest the link: {peak_before}"
+    );
     assert!(blocked > 0, "bots must be blocked");
     assert!(
         util_after_mitigation < peak_before,

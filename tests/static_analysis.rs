@@ -1,0 +1,46 @@
+//! Tier-1 gate: the static-analysis rules must hold over the workspace.
+//!
+//! This runs the same engine as `cargo run -p athena-lint`, in-process,
+//! so `cargo test` fails whenever a panic-freedom, unsafe-freedom,
+//! lock-discipline, or error-hygiene violation lands in production code.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_athena_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = athena_lint::check_workspace(root).expect("lint engine runs");
+
+    let mut failures: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == athena_lint::Severity::Error)
+        .map(ToString::to_string)
+        .collect();
+    failures.extend(report.stale_allows.iter().cloned());
+
+    assert!(
+        failures.is_empty(),
+        "athena-lint found {} violation(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+    assert!(report.files_scanned > 50, "lint walked the whole workspace");
+}
+
+#[test]
+fn lint_catches_a_seeded_violation() {
+    // The gate must actually be able to fail: run the hot-path rule over
+    // a seeded `unwrap()` and require a diagnostic.
+    use athena_lint::rules::{NoPanicInHotPath, Rule, SourceFile};
+
+    let file = SourceFile::new(
+        "crates/openflow/src/codec.rs".to_string(),
+        "fn decode(v: Option<u8>) -> u8 { v.unwrap() }".to_string(),
+    );
+    let config =
+        athena_lint::load_config(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint.toml parses");
+    let mut out = Vec::new();
+    NoPanicInHotPath.check(&file, &config, &mut out);
+    assert_eq!(out.len(), 1, "seeded unwrap must be flagged: {out:?}");
+}
