@@ -9,12 +9,14 @@
 use athena_bench::{env_scale, header};
 use athena_compute::{ComputeCluster, SchedulerConfig};
 use athena_ml::LabeledPoint;
+use athena_telemetry::Telemetry;
 use athena_types::SimDuration;
 
-fn speedup_curve(config: SchedulerConfig, points: &[LabeledPoint]) -> Vec<f64> {
+fn speedup_curve(config: SchedulerConfig, points: &[LabeledPoint], tel: &Telemetry) -> Vec<f64> {
     let mut times = Vec::new();
     for nodes in 1..=6 {
         let cluster = ComputeCluster::with_config(nodes, config);
+        cluster.bind_telemetry(tel);
         let ds = cluster.parallelize(points.to_vec(), 24);
         // The Figure 10 workload shape: a full pass with model-evaluation
         // sized per-point work (so task time, not fixed overhead, is the
@@ -37,8 +39,12 @@ fn speedup_curve(config: SchedulerConfig, points: &[LabeledPoint]) -> Vec<f64> {
 }
 
 fn main() {
-    header("Ablation — scheduler cost model vs the Figure 10 curve");
+    println!(
+        "{}",
+        header("Ablation — scheduler cost model vs the Figure 10 curve")
+    );
     let entries = env_scale("ATHENA_ABLATION_ENTRIES", 300_000);
+    let tel = Telemetry::new();
     let points: Vec<LabeledPoint> = (0..entries)
         .map(|i| LabeledPoint::new(vec![(i % 97) as f64, (i % 13) as f64], 0.0))
         .collect();
@@ -53,7 +59,7 @@ fn main() {
             serial_fraction: serial,
             ..SchedulerConfig::default()
         };
-        let curve = speedup_curve(cfg, &points);
+        let curve = speedup_curve(cfg, &points, &tel);
         println!(
             "serial fraction {serial:<27} {:>7.1}% {:>7.1}% {:>7.1}% {:>8}",
             curve[1] * 100.0,
@@ -72,7 +78,7 @@ fn main() {
             task_overhead: SimDuration::from_millis(task_overhead_ms),
             ..SchedulerConfig::default()
         };
-        let curve = speedup_curve(cfg, &points);
+        let curve = speedup_curve(cfg, &points, &tel);
         println!(
             "task overhead {task_overhead_ms:>3} ms{:<24} {:>7.1}% {:>7.1}% {:>7.1}%",
             "",
@@ -96,4 +102,5 @@ fn main() {
     );
     println!("\nshape verified: the curve stays linear-decreasing in every configuration;");
     println!("the serial fraction sets where the 6-node point lands (0.15 -> paper's 27.6%)");
+    println!("\n{}", tel.report().render());
 }

@@ -13,11 +13,18 @@ use athena_controller::cbench::{summarize, throughput_round, CbenchResponder};
 use athena_controller::ControllerCluster;
 use athena_core::{Athena, AthenaConfig};
 use athena_dataplane::Topology;
+use athena_telemetry::Telemetry;
 
-fn measure(topo: &Topology, config: Option<AthenaConfig>, rounds: usize, events: u64) -> f64 {
+fn measure(
+    topo: &Topology,
+    config: Option<AthenaConfig>,
+    rounds: usize,
+    events: u64,
+    tel: &Telemetry,
+) -> f64 {
     let rounds: Vec<_> = (0..rounds)
         .map(|i| {
-            let athena = config.map(Athena::new);
+            let athena = config.map(|c| Athena::with_telemetry(c, tel.clone()));
             let mut cluster = ControllerCluster::bare(topo);
             cluster.add_processor(Box::new(CbenchResponder));
             if let Some(a) = &athena {
@@ -30,12 +37,16 @@ fn measure(topo: &Topology, config: Option<AthenaConfig>, rounds: usize, events:
 }
 
 fn main() {
-    header("Ablation — store design vs control-plane throughput");
+    println!(
+        "{}",
+        header("Ablation — store design vs control-plane throughput")
+    );
     let rounds = env_scale("ATHENA_ABLATION_ROUNDS", 10);
     let events = env_scale("ATHENA_ABLATION_EVENTS", 10_000) as u64;
     let topo = Topology::enterprise();
+    let tel = Telemetry::new();
 
-    let baseline = measure(&topo, None, rounds, events);
+    let baseline = measure(&topo, None, rounds, events, &tel);
     println!("bare controller: {baseline:.0} responses/s\n");
     println!(
         "{:<34} {:>14} {:>12}",
@@ -54,6 +65,7 @@ fn main() {
             }),
             rounds,
             events,
+            &tel,
         ),
     ));
     // Replication sweep on 3 nodes.
@@ -69,6 +81,7 @@ fn main() {
                 }),
                 rounds,
                 events,
+                &tel,
             ),
         ));
     }
@@ -85,6 +98,7 @@ fn main() {
                 }),
                 rounds,
                 events,
+                &tel,
             ),
         ));
     }
@@ -106,4 +120,5 @@ fn main() {
     );
     println!("\nshape verified: publication dominates; replication adds monotone write cost");
     println!("(the paper's Cassandra proposal corresponds to the lighter configurations above)");
+    println!("\n{}", tel.report().render());
 }

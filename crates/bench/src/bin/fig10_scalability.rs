@@ -14,9 +14,13 @@ use athena_bench::{compare_row, env_scale, header};
 use athena_compute::ComputeCluster;
 use athena_core::DetectorManager;
 use athena_ml::{group_digits, ConfusionMatrix, Model};
+use athena_telemetry::Telemetry;
 
 fn main() {
-    header("Figure 10 — testing time vs number of compute nodes");
+    println!(
+        "{}",
+        header("Figure 10 — testing time vs number of compute nodes")
+    );
     let entries = env_scale("ATHENA_FIG10_ENTRIES", 500_000);
     println!(
         "dataset: {} entries (paper: 37,370,466; scale with ATHENA_FIG10_ENTRIES)\n",
@@ -27,7 +31,10 @@ fn main() {
     let features: Vec<String> = FEATURES.iter().map(|s| (*s).to_owned()).collect();
 
     // Train once on a subset; Figure 10 sweeps the *testing* phase.
-    let trainer = DetectorManager::new(ComputeCluster::new(6));
+    let tel = Telemetry::new();
+    let train_compute = ComputeCluster::new(6);
+    train_compute.bind_telemetry(&tel);
+    let trainer = DetectorManager::with_telemetry(train_compute, &tel);
     let model = trainer
         .generate_from_points(
             data.points[..entries / 10].to_vec(),
@@ -44,7 +51,9 @@ fn main() {
     let mut athena_times = Vec::new();
     let mut spark_times = Vec::new();
     for nodes in 1..=6 {
-        let dm = DetectorManager::new(ComputeCluster::new(nodes));
+        let sweep_compute = ComputeCluster::new(nodes);
+        sweep_compute.bind_telemetry(&tel);
+        let dm = DetectorManager::with_telemetry(sweep_compute, &tel);
         let (summary, athena_vt) = dm.validate_points_distributed(data.points.clone(), &model);
         assert_eq!(summary.total_entries(), entries as u64);
 
@@ -92,21 +101,30 @@ fn main() {
         .fold(f64::NEG_INFINITY, f64::max);
 
     println!();
-    header("paper vs measured");
-    compare_row(
-        "Decrease with nodes",
-        "linear",
-        "monotone decreasing (see table)",
+    println!("{}", header("paper vs measured"));
+    println!(
+        "{}",
+        compare_row(
+            "Decrease with nodes",
+            "linear",
+            "monotone decreasing (see table)",
+        )
     );
-    compare_row(
-        "6-node time / 1-node time",
-        "~27.6%",
-        &format!("{:.1}%", six_node_pct * 100.0),
+    println!(
+        "{}",
+        compare_row(
+            "6-node time / 1-node time",
+            "~27.6%",
+            &format!("{:.1}%", six_node_pct * 100.0),
+        )
     );
-    compare_row(
-        "Athena overhead vs raw Spark",
-        "< 10%",
-        &format!("max {:.1}%", max_overhead * 100.0),
+    println!(
+        "{}",
+        compare_row(
+            "Athena overhead vs raw Spark",
+            "< 10%",
+            &format!("max {:.1}%", max_overhead * 100.0),
+        )
     );
 
     assert!(
@@ -122,4 +140,5 @@ fn main() {
         "athena overhead must stay under 10%: {max_overhead}"
     );
     println!("\nshape verified: linear decrease, 6-node ≈ paper's 27.6%, overhead < 10%");
+    println!("\n{}", tel.report().render());
 }

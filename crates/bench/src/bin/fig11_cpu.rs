@@ -73,7 +73,7 @@ fn cost_per_flow_event(
 }
 
 fn main() {
-    header("Figure 11 — CPU usage vs flow-event rate");
+    println!("{}", header("Figure 11 — CPU usage vs flow-event rate"));
     let flows_per_reply = env_scale("ATHENA_FIG11_FLOWS", 2_000);
     let reps = env_scale("ATHENA_FIG11_REPS", 10);
     let topo = Topology::enterprise();
@@ -115,21 +115,30 @@ fn main() {
     let saturation = saturation_rate.unwrap_or(200_000);
 
     println!();
-    header("paper vs measured");
-    compare_row(
-        "Athena saturation point",
-        "~140K flows/s",
-        &format!("~{}K flows/s", saturation / 1000),
+    println!("{}", header("paper vs measured"));
+    println!(
+        "{}",
+        compare_row(
+            "Athena saturation point",
+            "~140K flows/s",
+            &format!("~{}K flows/s", saturation / 1000),
+        )
     );
-    compare_row(
-        "Baseline CPU at Athena's saturation",
-        "~31%",
-        &format!("{baseline_at_saturation:.0}%"),
+    println!(
+        "{}",
+        compare_row(
+            "Baseline CPU at Athena's saturation",
+            "~31%",
+            &format!("{baseline_at_saturation:.0}%"),
+        )
     );
-    compare_row(
-        "Cost ratio (Athena / bare)",
-        "n/a (not reported)",
-        &format!("{:.1}x", athena_cost / bare_cost),
+    println!(
+        "{}",
+        compare_row(
+            "Cost ratio (Athena / bare)",
+            "n/a (not reported)",
+            &format!("{:.1}x", athena_cost / bare_cost),
+        )
     );
 
     assert!(

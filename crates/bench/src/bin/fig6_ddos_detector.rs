@@ -15,7 +15,10 @@ use athena_core::{DetectorManager, UiManager};
 use athena_ml::group_digits;
 
 fn main() {
-    header("Figure 6 — DDoS detector output (K-Means, K=8)");
+    println!(
+        "{}",
+        header("Figure 6 — DDoS detector output (K-Means, K=8)")
+    );
     let entries = env_scale("ATHENA_FIG6_ENTRIES", 373_704);
     println!(
         "dataset: {} entries (paper: 37,370,466; scale with ATHENA_FIG6_ENTRIES)\n",
@@ -46,36 +49,51 @@ fn main() {
     let ui = UiManager::new();
     println!("{}\n", ui.render_summary(&summary));
 
-    header("paper vs measured");
+    println!("{}", header("paper vs measured"));
     let c = &summary.confusion;
-    compare_row("Total entries", "37,370,466", &group_digits(c.total()));
-    compare_row(
-        "Benign : Malicious split",
-        "25% : 75%",
-        &format!(
-            "{} : {}",
-            pct(c.actual_benign() as f64 / c.total() as f64),
-            pct(c.actual_malicious() as f64 / c.total() as f64)
-        ),
+    println!(
+        "{}",
+        compare_row("Total entries", "37,370,466", &group_digits(c.total()))
     );
-    compare_row(
-        "Detection Rate",
-        "0.9923 (99.23%)",
-        &format!("{:.4} ({})", c.detection_rate(), pct(c.detection_rate())),
+    println!(
+        "{}",
+        compare_row(
+            "Benign : Malicious split",
+            "25% : 75%",
+            &format!(
+                "{} : {}",
+                pct(c.actual_benign() as f64 / c.total() as f64),
+                pct(c.actual_malicious() as f64 / c.total() as f64)
+            ),
+        )
     );
-    compare_row(
-        "False Alarm Rate",
-        "0.0446 (4.46%)",
-        &format!(
-            "{:.4} ({})",
-            c.false_alarm_rate(),
-            pct(c.false_alarm_rate())
-        ),
+    println!(
+        "{}",
+        compare_row(
+            "Detection Rate",
+            "0.9923 (99.23%)",
+            &format!("{:.4} ({})", c.detection_rate(), pct(c.detection_rate())),
+        )
     );
-    compare_row(
-        "Clusters",
-        "K(8), Iterations(20), Runs(5)",
-        "same configuration",
+    println!(
+        "{}",
+        compare_row(
+            "False Alarm Rate",
+            "0.0446 (4.46%)",
+            &format!(
+                "{:.4} ({})",
+                c.false_alarm_rate(),
+                pct(c.false_alarm_rate())
+            ),
+        )
+    );
+    println!(
+        "{}",
+        compare_row(
+            "Clusters",
+            "K(8), Iterations(20), Runs(5)",
+            "same configuration",
+        )
     );
 
     // Shape assertions: the detector must land in the paper's operating

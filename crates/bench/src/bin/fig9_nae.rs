@@ -18,7 +18,10 @@ const ACTIVATE_AT: u64 = 120;
 const RUN_FOR: u64 = 240;
 
 fn main() {
-    header("Figure 9 — NAE: per-switch packet counts, LB vs security app");
+    println!(
+        "{}",
+        header("Figure 9 — NAE: per-switch packet counts, LB vs security app")
+    );
     let topo = Topology::nae();
     let mut net = Network::new(topo.clone());
     let mut cluster = ControllerCluster::new(&topo);
@@ -93,25 +96,34 @@ fn main() {
     let before_ratio = b6 / (b3 + b6).max(1.0);
     let after_ratio = a6 / (a3 + a6).max(1.0);
 
-    header("paper vs measured");
-    compare_row(
-        "Before activation",
-        "balanced across S3/S6 (sawtooth)",
-        &format!("S6 share {:.0}%", before_ratio * 100.0),
+    println!("{}", header("paper vs measured"));
+    println!(
+        "{}",
+        compare_row(
+            "Before activation",
+            "balanced across S3/S6 (sawtooth)",
+            &format!("S6 share {:.0}%", before_ratio * 100.0),
+        )
     );
-    compare_row(
-        "After activation (03:58 in paper)",
-        "security app takes over; S3 starves",
-        &format!("S6 share {:.0}%", after_ratio * 100.0),
+    println!(
+        "{}",
+        compare_row(
+            "After activation (03:58 in paper)",
+            "security app takes over; S3 starves",
+            &format!("S6 share {:.0}%", after_ratio * 100.0),
+        )
     );
-    compare_row(
-        "SLA violations detected",
-        "alerted via Athena UI manager",
-        &format!(
-            "{} (first at {:?}s)",
-            violations.len(),
-            violations.first().map(|v| v.at.as_secs_f64())
-        ),
+    println!(
+        "{}",
+        compare_row(
+            "SLA violations detected",
+            "alerted via Athena UI manager",
+            &format!(
+                "{} (first at {:?}s)",
+                violations.len(),
+                violations.first().map(|v| v.at.as_secs_f64())
+            ),
+        )
     );
 
     assert!(

@@ -8,7 +8,7 @@ use athena_core::UiManager;
 use athena_dataplane::Topology;
 
 fn main() {
-    header("Table VI — DDoS test environment");
+    println!("{}", header("Table VI — DDoS test environment"));
     let topo = Topology::enterprise();
     let cluster = ControllerCluster::new(&topo);
 

@@ -11,7 +11,10 @@ use athena_dataplane::{workload, Network, Topology};
 use athena_types::{Dpid, PortNo, SimDuration, SimTime};
 
 fn main() {
-    header("Table VII — LFA detection & mitigation (Spiffy vs Athena)");
+    println!(
+        "{}",
+        header("Table VII — LFA detection & mitigation (Spiffy vs Athena)")
+    );
     let ui = UiManager::new();
     let rows: Vec<Vec<String>> = LfaMitigator::capability_comparison()
         .into_iter()
@@ -23,7 +26,7 @@ fn main() {
         ui.render_table(&["Category", "Spiffy [26]", "Athena"], &rows)
     );
 
-    header("live mitigation run (Crossfire on link 2->3)");
+    println!("{}", header("live mitigation run (Crossfire on link 2->3)"));
     let topo = Topology::linear(4, 6);
     let mut net = Network::new(topo.clone());
     let mut cluster = ControllerCluster::new(&topo);

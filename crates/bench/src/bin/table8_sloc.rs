@@ -16,7 +16,10 @@ const SPARK_SRC: &str = include_str!("../../../apps/src/sloc/ddos_spark.rs");
 const BSP_SRC: &str = include_str!("../../../apps/src/sloc/ddos_bsp.rs");
 
 fn main() {
-    header("Table VIII — SLoC for a DDoS detector per implementation");
+    println!(
+        "{}",
+        header("Table VIII — SLoC for a DDoS detector per implementation")
+    );
     let athena = measured_sloc(ATHENA_SRC);
     let spark = measured_sloc(SPARK_SRC);
     let bsp = measured_sloc(BSP_SRC);
@@ -44,30 +47,42 @@ fn main() {
     );
     println!("(both algorithm variants share the same parameterized app code here,\n so the two rows coincide; the paper's Java versions differed by a few lines)\n");
 
-    header("paper vs measured");
-    compare_row(
-        "Athena K-Means / LogReg",
-        "45 / 42 lines",
-        &format!("{athena} lines"),
+    println!("{}", header("paper vs measured"));
+    println!(
+        "{}",
+        compare_row(
+            "Athena K-Means / LogReg",
+            "45 / 42 lines",
+            &format!("{athena} lines"),
+        )
     );
-    compare_row(
-        "Spark K-Means / LogReg",
-        "825 / 851 lines",
-        &format!("{spark} lines"),
+    println!(
+        "{}",
+        compare_row(
+            "Spark K-Means / LogReg",
+            "825 / 851 lines",
+            &format!("{spark} lines"),
+        )
     );
-    compare_row(
-        "Hama K-Means / LogReg",
-        "817 / 829 lines",
-        &format!("{bsp} lines"),
+    println!(
+        "{}",
+        compare_row(
+            "Hama K-Means / LogReg",
+            "817 / 829 lines",
+            &format!("{bsp} lines"),
+        )
     );
-    compare_row(
-        "Athena / baseline ratio",
-        "~5%",
-        &format!(
-            "{:.1}% (vs spark), {:.1}% (vs bsp)",
-            athena as f64 / spark as f64 * 100.0,
-            athena as f64 / bsp as f64 * 100.0
-        ),
+    println!(
+        "{}",
+        compare_row(
+            "Athena / baseline ratio",
+            "~5%",
+            &format!(
+                "{:.1}% (vs spark), {:.1}% (vs bsp)",
+                athena as f64 / spark as f64 * 100.0,
+                athena as f64 / bsp as f64 * 100.0
+            ),
+        )
     );
 
     // Honesty check: the implementations must all work and agree.

@@ -14,6 +14,7 @@ use athena_controller::cbench::{summarize, throughput_round, CbenchResponder, Cb
 use athena_controller::ControllerCluster;
 use athena_core::{Athena, AthenaConfig};
 use athena_dataplane::Topology;
+use athena_telemetry::Telemetry;
 
 #[derive(Clone, Copy)]
 enum Config {
@@ -27,16 +28,27 @@ enum Config {
 /// the analogue of MongoDB's flat per-insert cost (it pages to disk; our
 /// substitute would otherwise accumulate millions of documents across
 /// rounds and measure allocator pressure instead of write cost).
-fn run_rounds(topo: &Topology, config: Config, rounds: usize, events: u64) -> Vec<CbenchRound> {
+fn run_rounds(
+    topo: &Topology,
+    config: Config,
+    rounds: usize,
+    events: u64,
+    tel: &Telemetry,
+) -> Vec<CbenchRound> {
     (0..rounds)
         .map(|i| {
             let athena = match config {
                 Config::Without => None,
-                Config::WithDb => Some(Athena::new(AthenaConfig::default())),
-                Config::NoDb => Some(Athena::new(AthenaConfig {
-                    store_enabled: false,
-                    ..AthenaConfig::default()
-                })),
+                Config::WithDb => {
+                    Some(Athena::with_telemetry(AthenaConfig::default(), tel.clone()))
+                }
+                Config::NoDb => Some(Athena::with_telemetry(
+                    AthenaConfig {
+                        store_enabled: false,
+                        ..AthenaConfig::default()
+                    },
+                    tel.clone(),
+                )),
             };
             let mut cluster = ControllerCluster::bare(topo);
             cluster.add_processor(Box::new(CbenchResponder));
@@ -49,18 +61,25 @@ fn run_rounds(topo: &Topology, config: Config, rounds: usize, events: u64) -> Ve
 }
 
 fn main() {
-    header("Table IX — Cbench flow-install throughput (responses/s)");
+    println!(
+        "{}",
+        header("Table IX — Cbench flow-install throughput (responses/s)")
+    );
     let rounds = env_scale("ATHENA_CBENCH_ROUNDS", 50);
     let events = env_scale("ATHENA_CBENCH_EVENTS", 20_000) as u64;
     println!("{rounds} rounds x {events} packet-ins (ATHENA_CBENCH_ROUNDS/_EVENTS)\n");
     let topo = Topology::enterprise();
+    // One telemetry handle aggregates every Athena-enabled round; its
+    // enabled-path cost is a few atomic ops per record, identical in the
+    // with-DB and no-DB configurations, so the overhead ratios stand.
+    let tel = Telemetry::new();
 
     // 1. Baseline: the bare controller.
-    let without = summarize(&run_rounds(&topo, Config::Without, rounds, events));
+    let without = summarize(&run_rounds(&topo, Config::Without, rounds, events, &tel));
     // 2. With Athena (features published to the store cluster).
-    let with_db = summarize(&run_rounds(&topo, Config::WithDb, rounds, events));
+    let with_db = summarize(&run_rounds(&topo, Config::WithDb, rounds, events, &tel));
     // 3. With Athena, DB publication disabled.
-    let no_db = summarize(&run_rounds(&topo, Config::NoDb, rounds, events));
+    let no_db = summarize(&run_rounds(&topo, Config::NoDb, rounds, events, &tel));
 
     println!("{:<16} {:>12} {:>12} {:>12}", "", "MIN", "MAX", "AVG");
     for (label, s) in [
@@ -90,24 +109,39 @@ fn main() {
         pct(overhead_nodb),
     );
 
-    header("paper vs measured");
-    compare_row(
-        "Without Athena (avg rps)",
-        "831,366",
-        &format!("{:.0}", without.avg),
+    println!("{}", header("paper vs measured"));
+    println!(
+        "{}",
+        compare_row(
+            "Without Athena (avg rps)",
+            "831,366",
+            &format!("{:.0}", without.avg),
+        )
     );
-    compare_row(
-        "With Athena (avg rps)",
-        "389,584",
-        &format!("{:.0}", with_db.avg),
+    println!(
+        "{}",
+        compare_row(
+            "With Athena (avg rps)",
+            "389,584",
+            &format!("{:.0}", with_db.avg),
+        )
     );
-    compare_row(
-        "With, no DB (avg rps)",
-        "658,514",
-        &format!("{:.0}", no_db.avg),
+    println!(
+        "{}",
+        compare_row(
+            "With, no DB (avg rps)",
+            "658,514",
+            &format!("{:.0}", no_db.avg),
+        )
     );
-    compare_row("Avg overhead (with DB)", "53.13%", &pct(overhead_db));
-    compare_row("Avg overhead (no DB)", "20.79%", &pct(overhead_nodb));
+    println!(
+        "{}",
+        compare_row("Avg overhead (with DB)", "53.13%", &pct(overhead_db))
+    );
+    println!(
+        "{}",
+        compare_row("Avg overhead (no DB)", "20.79%", &pct(overhead_nodb))
+    );
 
     assert!(
         without.avg > no_db.avg && no_db.avg > with_db.avg,
@@ -129,4 +163,5 @@ fn main() {
         "DB publication must dominate the overhead (paper: primary source)"
     );
     println!("shape verified: without > no-DB > with-DB; DB operations dominate the overhead");
+    println!("\n{}", tel.report().render());
 }

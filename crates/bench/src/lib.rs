@@ -32,15 +32,18 @@ pub fn env_scale(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Prints a section header.
-pub fn header(title: &str) {
+/// Renders a section header; the caller prints it (library code stays
+/// free of direct console output).
+#[must_use]
+pub fn header(title: &str) -> String {
     let line = "=".repeat(title.len().max(24));
-    println!("{line}\n{title}\n{line}");
+    format!("{line}\n{title}\n{line}")
 }
 
-/// Prints a `paper vs measured` row.
-pub fn compare_row(label: &str, paper: &str, measured: &str) {
-    println!("{label:<38} paper: {paper:<22} measured: {measured}");
+/// Renders a `paper vs measured` row; the caller prints it.
+#[must_use]
+pub fn compare_row(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<38} paper: {paper:<22} measured: {measured}")
 }
 
 /// Formats a ratio as a percentage.
@@ -66,5 +69,15 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.5313), "53.13%");
+    }
+
+    #[test]
+    fn header_and_rows_render() {
+        let h = header("Hi");
+        assert_eq!(h.lines().count(), 3);
+        assert!(h.contains("Hi"));
+        let row = compare_row("label", "1", "2");
+        assert!(row.contains("paper: 1"));
+        assert!(row.contains("measured: 2"));
     }
 }

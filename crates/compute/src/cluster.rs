@@ -2,8 +2,9 @@
 
 use crate::dataset::Dataset;
 use crate::scheduler::{SchedulerConfig, VirtualScheduler};
-use athena_types::SimDuration;
-use parking_lot::Mutex;
+use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_types::{SimDuration, SimTime};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,6 +30,18 @@ pub(crate) struct ClusterInner {
     job_counter: AtomicU64,
     virtual_micros: AtomicU64,
     jobs: Mutex<Vec<JobMetrics>>,
+    tel: RwLock<ComputeTelemetry>,
+}
+
+/// The cluster's telemetry instruments (detached until
+/// [`ComputeCluster::bind_telemetry`]).
+#[derive(Debug, Default)]
+struct ComputeTelemetry {
+    task_ns: Histogram,
+    job_ns: Histogram,
+    tasks: Counter,
+    /// Kept for the per-job virtual-time trace events.
+    handle: Option<Telemetry>,
 }
 
 /// A compute cluster of N worker nodes.
@@ -66,8 +79,22 @@ impl ComputeCluster {
                 job_counter: AtomicU64::new(0),
                 virtual_micros: AtomicU64::new(0),
                 jobs: Mutex::new(Vec::new()),
+                tel: RwLock::new(ComputeTelemetry::default()),
             }),
         }
+    }
+
+    /// Routes task/job dispatch latencies into `tel` for every handle
+    /// cloned from this cluster. Each completed job also emits a trace
+    /// event stamped with the cluster's cumulative virtual time.
+    pub fn bind_telemetry(&self, tel: &Telemetry) {
+        let m = tel.metrics();
+        *self.inner.tel.write() = ComputeTelemetry {
+            task_ns: m.histogram("compute", "task_ns"),
+            job_ns: m.histogram("compute", "job_ns"),
+            tasks: m.counter("compute", "tasks"),
+            handle: Some(tel.clone()),
+        };
     }
 
     /// Number of worker nodes.
@@ -118,19 +145,36 @@ impl ComputeCluster {
         partitions: &[P],
         mut task: impl FnMut(&P) -> R,
     ) -> Vec<R> {
+        // Instruments are cloned out of a short-lived guard so the jobs
+        // log below is never locked while `tel` is held.
+        let tel = {
+            let guard = self.inner.tel.read();
+            ComputeTelemetry {
+                task_ns: guard.task_ns.clone(),
+                job_ns: guard.job_ns.clone(),
+                tasks: guard.tasks.clone(),
+                handle: guard.handle.clone(),
+            }
+        };
+        let job_timer = tel.job_ns.start_timer();
         let mut results = Vec::with_capacity(partitions.len());
         let mut costs = Vec::with_capacity(partitions.len());
         for p in partitions {
             let start = Instant::now();
             results.push(task(p));
             let elapsed = start.elapsed();
+            tel.task_ns
+                .record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
             costs.push(SimDuration::from_micros(elapsed.as_micros() as u64));
         }
+        tel.tasks.add(partitions.len() as u64);
         let virtual_time = self.inner.scheduler.makespan(&costs);
         let job_id = self.inner.job_counter.fetch_add(1, Ordering::Relaxed);
-        self.inner
+        let virtual_total = self
+            .inner
             .virtual_micros
-            .fetch_add(virtual_time.as_micros(), Ordering::Relaxed);
+            .fetch_add(virtual_time.as_micros(), Ordering::Relaxed)
+            + virtual_time.as_micros();
         self.inner.jobs.lock().push(JobMetrics {
             job_id,
             label: label.to_owned(),
@@ -138,6 +182,17 @@ impl ComputeCluster {
             total_task_time: SimDuration::from_micros(costs.iter().map(|d| d.as_micros()).sum()),
             virtual_time,
         });
+        job_timer.observe(&tel.job_ns);
+        if let Some(handle) = &tel.handle {
+            // Stamp the job at the cluster's cumulative virtual time so
+            // traces line compute work up against the simulation clock.
+            handle.tracer().event(
+                "compute",
+                "job",
+                SimTime::from_micros(virtual_total),
+                format!("{label}: {} tasks", partitions.len()),
+            );
+        }
         results
     }
 }
@@ -168,6 +223,22 @@ mod tests {
         assert_eq!(c.job_count(), 0);
         assert_eq!(c.total_virtual_time(), SimDuration::ZERO);
         assert!(c.job_metrics().is_empty());
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_and_traces_jobs() {
+        let tel = Telemetry::new();
+        let c = ComputeCluster::new(3);
+        c.bind_telemetry(&tel);
+        let _ = c.parallelize((0..50u32).collect(), 6).count();
+        let m = tel.metrics();
+        assert_eq!(m.counter("compute", "tasks").get(), 6);
+        assert_eq!(m.histogram("compute", "task_ns").snapshot().count, 6);
+        assert_eq!(m.histogram("compute", "job_ns").snapshot().count, 1);
+        let events = tel.tracer().entries();
+        assert!(events
+            .iter()
+            .any(|e| e.subsystem == "compute" && e.name == "job" && e.detail.contains("6 tasks")));
     }
 
     #[test]

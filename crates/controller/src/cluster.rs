@@ -7,6 +7,7 @@ use crate::services::{FlowRuleService, HostService, MastershipService};
 use crate::stats::StatsPoller;
 use athena_dataplane::{ControllerLink, Topology};
 use athena_openflow::OfMessage;
+use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{ControllerId, Dpid, SimDuration, SimTime};
 
 /// Cluster-level message counters.
@@ -37,6 +38,30 @@ pub struct ControllerCluster {
     interceptors: Vec<Box<dyn MessageInterceptor>>,
     poller: Option<StatsPoller>,
     counters: ClusterCounters,
+    tel: ClusterTelemetry,
+}
+
+/// The cluster's telemetry instruments (detached until
+/// [`ControllerCluster::bind_telemetry`]).
+#[derive(Debug, Clone)]
+struct ClusterTelemetry {
+    packet_ins: Counter,
+    flow_mods: Counter,
+    stats_replies: Counter,
+    flow_removeds: Counter,
+    packet_in_ns: Histogram,
+}
+
+impl Default for ClusterTelemetry {
+    fn default() -> Self {
+        ClusterTelemetry {
+            packet_ins: Counter::detached(),
+            flow_mods: Counter::detached(),
+            stats_replies: Counter::detached(),
+            flow_removeds: Counter::detached(),
+            packet_in_ns: Histogram::detached(),
+        }
+    }
 }
 
 impl ControllerCluster {
@@ -61,7 +86,25 @@ impl ControllerCluster {
             interceptors: Vec::new(),
             poller: None,
             counters: ClusterCounters::default(),
+            tel: ClusterTelemetry::default(),
         }
+    }
+
+    /// Routes the cluster's counters and packet-in service latency into
+    /// `tel` (also rebinds the statistics poller, if any).
+    pub fn bind_telemetry(&mut self, tel: &Telemetry) {
+        let m = tel.metrics();
+        self.tel = ClusterTelemetry {
+            packet_ins: m.counter("controller", "packet_ins"),
+            flow_mods: m.counter("controller", "flow_mods"),
+            stats_replies: m.counter("controller", "stats_replies"),
+            flow_removeds: m.counter("controller", "flow_removeds"),
+            packet_in_ns: m.histogram("controller", "packet_in_ns"),
+        };
+        if let Some(poller) = &mut self.poller {
+            poller.bind_telemetry(tel);
+        }
+        self.flow_rules.bind_telemetry(tel);
     }
 
     /// Registers a packet processor (kept sorted by priority, highest
@@ -176,6 +219,8 @@ impl ControllerLink for ControllerCluster {
         match &msg {
             OfMessage::PacketIn { body, .. } => {
                 self.counters.packet_ins += 1;
+                self.tel.packet_ins.inc();
+                let timer = self.tel.packet_in_ns.start_timer();
                 // Host learning from observed source addresses.
                 if let (Some(ip), true) = (body.header.ip_src, body.header.in_port.is_physical()) {
                     if self.hosts.location_of(ip).is_none() {
@@ -197,13 +242,16 @@ impl ControllerLink for ControllerCluster {
                     }
                 }
                 commands.extend(ctx.into_commands());
+                timer.observe(&self.tel.packet_in_ns);
             }
             OfMessage::FlowRemoved { body, .. } => {
                 self.counters.flow_removeds += 1;
+                self.tel.flow_removeds.inc();
                 self.flow_rules.on_flow_removed(body);
             }
             OfMessage::StatsReply { body, .. } => {
                 self.counters.stats_replies += 1;
+                self.tel.stats_replies.inc();
                 // ONOS refreshes its flow-rule store from every poll.
                 if let athena_openflow::StatsReply::Flow(entries) = body {
                     for e in entries {
@@ -216,10 +264,12 @@ impl ControllerLink for ControllerCluster {
         }
         // Athena's SB observes everything after controller processing.
         self.run_interceptors(from, &msg, now, &mut commands);
-        self.counters.flow_mods += commands
+        let flow_mods = commands
             .iter()
             .filter(|(_, m)| matches!(m, OfMessage::FlowMod { .. }))
             .count() as u64;
+        self.counters.flow_mods += flow_mods;
+        self.tel.flow_mods.add(flow_mods);
         commands
     }
 

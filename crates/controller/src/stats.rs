@@ -6,6 +6,7 @@
 //! request messages"). This poller is the ONOS side: unmarked XIDs.
 
 use athena_openflow::{MatchFields, OfMessage, StatsRequest};
+use athena_telemetry::Counter;
 use athena_types::{Dpid, PortNo, SimDuration, SimTime, Xid};
 
 /// Periodically issues flow/port statistics requests to a set of switches.
@@ -17,6 +18,7 @@ pub struct StatsPoller {
     last_poll: SimTime,
     next_xid: u32,
     issued: u64,
+    polls_issued: Counter,
 }
 
 impl StatsPoller {
@@ -28,12 +30,28 @@ impl StatsPoller {
             last_poll: SimTime::ZERO,
             next_xid: 0,
             issued: 0,
+            polls_issued: Counter::detached(),
         }
+    }
+
+    /// Routes the poller's issued-request counter into `tel`.
+    pub fn bind_telemetry(&mut self, tel: &athena_telemetry::Telemetry) {
+        self.polls_issued = tel.metrics().counter("controller", "stats_polls_issued");
     }
 
     /// Requests issued so far.
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// The next unmarked XID. The sequence stays strictly inside
+    /// `[1, Xid::MAX_UNMARKED]`: a naive `+= 1` would eventually wrap the
+    /// raw `u32` into the Athena-marked range (and panic on overflow in
+    /// debug builds), making ONOS's background polling indistinguishable
+    /// from Athena's marked requests.
+    fn fresh_xid(&mut self) -> Xid {
+        self.next_xid = Xid::next_unmarked(self.next_xid);
+        Xid::new(self.next_xid)
     }
 
     /// Returns the requests due at `now` (empty between polling periods).
@@ -43,28 +61,30 @@ impl StatsPoller {
         }
         self.last_poll = now;
         let mut out = Vec::with_capacity(self.switches.len() * 2);
-        for dpid in &self.switches {
-            self.next_xid += 1;
+        for i in 0..self.switches.len() {
+            let dpid = self.switches[i];
+            let flow_xid = self.fresh_xid();
             out.push((
-                *dpid,
+                dpid,
                 OfMessage::StatsRequest {
-                    xid: Xid::new(self.next_xid),
+                    xid: flow_xid,
                     body: StatsRequest::Flow {
                         filter: MatchFields::new(),
                     },
                 },
             ));
-            self.next_xid += 1;
+            let port_xid = self.fresh_xid();
             out.push((
-                *dpid,
+                dpid,
                 OfMessage::StatsRequest {
-                    xid: Xid::new(self.next_xid),
+                    xid: port_xid,
                     body: StatsRequest::Port {
                         port_no: PortNo::ANY,
                     },
                 },
             ));
             self.issued += 2;
+            self.polls_issued.add(2);
         }
         out
     }
@@ -73,6 +93,7 @@ impl StatsPoller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use athena_telemetry::Telemetry;
 
     #[test]
     fn polls_on_the_interval() {
@@ -92,5 +113,35 @@ mod tests {
         for (_, msg) in p.poll(SimTime::from_secs(1)) {
             assert!(!msg.xid().is_athena_marked());
         }
+    }
+
+    #[test]
+    fn xids_wrap_without_entering_the_marked_range() {
+        let mut p = StatsPoller::new(vec![Dpid::new(1)], SimDuration::from_secs(1));
+        // Park the sequence one request shy of the unmarked ceiling so the
+        // next poll's two requests straddle the wrap point.
+        p.next_xid = Xid::MAX_UNMARKED - 1;
+        let msgs = p.poll(SimTime::from_secs(1));
+        let xids: Vec<u32> = msgs.iter().map(|(_, m)| m.xid().raw()).collect();
+        assert_eq!(xids, vec![Xid::MAX_UNMARKED, 1]);
+        for (_, msg) in &msgs {
+            assert!(!msg.xid().is_athena_marked());
+        }
+        // The wrap also never emits the reserved XID 0.
+        assert!(xids.iter().all(|&x| x != 0));
+    }
+
+    #[test]
+    fn issued_polls_reach_telemetry() {
+        let tel = Telemetry::new();
+        let mut p = StatsPoller::new(vec![Dpid::new(1), Dpid::new(2)], SimDuration::from_secs(5));
+        p.bind_telemetry(&tel);
+        p.poll(SimTime::from_secs(1));
+        assert_eq!(
+            tel.metrics()
+                .counter("controller", "stats_polls_issued")
+                .get(),
+            4
+        );
     }
 }

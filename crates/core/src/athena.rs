@@ -15,6 +15,7 @@ use athena_compute::ComputeCluster;
 use athena_controller::ControllerCluster;
 use athena_ml::{Algorithm, Preprocessor, ValidationSummary};
 use athena_store::StoreCluster;
+use athena_telemetry::Telemetry;
 use athena_types::{ControllerId, Dpid, Result, SimDuration};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -60,6 +61,9 @@ pub struct AthenaRuntime {
     pub reactor: Mutex<AttackReactor>,
     /// The resource manager (monitoring fidelity).
     pub resource: Mutex<ResourceManager>,
+    /// The deployment's telemetry domain (disabled unless the instance
+    /// was built with [`Athena::with_telemetry`]).
+    pub telemetry: Telemetry,
 }
 
 /// The Athena framework instance.
@@ -75,9 +79,18 @@ pub struct Athena {
 
 impl Athena {
     /// Builds an Athena deployment: store cluster, compute cluster, and
-    /// the shared managers.
+    /// the shared managers. Telemetry is present but disabled; use
+    /// [`Athena::with_telemetry`] to observe the deployment.
     pub fn new(config: AthenaConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::off())
+    }
+
+    /// Builds an Athena deployment reporting into `tel`: the store and
+    /// compute clusters and the feature pipeline all record their metrics
+    /// and traces there.
+    pub fn with_telemetry(config: AthenaConfig, tel: Telemetry) -> Self {
         let store = StoreCluster::new(config.store_nodes, config.store_replication);
+        store.bind_telemetry(&tel);
         let mut feature_manager = FeatureManager::new(&store);
         feature_manager.set_store_enabled(config.store_enabled);
         let mut resource = ResourceManager::new();
@@ -88,18 +101,31 @@ impl Athena {
             detector: Mutex::new(AttackDetector::new()),
             reactor: Mutex::new(AttackReactor::new()),
             resource: Mutex::new(resource),
+            telemetry: tel.clone(),
         });
+        let compute = ComputeCluster::new(config.compute_workers);
+        compute.bind_telemetry(&tel);
         Athena {
             runtime,
-            detector_manager: DetectorManager::new(ComputeCluster::new(config.compute_workers)),
+            detector_manager: DetectorManager::with_telemetry(compute, &tel),
             ui: UiManager::new(),
         }
     }
 
+    /// The deployment's telemetry domain.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.runtime.telemetry
+    }
+
     /// Attaches one Athena SB element per controller instance — the
     /// "integration without modification" step: only interceptors are
-    /// registered; the SDN stack itself is untouched.
+    /// registered; the SDN stack itself is untouched. The deployment's
+    /// telemetry handle is also bound to the cluster, so controller-side
+    /// counters land in the same report (a no-op when telemetry is off).
     pub fn attach(&self, cluster: &mut ControllerCluster) {
+        if self.runtime.telemetry.is_enabled() {
+            cluster.bind_telemetry(&self.runtime.telemetry);
+        }
         for c in 0..cluster.instance_count() {
             cluster.add_interceptor(Box::new(self.southbound(ControllerId::new(c as u32))));
         }
@@ -122,9 +148,12 @@ impl Athena {
     }
 
     /// Replaces the compute cluster (the Figure 10 sweep re-runs with
-    /// 1–6 workers).
+    /// 1–6 workers). The new cluster inherits the deployment's telemetry
+    /// binding.
     pub fn set_compute_workers(&mut self, workers: usize) {
-        self.detector_manager = DetectorManager::new(ComputeCluster::new(workers));
+        let compute = ComputeCluster::new(workers);
+        compute.bind_telemetry(&self.runtime.telemetry);
+        self.detector_manager = DetectorManager::with_telemetry(compute, &self.runtime.telemetry);
     }
 
     // ------------------------------------------------------------------

@@ -15,6 +15,7 @@ use athena_ml::{
     Algorithm, ClusterReport, ConfusionMatrix, FittedPreprocessor, LabeledPoint, Model,
     Preprocessor, TrainedModel, ValidationSummary,
 };
+use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{AthenaError, FiveTuple, Result, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -81,6 +82,8 @@ pub struct DetectorManager {
     pub distributed_threshold: usize,
     /// Partitions used for distributed jobs.
     pub partitions: usize,
+    fit_ns: Histogram,
+    models_trained: Counter,
 }
 
 impl DetectorManager {
@@ -90,6 +93,19 @@ impl DetectorManager {
             compute,
             distributed_threshold: 50_000,
             partitions: 24,
+            fit_ns: Histogram::detached(),
+            models_trained: Counter::detached(),
+        }
+    }
+
+    /// Like [`DetectorManager::new`], but training latency and model
+    /// counts flow into `tel` under the `core` subsystem.
+    pub fn with_telemetry(compute: ComputeCluster, tel: &Telemetry) -> Self {
+        let m = tel.metrics();
+        DetectorManager {
+            fit_ns: m.histogram("core", "fit_ns"),
+            models_trained: m.counter("core", "models_trained"),
+            ..Self::new(compute)
         }
     }
 
@@ -143,10 +159,11 @@ impl DetectorManager {
         let n = prepared.len();
         let model = if n >= self.distributed_threshold {
             let ds = self.compute.parallelize(prepared, self.partitions);
-            algorithm.fit_distributed(&ds)?
+            algorithm.fit_distributed_timed(&ds, &self.fit_ns)?
         } else {
-            algorithm.fit(&prepared)?
+            algorithm.fit_timed(&prepared, &self.fit_ns)?
         };
+        self.models_trained.inc();
         Ok(DetectionModel {
             model,
             preprocessor: fitted,
@@ -445,6 +462,24 @@ mod tests {
         // Records without the features are not scored.
         let empty = FeatureRecord::new(FeatureIndex::switch(Dpid::new(1)));
         assert_eq!(model.is_malicious(&empty), None);
+    }
+
+    #[test]
+    fn telemetry_times_model_training() {
+        let tel = Telemetry::new();
+        let dm = DetectorManager::with_telemetry(ComputeCluster::new(3), &tel);
+        let rs = records(100);
+        dm.generate_detection_model(
+            &rs,
+            &features(),
+            truth,
+            &Preprocessor::new(),
+            &Algorithm::kmeans(2),
+        )
+        .unwrap();
+        let m = tel.metrics();
+        assert_eq!(m.counter("core", "models_trained").get(), 1);
+        assert_eq!(m.histogram("core", "fit_ns").snapshot().count, 1);
     }
 
     #[test]

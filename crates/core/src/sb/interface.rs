@@ -14,6 +14,7 @@ use crate::athena::AthenaRuntime;
 use crate::feature::generator::FeatureGenerator;
 use athena_controller::{InterceptCtx, MessageInterceptor};
 use athena_openflow::{MatchFields, OfMessage, StatsRequest};
+use athena_telemetry::{Counter, Histogram};
 use athena_types::{ControllerId, Dpid, PortNo, SimTime, Xid};
 use std::sync::Arc;
 
@@ -26,19 +27,32 @@ pub struct AthenaSouthbound {
     last_poll: Option<SimTime>,
     last_gc: SimTime,
     next_xid: u32,
+    feature_gen_ns: Histogram,
+    dispatch_ns: Histogram,
+    feature_records: Counter,
 }
 
 impl AthenaSouthbound {
     /// Creates the SB element for one controller instance.
+    ///
+    /// Instruments come from the runtime's [`Telemetry`] handle, labeled
+    /// by controller instance (`sb-<id>`).
+    ///
+    /// [`Telemetry`]: athena_telemetry::Telemetry
     pub fn new(controller: ControllerId, runtime: Arc<AthenaRuntime>) -> Self {
+        let m = runtime.telemetry.metrics();
+        let instance = format!("sb-{}", controller.raw());
         AthenaSouthbound {
             controller,
             name: format!("athena-sb-{}", controller.raw()),
             generator: FeatureGenerator::new(controller),
-            runtime,
             last_poll: None,
             last_gc: SimTime::ZERO,
             next_xid: 0,
+            feature_gen_ns: m.histogram_with("core", "feature_gen_ns", &instance),
+            dispatch_ns: m.histogram_with("core", "dispatch_ns", &instance),
+            feature_records: m.counter("core", "feature_records"),
+            runtime,
         }
     }
 
@@ -56,6 +70,8 @@ impl AthenaSouthbound {
         if records.is_empty() {
             return;
         }
+        self.feature_records.add(records.len() as u64);
+        let timer = self.dispatch_ns.start_timer();
         let resource = self.runtime.resource.lock();
         let mut fm = self.runtime.feature_manager.lock();
         let mut detector = self.runtime.detector.lock();
@@ -76,6 +92,7 @@ impl AthenaSouthbound {
             |ip| ctx.hosts.location_of(ip),
             |from, dest| next_hop_toward(ctx, from, dest),
         ));
+        timer.observe(&self.dispatch_ns);
     }
 
     fn fresh_xid(&mut self) -> Xid {
@@ -102,8 +119,11 @@ impl MessageInterceptor for AthenaSouthbound {
             return Vec::new();
         }
         let records = {
+            let timer = self.feature_gen_ns.start_timer();
             let app_of = |cookie: u64| ctx.flow_rules.app_of_cookie(cookie);
-            self.generator.ingest(from, msg, now, &app_of)
+            let records = self.generator.ingest(from, msg, now, &app_of);
+            timer.observe(&self.feature_gen_ns);
+            records
         };
         let mut out = Vec::new();
         self.dispatch(records, ctx, &mut out);

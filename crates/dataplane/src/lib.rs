@@ -52,6 +52,8 @@ pub mod workload;
 
 pub use flow::{ActiveFlow, FlowSpec};
 pub use link::SimLink;
-pub use network::{ControllerLink, LearningControllerStub, Network, NetworkConfig};
+pub use network::{
+    ControllerLink, LearningControllerStub, Network, NetworkConfig, NetworkCounters,
+};
 pub use switch::SimSwitch;
 pub use topology::{HostSpec, LinkSpec, SwitchSpec, Topology};

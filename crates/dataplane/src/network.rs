@@ -7,6 +7,7 @@ use crate::link::SimLink;
 use crate::switch::SimSwitch;
 use crate::topology::Topology;
 use athena_openflow::{Action, OfMessage, PacketHeader};
+use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{Dpid, LinkId, PortNo, SimDuration, SimTime, Xid};
 use std::collections::HashMap;
 
@@ -80,6 +81,20 @@ pub struct Network {
     now: SimTime,
     counters: NetworkCounters,
     next_xid: u32,
+    tel: NetTelemetry,
+}
+
+/// The network's telemetry instruments (detached until
+/// [`Network::bind_telemetry`]).
+#[derive(Debug, Default)]
+struct NetTelemetry {
+    step_ns: Histogram,
+    packet_ins: Counter,
+    flow_removeds: Counter,
+    delivered_bytes: Counter,
+    dropped_bytes: Counter,
+    /// Kept for run spans and the per-switch table gauges.
+    handle: Option<Telemetry>,
 }
 
 impl Network {
@@ -111,6 +126,41 @@ impl Network {
             now: SimTime::ZERO,
             counters: NetworkCounters::default(),
             next_xid: 1,
+            tel: NetTelemetry::default(),
+        }
+    }
+
+    /// Routes the simulator's counters, per-tick step latency, and
+    /// per-switch flow-table lookup totals into `tel`.
+    pub fn bind_telemetry(&mut self, tel: &Telemetry) {
+        let m = tel.metrics();
+        self.tel = NetTelemetry {
+            step_ns: m.histogram("dataplane", "step_ns"),
+            packet_ins: m.counter("dataplane", "packet_ins"),
+            flow_removeds: m.counter("dataplane", "flow_removeds"),
+            delivered_bytes: m.counter("dataplane", "delivered_bytes"),
+            dropped_bytes: m.counter("dataplane", "dropped_bytes"),
+            handle: Some(tel.clone()),
+        };
+    }
+
+    /// Publishes per-switch flow-table lookup/match totals as gauges
+    /// (called at the end of every [`Network::run_until`]).
+    fn publish_table_gauges(&self) {
+        let Some(tel) = &self.tel.handle else {
+            return;
+        };
+        if !tel.is_enabled() {
+            return;
+        }
+        let m = tel.metrics();
+        for (dpid, sw) in &self.switches {
+            let instance = format!("s{}", dpid.raw());
+            let table = sw.table();
+            m.gauge_with("dataplane", "table_lookups", &instance)
+                .set(i64::try_from(table.lookup_count()).unwrap_or(i64::MAX));
+            m.gauge_with("dataplane", "table_matches", &instance)
+                .set(i64::try_from(table.matched_count()).unwrap_or(i64::MAX));
         }
     }
 
@@ -179,9 +229,19 @@ impl Network {
     /// Runs the simulation until `until`, ticking traffic and exchanging
     /// control messages with `ctrl`.
     pub fn run_until(&mut self, until: SimTime, ctrl: &mut impl ControllerLink) {
+        let run_start = self.now;
+        let run_span = self
+            .tel
+            .handle
+            .as_ref()
+            .map(|tel| tel.tracer().span("dataplane", "run_until", run_start));
+        let mut ticks: u64 = 0;
         while self.now < until {
+            let before = self.counters;
+            let step_timer = self.tel.step_ns.start_timer();
             let t = self.now + self.config.tick;
             self.now = t;
+            ticks += 1;
 
             // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
             let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
@@ -217,6 +277,27 @@ impl Network {
             // 5. Retire finished flows.
             let now = self.now;
             self.active.retain(|f| f.spec.end_time() > now);
+
+            step_timer.observe(&self.tel.step_ns);
+            // Mirror this tick's counter deltas into the registry — one
+            // add per counter per tick keeps the inner loops untouched.
+            self.tel
+                .packet_ins
+                .add(self.counters.packet_ins - before.packet_ins);
+            self.tel
+                .flow_removeds
+                .add(self.counters.flow_removeds - before.flow_removeds);
+            self.tel
+                .delivered_bytes
+                .add(self.counters.delivered_bytes - before.delivered_bytes);
+            self.tel
+                .dropped_bytes
+                .add(self.counters.dropped_bytes - before.dropped_bytes);
+        }
+        self.publish_table_gauges();
+        if let (Some(span), Some(tel)) = (run_span, &self.tel.handle) {
+            tel.tracer()
+                .end_span(span, self.now, format!("{ticks} ticks"));
         }
     }
 
@@ -704,6 +785,38 @@ mod tests {
             .flow_stats(&athena_openflow::MatchFields::new(), net.now());
         assert!(!stats.is_empty());
         assert!(stats.iter().any(|s| s.byte_count > 1_000_000));
+    }
+
+    #[test]
+    fn telemetry_mirrors_network_counters() {
+        let (mut net, mut ctrl, ft) = two_host_net();
+        let tel = Telemetry::new();
+        net.bind_telemetry(&tel);
+        net.inject_flows([FlowSpec::new(
+            ft,
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            8_000_000,
+        )]);
+        net.run_until(SimTime::from_secs(8), &mut ctrl);
+        let m = tel.metrics();
+        assert_eq!(
+            m.counter("dataplane", "packet_ins").get(),
+            net.counters().packet_ins
+        );
+        assert_eq!(
+            m.counter("dataplane", "delivered_bytes").get(),
+            net.counters().delivered_bytes
+        );
+        // One step latency sample per tick.
+        assert_eq!(m.histogram("dataplane", "step_ns").snapshot().count, 8);
+        // Per-switch lookup gauges were published for the ingress switch.
+        assert!(m.gauge_with("dataplane", "table_lookups", "s1").get() > 0);
+        // The run span is in the trace with virtual stamps.
+        let spans = tel.tracer().entries();
+        assert!(spans
+            .iter()
+            .any(|e| e.name == "run_until" && e.sim_end == SimTime::from_secs(8)));
     }
 
     #[test]

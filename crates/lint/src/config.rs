@@ -54,6 +54,9 @@ pub struct Config {
     pub lock_order: Vec<String>,
     /// Method names treated as send/event-bus calls by lock-discipline.
     pub bus_calls: Vec<String>,
+    /// Path prefixes exempt from `no-println-in-lib` (binary-only code
+    /// that owns stdout: bench and lint binaries).
+    pub println_exempt: Vec<String>,
     /// Per-rule severity overrides.
     pub severity: HashMap<String, Severity>,
     /// Grandfathered sites.
@@ -149,6 +152,9 @@ impl Config {
                 ("lint", "hot_paths") => config.hot_paths = parse_string_array(&value, line_no)?,
                 ("lint", "lock_order") => config.lock_order = parse_string_array(&value, line_no)?,
                 ("lint", "bus_calls") => config.bus_calls = parse_string_array(&value, line_no)?,
+                ("lint", "println_exempt") => {
+                    config.println_exempt = parse_string_array(&value, line_no)?;
+                }
                 ("severity", rule) => {
                     let sev = Severity::parse(&parse_string(&value, line_no)?)?;
                     config.severity.insert(rule.to_string(), sev);

@@ -1,6 +1,6 @@
 //! Static-analysis gate for the Athena workspace.
 //!
-//! `athena-lint` enforces four invariants over the workspace's production
+//! `athena-lint` enforces five invariants over the workspace's production
 //! sources without any external parser dependency:
 //!
 //! - **no-panic-in-hot-path** — `unwrap`/`expect`, `panic!`-family
@@ -12,6 +12,9 @@
 //!   re-acquired, and no send/event-bus call may run under the guard.
 //! - **error-hygiene** — `Box<dyn Error>` must not cross crate APIs;
 //!   fallible paths use `athena_types::error::AthenaError`.
+//! - **no-println-in-lib** — library crates never write to the console;
+//!   output goes through telemetry events or return values. Only the
+//!   binary paths listed under `println_exempt` own stdout.
 //!
 //! Grandfathered sites live in `lint.toml` under `[[allow]]`, each with a
 //! mandatory one-line justification. The `athena-lint` binary prints

@@ -80,6 +80,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(ForbidUnsafe),
         Box::new(LockDiscipline),
         Box::new(ErrorHygiene),
+        Box::new(NoPrintlnInLib),
     ]
 }
 
@@ -209,6 +210,45 @@ impl Rule for ErrorHygiene {
                     _ => {}
                 }
                 j += 1;
+            }
+        }
+    }
+}
+
+/// Bans `println!`/`eprintln!` (and `print!`/`eprint!`) in library code:
+/// libraries report through telemetry events or return values; only
+/// binaries own the console. Paths under a `println_exempt` prefix in
+/// `lint.toml` (the bench and lint binaries) are out of scope.
+pub struct NoPrintlnInLib;
+
+impl Rule for NoPrintlnInLib {
+    fn name(&self) -> &'static str {
+        "no-println-in-lib"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
+        if config
+            .println_exempt
+            .iter()
+            .any(|p| file.rel_path.starts_with(p.as_str()))
+        {
+            return;
+        }
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            if matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(Violation::at(
+                    t,
+                    format!(
+                        "{}! in library code; emit a telemetry event or return the text",
+                        t.text
+                    ),
+                ));
             }
         }
     }

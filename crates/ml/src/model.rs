@@ -259,6 +259,41 @@ impl Algorithm {
             }
         }
     }
+
+    /// [`Algorithm::fit`] with the wall-clock training latency recorded
+    /// into `hist` (nanoseconds; costs nothing when the histogram's
+    /// telemetry domain is disabled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's validation errors.
+    pub fn fit_timed(
+        &self,
+        data: &[LabeledPoint],
+        hist: &athena_telemetry::Histogram,
+    ) -> Result<TrainedModel> {
+        let timer = hist.start_timer();
+        let model = self.fit(data);
+        timer.observe(hist);
+        model
+    }
+
+    /// [`Algorithm::fit_distributed`] with the wall-clock training
+    /// latency recorded into `hist`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's validation errors.
+    pub fn fit_distributed_timed(
+        &self,
+        data: &Dataset<LabeledPoint>,
+        hist: &athena_telemetry::Histogram,
+    ) -> Result<TrainedModel> {
+        let timer = hist.start_timer();
+        let model = self.fit_distributed(data);
+        timer.observe(hist);
+        model
+    }
 }
 
 impl fmt::Display for Algorithm {
@@ -550,6 +585,22 @@ mod tests {
                 a.name()
             );
         }
+    }
+
+    #[test]
+    fn fit_timed_records_training_latency() {
+        let tel = athena_telemetry::Telemetry::new();
+        let hist = tel.metrics().histogram("ml", "fit_ns");
+        let data = blobs(40, 2, 91);
+        let m = Algorithm::kmeans(2).fit_timed(&data, &hist).unwrap();
+        assert_eq!(m.cluster_count(), Some(2));
+        assert_eq!(hist.snapshot().count, 1);
+        // Against a disabled domain, nothing is recorded but the fit
+        // still runs.
+        let off = athena_telemetry::Telemetry::off();
+        let cold = off.metrics().histogram("ml", "fit_ns");
+        Algorithm::kmeans(2).fit_timed(&data, &cold).unwrap();
+        assert_eq!(cold.snapshot().count, 0);
     }
 
     #[test]

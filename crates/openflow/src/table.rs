@@ -336,6 +336,16 @@ impl FlowTable {
         agg
     }
 
+    /// Total lookups performed against this table.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookup_count
+    }
+
+    /// Lookups that matched an entry.
+    pub fn matched_count(&self) -> u64 {
+        self.matched_count
+    }
+
     /// Table-level statistics.
     pub fn table_stats(&self) -> TableStatsEntry {
         TableStatsEntry {

@@ -10,6 +10,7 @@ use crate::collection::Collection;
 use crate::document::{DocId, Document};
 use crate::filter::Filter;
 use crate::query::{Aggregation, FindOptions};
+use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{AthenaError, Result};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -91,6 +92,17 @@ struct MetricsInner {
     deletes: AtomicU64,
 }
 
+/// The cluster's telemetry instruments (detached until
+/// [`StoreCluster::bind_telemetry`]; shared by every cloned handle).
+#[derive(Debug, Default)]
+struct StoreTelemetry {
+    insert_ns: Histogram,
+    find_ns: Histogram,
+    aggregate_ns: Histogram,
+    replica_writes: Counter,
+    deletes: Counter,
+}
+
 /// A distributed document store: N nodes, hash sharding, replication.
 ///
 /// Cloning yields another handle to the same cluster.
@@ -117,6 +129,7 @@ pub struct StoreCluster {
     next_id: Arc<AtomicU64>,
     metrics: Arc<MetricsInner>,
     index_requests: Arc<Mutex<HashMap<String, Vec<String>>>>,
+    tel: Arc<RwLock<StoreTelemetry>>,
 }
 
 impl StoreCluster {
@@ -131,7 +144,21 @@ impl StoreCluster {
             next_id: Arc::new(AtomicU64::new(1)),
             metrics: Arc::new(MetricsInner::default()),
             index_requests: Arc::new(Mutex::new(HashMap::new())),
+            tel: Arc::new(RwLock::new(StoreTelemetry::default())),
         }
+    }
+
+    /// Routes query latencies and replication counters into `tel` for
+    /// every handle cloned from this cluster.
+    pub fn bind_telemetry(&self, tel: &Telemetry) {
+        let m = tel.metrics();
+        *self.tel.write() = StoreTelemetry {
+            insert_ns: m.histogram("store", "insert_ns"),
+            find_ns: m.histogram("store", "find_ns"),
+            aggregate_ns: m.histogram("store", "aggregate_ns"),
+            replica_writes: m.counter("store", "replica_writes"),
+            deletes: m.counter("store", "deletes"),
+        };
     }
 
     /// Number of nodes.
@@ -214,6 +241,15 @@ impl CollectionHandle {
         if self.cluster.nodes.is_empty() {
             return Err(AthenaError::Store("no store nodes".into()));
         }
+        // Clone the instruments out of a short-lived guard: the write
+        // path below takes the index-request and collection locks, and
+        // lock-discipline (rightly) refuses nested acquisition under
+        // `tel`.
+        let (insert_ns, replica_writes) = {
+            let tel = self.cluster.tel.read();
+            (tel.insert_ns.clone(), tel.replica_writes.clone())
+        };
+        let timer = insert_ns.start_timer();
         let id = DocId(self.cluster.next_id.fetch_add(1, Ordering::Relaxed));
         self.cluster.metrics.inserts.fetch_add(1, Ordering::Relaxed);
         let indexed_fields = self
@@ -240,7 +276,9 @@ impl CollectionHandle {
                 .metrics
                 .replica_writes
                 .fetch_add(1, Ordering::Relaxed);
+            replica_writes.inc();
         }
+        timer.observe(&insert_ns);
         Ok(id)
     }
 
@@ -272,8 +310,12 @@ impl CollectionHandle {
     /// Reads are served by each shard's primary copy only, so replicated
     /// documents are not duplicated in the result.
     pub fn find(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        let tel = self.cluster.tel.read();
+        let timer = tel.find_ns.start_timer();
         self.cluster.metrics.finds.fetch_add(1, Ordering::Relaxed);
-        opts.apply(self.find_primaries(filter))
+        let out = opts.apply(self.find_primaries(filter));
+        timer.observe(&tel.find_ns);
+        out
     }
 
     /// Counts matching documents cluster-wide.
@@ -283,11 +325,15 @@ impl CollectionHandle {
 
     /// Runs an aggregation pipeline over the matching documents.
     pub fn aggregate(&self, pipeline: &Aggregation) -> Vec<Document> {
+        let tel = self.cluster.tel.read();
+        let timer = tel.aggregate_ns.start_timer();
         self.cluster
             .metrics
             .aggregations
             .fetch_add(1, Ordering::Relaxed);
-        pipeline.run(self.find_primaries(&Filter::All))
+        let out = pipeline.run(self.find_primaries(&Filter::All));
+        timer.observe(&tel.aggregate_ns);
+        out
     }
 
     /// Deletes matching documents on every replica. Returns the number of
@@ -310,6 +356,7 @@ impl CollectionHandle {
             .metrics
             .deletes
             .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        self.cluster.tel.read().deletes.add(victims.len() as u64);
         victims.len()
     }
 
@@ -411,6 +458,24 @@ mod tests {
         );
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|d| d.get_i64("n") == Some(10)));
+    }
+
+    #[test]
+    fn telemetry_observes_query_latency_and_replication() {
+        let tel = Telemetry::new();
+        let cluster = StoreCluster::new(3, 2);
+        cluster.bind_telemetry(&tel);
+        let coll = cluster.collection("c");
+        for i in 0..20i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        coll.find(&Filter::gte("i", 10), &FindOptions::default());
+        coll.delete(&Filter::eq("i", 0));
+        let m = tel.metrics();
+        assert_eq!(m.histogram("store", "insert_ns").snapshot().count, 20);
+        assert_eq!(m.histogram("store", "find_ns").snapshot().count, 1);
+        assert_eq!(m.counter("store", "replica_writes").get(), 40);
+        assert_eq!(m.counter("store", "deletes").get(), 1);
     }
 
     #[test]

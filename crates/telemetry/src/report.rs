@@ -1,0 +1,275 @@
+//! The `TelemetryReport`: a point-in-time snapshot of every registered
+//! metric, printable as a grouped text table or exportable as JSON.
+//!
+//! Bench binaries and the e2e harness print one of these at exit in
+//! place of ad-hoc timing printouts. Metric names ending in `_ns` hold
+//! nanosecond samples by convention and are humanized in the text
+//! rendering (`12.5µs` instead of `12500`).
+
+use crate::json;
+use crate::metrics::{HistogramSnapshot, MetricKey};
+use std::fmt::Write as _;
+
+/// One counter in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterEntry {
+    /// Full metric key.
+    pub key: MetricKey,
+    /// Current count.
+    pub value: u64,
+}
+
+/// One gauge in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeEntry {
+    /// Full metric key.
+    pub key: MetricKey,
+    /// Current level.
+    pub value: i64,
+}
+
+/// One histogram in a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramEntry {
+    /// Full metric key.
+    pub key: MetricKey,
+    /// Count/sum/max and interpolated percentiles at snapshot time.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// A snapshot of every metric in a [`MetricsRegistry`](crate::MetricsRegistry),
+/// sorted by key (subsystem, then name, then instance).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// All counters.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl TelemetryReport {
+    /// Whether the report carries no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the report as a text table grouped by subsystem.
+    ///
+    /// Histogram metrics whose name ends in `_ns` are printed with
+    /// humanized durations; everything else prints raw numbers.
+    pub fn render(&self) -> String {
+        let mut out = String::from("== telemetry report ==\n");
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let mut subsystems: Vec<&str> = self
+            .counters
+            .iter()
+            .map(|e| e.key.subsystem.as_str())
+            .chain(self.gauges.iter().map(|e| e.key.subsystem.as_str()))
+            .chain(self.histograms.iter().map(|e| e.key.subsystem.as_str()))
+            .collect();
+        subsystems.sort_unstable();
+        subsystems.dedup();
+        for subsystem in subsystems {
+            let _ = writeln!(out, "[{subsystem}]");
+            for e in self
+                .counters
+                .iter()
+                .filter(|e| e.key.subsystem == subsystem)
+            {
+                let _ = writeln!(out, "  {:<42} {}", display_name(&e.key), e.value);
+            }
+            for e in self.gauges.iter().filter(|e| e.key.subsystem == subsystem) {
+                let _ = writeln!(out, "  {:<42} {}", display_name(&e.key), e.value);
+            }
+            for e in self
+                .histograms
+                .iter()
+                .filter(|e| e.key.subsystem == subsystem)
+            {
+                let s = &e.snapshot;
+                let in_ns = e.key.name.ends_with("_ns");
+                let fmt = |v: u64| {
+                    if in_ns {
+                        humanize_ns(v)
+                    } else {
+                        v.to_string()
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<42} n={} p50={} p90={} p99={} max={} mean={}",
+                    display_name(&e.key),
+                    s.count,
+                    fmt(s.p50),
+                    fmt(s.p90),
+                    fmt(s.p99),
+                    fmt(s.max),
+                    fmt(s.mean()),
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a JSON object with `counters`, `gauges`,
+    /// and `histograms` arrays.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::key_into(&mut out, "counters");
+        out.push('[');
+        for (i, e) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            key_fields(&mut out, &e.key);
+            json::key_into(&mut out, "value");
+            out.push_str(&e.value.to_string());
+            out.push('}');
+        }
+        out.push_str("],");
+        json::key_into(&mut out, "gauges");
+        out.push('[');
+        for (i, e) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            key_fields(&mut out, &e.key);
+            json::key_into(&mut out, "value");
+            out.push_str(&e.value.to_string());
+            out.push('}');
+        }
+        out.push_str("],");
+        json::key_into(&mut out, "histograms");
+        out.push('[');
+        for (i, e) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &e.snapshot;
+            out.push('{');
+            key_fields(&mut out, &e.key);
+            for (field, v) in [
+                ("count", s.count),
+                ("sum", s.sum),
+                ("max", s.max),
+                ("p50", s.p50),
+                ("p90", s.p90),
+                ("p99", s.p99),
+            ] {
+                json::key_into(&mut out, field);
+                out.push_str(&v.to_string());
+                out.push(',');
+            }
+            out.pop();
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`TelemetryReport::to_json`] to `path`.
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// The part of the key shown inside a subsystem group: `name` or
+/// `name[instance]`.
+fn display_name(key: &MetricKey) -> String {
+    if key.instance.is_empty() {
+        key.name.clone()
+    } else {
+        format!("{}[{}]", key.name, key.instance)
+    }
+}
+
+fn key_fields(out: &mut String, key: &MetricKey) {
+    json::key_into(out, "subsystem");
+    json::string_into(out, &key.subsystem);
+    out.push(',');
+    json::key_into(out, "name");
+    json::string_into(out, &key.name);
+    out.push(',');
+    json::key_into(out, "instance");
+    json::string_into(out, &key.instance);
+    out.push(',');
+}
+
+/// Formats a nanosecond quantity at a readable scale.
+fn humanize_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}\u{b5}s", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_report() -> TelemetryReport {
+        let tel = Telemetry::new();
+        tel.metrics().counter("controller", "stats_polls").add(7);
+        tel.metrics()
+            .counter_with("dataplane", "lookups", "s1")
+            .add(3);
+        tel.metrics().gauge("store", "docs").set(42);
+        let h = tel.metrics().histogram("store", "find_ns");
+        h.record(1_500);
+        h.record(2_500_000);
+        tel.report()
+    }
+
+    #[test]
+    fn render_groups_by_subsystem_and_humanizes_ns() {
+        let text = sample_report().render();
+        assert!(text.contains("[controller]"));
+        assert!(text.contains("stats_polls"));
+        assert!(text.contains("lookups[s1]"));
+        assert!(text.contains("[store]"));
+        // max of find_ns is 2.5 ms; the _ns suffix triggers humanizing.
+        assert!(text.contains("max=2.50ms"), "got:\n{text}");
+    }
+
+    #[test]
+    fn json_round_trips_the_shape() {
+        let json = sample_report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"counters\":["));
+        assert!(json.contains("\"name\":\"stats_polls\",\"instance\":\"\",\"value\":7"));
+        assert!(json.contains("\"histograms\":["));
+        assert!(json.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let report = TelemetryReport::default();
+        assert!(report.is_empty());
+        assert!(report.render().contains("no metrics recorded"));
+        assert_eq!(
+            report.to_json(),
+            "{\"counters\":[],\"gauges\":[],\"histograms\":[]}"
+        );
+    }
+
+    #[test]
+    fn humanize_scales() {
+        assert_eq!(humanize_ns(999), "999ns");
+        assert_eq!(humanize_ns(1_500), "1.50\u{b5}s");
+        assert_eq!(humanize_ns(2_500_000), "2.50ms");
+        assert_eq!(humanize_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,347 @@
+//! Structured tracing: spans and events stamped with virtual and wall
+//! time, kept in a bounded ring buffer.
+//!
+//! The simulation runs on virtual [`SimTime`]; the CPU work that drives
+//! it runs on the wall clock. A trace entry carries both so a report can
+//! answer "what happened at t=12 s of simulated time" *and* "what did it
+//! cost to compute". Wall stamps are nanoseconds since the recorder's
+//! creation, which keeps the text/JSON exports small and stable.
+
+use crate::json;
+use athena_types::SimTime;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What kind of entry a [`TraceEntry`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A duration: entered and finished, with both timestamps.
+    Span,
+    /// An instantaneous occurrence.
+    Event,
+}
+
+/// One recorded span or event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Monotone sequence number (survives ring-buffer eviction, so gaps
+    /// reveal drops).
+    pub seq: u64,
+    /// Span or event.
+    pub kind: TraceKind,
+    /// The owning subsystem.
+    pub subsystem: &'static str,
+    /// The operation name.
+    pub name: &'static str,
+    /// Virtual time when the span opened (or the event fired).
+    pub sim_start: SimTime,
+    /// Virtual time when the span closed (equals `sim_start` for events).
+    pub sim_end: SimTime,
+    /// Wall nanoseconds since recorder creation when the entry started.
+    pub wall_start_ns: u64,
+    /// Wall nanoseconds the span covered (0 for events).
+    pub wall_dur_ns: u64,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// An open span returned by [`TraceRecorder::span`]; close it with
+/// [`TraceRecorder::end_span`].
+#[derive(Debug)]
+#[must_use = "an unfinished span is never recorded"]
+pub struct Span {
+    subsystem: &'static str,
+    name: &'static str,
+    sim_start: SimTime,
+    wall_start: Option<Instant>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    ring: VecDeque<TraceEntry>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// The bounded trace recorder. Obtained through
+/// [`Telemetry`](crate::Telemetry).
+pub struct TraceRecorder {
+    enabled: Arc<AtomicBool>,
+    epoch: Instant,
+    capacity: usize,
+    state: Mutex<TraceState>,
+}
+
+impl TraceRecorder {
+    pub(crate) fn with_flag(enabled: Arc<AtomicBool>, capacity: usize) -> Self {
+        TraceRecorder {
+            enabled,
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    fn wall_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records an instantaneous event at virtual time `at`.
+    pub fn event(
+        &self,
+        subsystem: &'static str,
+        name: &'static str,
+        at: SimTime,
+        detail: impl Into<String>,
+    ) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let wall = self.wall_ns();
+        self.push(TraceEntry {
+            seq: 0,
+            kind: TraceKind::Event,
+            subsystem,
+            name,
+            sim_start: at,
+            sim_end: at,
+            wall_start_ns: wall,
+            wall_dur_ns: 0,
+            detail: detail.into(),
+        });
+    }
+
+    /// Opens a span at virtual time `sim_start`. When disabled, the wall
+    /// clock is not read and the eventual [`TraceRecorder::end_span`] is
+    /// a no-op.
+    pub fn span(&self, subsystem: &'static str, name: &'static str, sim_start: SimTime) -> Span {
+        Span {
+            subsystem,
+            name,
+            sim_start,
+            wall_start: if self.enabled.load(Ordering::Relaxed) {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Closes a span at virtual time `sim_end` and records it.
+    pub fn end_span(&self, span: Span, sim_end: SimTime, detail: impl Into<String>) {
+        let Some(wall_start) = span.wall_start else {
+            return;
+        };
+        let wall_dur_ns = u64::try_from(wall_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let wall_start_ns =
+            u64::try_from(wall_start.saturating_duration_since(self.epoch).as_nanos())
+                .unwrap_or(u64::MAX);
+        self.push(TraceEntry {
+            seq: 0,
+            kind: TraceKind::Span,
+            subsystem: span.subsystem,
+            name: span.name,
+            sim_start: span.sim_start,
+            sim_end,
+            wall_start_ns,
+            wall_dur_ns,
+            detail: detail.into(),
+        });
+    }
+
+    fn push(&self, mut entry: TraceEntry) {
+        let mut state = lock(&self.state);
+        entry.seq = state.seq;
+        state.seq += 1;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+            state.dropped += 1;
+        }
+        state.ring.push_back(entry);
+    }
+
+    /// Number of entries currently buffered.
+    pub fn len(&self) -> usize {
+        lock(&self.state).ring.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries evicted by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        lock(&self.state).dropped
+    }
+
+    /// A copy of the buffered entries, oldest first.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        lock(&self.state).ring.iter().cloned().collect()
+    }
+
+    /// Clears the buffer (the drop counter is kept).
+    pub fn clear(&self) {
+        lock(&self.state).ring.clear();
+    }
+
+    /// One line per entry:
+    /// `seq kind subsystem/name sim=[start..end] wall=[start+dur] detail`.
+    pub fn export_text(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries() {
+            let kind = match e.kind {
+                TraceKind::Span => "span ",
+                TraceKind::Event => "event",
+            };
+            out.push_str(&format!(
+                "#{:<6} {kind} {}/{} sim=[{}..{}] wall=[{}ns +{}ns]",
+                e.seq, e.subsystem, e.name, e.sim_start, e.sim_end, e.wall_start_ns, e.wall_dur_ns,
+            ));
+            if !e.detail.is_empty() {
+                out.push_str(" : ");
+                out.push_str(&e.detail);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A JSON array of entries (virtual times in integer microseconds,
+    /// wall times in integer nanoseconds).
+    pub fn export_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.entries().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            json::key_into(&mut out, "seq");
+            out.push_str(&e.seq.to_string());
+            out.push(',');
+            json::key_into(&mut out, "kind");
+            json::string_into(
+                &mut out,
+                match e.kind {
+                    TraceKind::Span => "span",
+                    TraceKind::Event => "event",
+                },
+            );
+            out.push(',');
+            json::key_into(&mut out, "subsystem");
+            json::string_into(&mut out, e.subsystem);
+            out.push(',');
+            json::key_into(&mut out, "name");
+            json::string_into(&mut out, e.name);
+            out.push(',');
+            json::key_into(&mut out, "sim_start_us");
+            out.push_str(&e.sim_start.as_micros().to_string());
+            out.push(',');
+            json::key_into(&mut out, "sim_end_us");
+            out.push_str(&e.sim_end.as_micros().to_string());
+            out.push(',');
+            json::key_into(&mut out, "wall_start_ns");
+            out.push_str(&e.wall_start_ns.to_string());
+            out.push(',');
+            json::key_into(&mut out, "wall_dur_ns");
+            out.push_str(&e.wall_dur_ns.to_string());
+            out.push(',');
+            json::key_into(&mut out, "detail");
+            json::string_into(&mut out, &e.detail);
+            out.push('}');
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// Locks a mutex, recovering from poisoning (tracing must never turn a
+/// panic on another thread into a second panic here).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use athena_types::SimDuration;
+
+    fn recorder(capacity: usize) -> TraceRecorder {
+        TraceRecorder::with_flag(Arc::new(AtomicBool::new(true)), capacity)
+    }
+
+    #[test]
+    fn spans_carry_virtual_and_wall_stamps() {
+        let rec = recorder(16);
+        let t0 = SimTime::from_secs(5);
+        let span = rec.span("dataplane", "step", t0);
+        let t1 = t0 + SimDuration::from_millis(10);
+        rec.end_span(span, t1, "tick");
+        let entries = rec.entries();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.kind, TraceKind::Span);
+        assert_eq!(e.sim_start, t0);
+        assert_eq!(e.sim_end, t1);
+        assert_eq!(e.detail, "tick");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let rec = recorder(3);
+        for i in 0..5 {
+            rec.event("t", "e", SimTime::from_secs(i), "");
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let seqs: Vec<u64> = rec.entries().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn exports_render_both_clocks() {
+        let rec = recorder(8);
+        rec.event("store", "flush", SimTime::from_secs(2), "42 docs");
+        let text = rec.export_text();
+        assert!(text.contains("store/flush"));
+        assert!(text.contains("t=2.000000s"));
+        assert!(text.contains("42 docs"));
+        let json = rec.export_json();
+        assert!(json.contains("\"sim_start_us\":2000000"));
+        assert!(json.contains("\"detail\":\"42 docs\""));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = TraceRecorder::with_flag(Arc::new(AtomicBool::new(false)), 8);
+        rec.event("t", "e", SimTime::ZERO, "");
+        let span = rec.span("t", "s", SimTime::ZERO);
+        rec.end_span(span, SimTime::ZERO, "");
+        assert!(rec.is_empty());
+        assert_eq!(rec.export_json(), "[]");
+    }
+
+    #[test]
+    fn clear_keeps_drop_counter() {
+        let rec = recorder(1);
+        rec.event("t", "a", SimTime::ZERO, "");
+        rec.event("t", "b", SimTime::ZERO, "");
+        assert_eq!(rec.dropped(), 1);
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 1);
+    }
+}

@@ -340,6 +340,31 @@ impl Xid {
     pub const fn is_athena_marked(self) -> bool {
         self.0 & Self::ATHENA_MARK != 0
     }
+
+    /// The largest raw value an *unmarked* XID can carry: everything at
+    /// or above [`Xid::ATHENA_MARK`] has the mark bit set.
+    pub const MAX_UNMARKED: u32 = Self::ATHENA_MARK - 1;
+
+    /// The unmarked sequence value following `seq`, wrapping from
+    /// [`Xid::MAX_UNMARKED`] back to 1 so an ordinary issuer (e.g. the
+    /// controller's background stats poller) never collides with the
+    /// Athena-marked range and never emits the reserved value 0.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use athena_types::Xid;
+    /// assert_eq!(Xid::next_unmarked(1), 2);
+    /// assert_eq!(Xid::next_unmarked(Xid::MAX_UNMARKED), 1);
+    /// assert!(!Xid::new(Xid::next_unmarked(u32::MAX)).is_athena_marked());
+    /// ```
+    pub const fn next_unmarked(seq: u32) -> u32 {
+        if seq >= Self::MAX_UNMARKED {
+            1
+        } else {
+            seq + 1
+        }
+    }
 }
 
 impl fmt::Display for Xid {
@@ -391,6 +416,16 @@ mod tests {
         assert!(marked.is_athena_marked());
         assert_eq!(marked.raw() & !Xid::ATHENA_MARK, 5);
         assert!(!Xid::new(5).is_athena_marked());
+    }
+
+    #[test]
+    fn next_unmarked_wraps_below_the_mark() {
+        assert_eq!(Xid::next_unmarked(5), 6);
+        assert_eq!(Xid::next_unmarked(Xid::MAX_UNMARKED), 1);
+        assert_eq!(Xid::next_unmarked(Xid::MAX_UNMARKED - 1), Xid::MAX_UNMARKED);
+        // Out-of-range inputs (already marked) are pulled back into range.
+        assert_eq!(Xid::next_unmarked(u32::MAX), 1);
+        assert!(!Xid::new(Xid::next_unmarked(Xid::ATHENA_MARK)).is_athena_marked());
     }
 
     #[test]

@@ -17,4 +17,13 @@ cargo run -q -p athena-lint --offline
 echo "==> cargo test"
 cargo test -q --workspace --offline
 
+echo "==> telemetry overhead microbench (smoke mode)"
+ATHENA_BENCH_SMOKE=1 cargo bench -q -p athena-telemetry --offline --bench overhead
+
+echo "==> telemetry report artifact (target/telemetry-report.json)"
+ATHENA_TELEMETRY_REPORT=target/telemetry-report.json \
+    cargo test -q --offline --test e2e_scalability \
+    results_are_invariant_to_cluster_size_and_time_decreases
+test -s target/telemetry-report.json
+
 echo "CI gate passed."

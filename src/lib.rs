@@ -15,6 +15,7 @@
 //! | [`ml`] | `athena-ml` | the 11 Athena ML algorithms + preprocessors + metrics |
 //! | [`core`] | `athena-core` | **the framework**: features, SB/NB elements, the 8 NB APIs |
 //! | [`apps`] | `athena-apps` | DDoS / LFA / NAE applications + Table VIII baselines |
+//! | [`telemetry`] | `athena-telemetry` | metrics + virtual-time tracing (off by default) |
 //!
 //! Start with the runnable examples:
 //!
@@ -60,4 +61,5 @@ pub use athena_dataplane as dataplane;
 pub use athena_ml as ml;
 pub use athena_openflow as openflow;
 pub use athena_store as store;
+pub use athena_telemetry as telemetry;
 pub use athena_types as types;

@@ -1,11 +1,18 @@
 //! The Table IX invariant end-to-end: Athena's overhead is real and
 //! ordered — bare controller > Athena-without-DB > Athena-with-DB in
 //! Cbench throughput — and the store actually receives the features.
+//!
+//! Also the telemetry gate: running the same simulation with telemetry
+//! enabled changes the simulated results not at all and the wall clock
+//! by less than 10 %.
 
 use athena::controller::cbench::{summarize, throughput_round, CbenchResponder};
 use athena::controller::ControllerCluster;
 use athena::core::{Athena, AthenaConfig};
-use athena::dataplane::Topology;
+use athena::dataplane::{workload, Network, NetworkCounters, Topology};
+use athena::telemetry::Telemetry;
+use athena::types::{SimDuration, SimTime};
+use std::time::{Duration, Instant};
 
 fn cluster_with(athena: Option<&Athena>) -> ControllerCluster {
     let topo = Topology::enterprise();
@@ -57,6 +64,60 @@ fn cbench_overhead_ordering_holds() {
     );
     // The no-DB deployment stored nothing.
     assert_eq!(no_db.stored_feature_count(), 0);
+}
+
+/// One full simulated deployment: enterprise topology, benign workload,
+/// Athena attached. Returns the deterministic outcomes plus the wall
+/// clock the run took.
+fn simulate(tel: &Telemetry) -> (NetworkCounters, usize, Duration) {
+    let topo = Topology::enterprise();
+    let mut net = Network::new(topo.clone());
+    net.bind_telemetry(tel);
+    let mut cluster = ControllerCluster::new(&topo);
+    let athena = Athena::with_telemetry(AthenaConfig::default(), tel.clone());
+    athena.attach(&mut cluster);
+    net.inject_flows(workload::benign_mix_on(
+        &topo,
+        60,
+        SimDuration::from_secs(8),
+        1,
+    ));
+    let start = Instant::now();
+    net.run_until(SimTime::from_secs(12), &mut cluster);
+    let wall = start.elapsed();
+    (net.counters(), athena.stored_feature_count(), wall)
+}
+
+#[test]
+fn telemetry_changes_results_not_at_all_and_wall_clock_under_10_percent() {
+    // Interleave off/on repetitions and keep each configuration's best
+    // time: the minimum is the stable estimator under scheduler noise.
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        let (counters, stored, wall) = simulate(&Telemetry::off());
+        best_off = best_off.min(wall);
+        outcomes.push((counters, stored));
+        let on = Telemetry::new();
+        let (counters, stored, wall) = simulate(&on);
+        best_on = best_on.min(wall);
+        outcomes.push((counters, stored));
+        // The enabled run actually observed the deployment.
+        let report = on.report();
+        assert!(!report.is_empty(), "enabled telemetry must collect data");
+    }
+    // Identical simulated outcomes in every repetition, on or off.
+    assert!(
+        outcomes.windows(2).all(|w| w[0] == w[1]),
+        "telemetry must not change simulated results: {outcomes:?}"
+    );
+    let ratio = best_on.as_secs_f64() / best_off.as_secs_f64();
+    assert!(
+        ratio < 1.10,
+        "telemetry wall-clock overhead must stay under 10%: {ratio:.3} \
+         (on {best_on:?} vs off {best_off:?})"
+    );
 }
 
 #[test]

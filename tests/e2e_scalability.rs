@@ -8,6 +8,7 @@ use athena::apps::{DdosDetector, DdosDetectorConfig};
 use athena::compute::ComputeCluster;
 use athena::core::DetectorManager;
 use athena::ml::ConfusionMatrix;
+use athena::telemetry::Telemetry;
 
 fn features() -> Vec<String> {
     FEATURES.iter().map(|s| (*s).to_owned()).collect()
@@ -15,9 +16,12 @@ fn features() -> Vec<String> {
 
 #[test]
 fn results_are_invariant_to_cluster_size_and_time_decreases() {
+    let tel = Telemetry::new();
     let data = DdosDataset::generate(40_000, 5);
     let det = DdosDetector::new(DdosDetectorConfig::default());
-    let trainer = DetectorManager::new(ComputeCluster::new(2));
+    let train_compute = ComputeCluster::new(2);
+    train_compute.bind_telemetry(&tel);
+    let trainer = DetectorManager::with_telemetry(train_compute, &tel);
     let model = trainer
         .generate_from_points(
             data.points[..8_000].to_vec(),
@@ -30,7 +34,9 @@ fn results_are_invariant_to_cluster_size_and_time_decreases() {
     let mut last_time = None;
     let mut first_confusion: Option<ConfusionMatrix> = None;
     for nodes in [1usize, 2, 4, 6] {
-        let dm = DetectorManager::new(ComputeCluster::new(nodes));
+        let compute = ComputeCluster::new(nodes);
+        compute.bind_telemetry(&tel);
+        let dm = DetectorManager::with_telemetry(compute, &tel);
         let (summary, vt) = dm.validate_points_distributed(data.points.clone(), &model);
         // Same verdicts at every cluster size.
         match &first_confusion {
@@ -45,6 +51,20 @@ fn results_are_invariant_to_cluster_size_and_time_decreases() {
     }
     let c = first_confusion.unwrap();
     assert!(c.detection_rate() > 0.95);
+
+    // The run's telemetry: per-subsystem counters and latency
+    // percentiles, printed for inspection and exported as a CI artifact
+    // when ATHENA_TELEMETRY_REPORT names a path.
+    let report = tel.report();
+    let rendered = report.render();
+    println!("{rendered}");
+    assert!(rendered.contains("compute"), "compute subsystem reported");
+    assert!(rendered.contains("core"), "core subsystem reported");
+    assert!(rendered.contains("tasks"), "task counter reported");
+    assert!(rendered.contains("p99"), "latency percentiles reported");
+    if let Ok(path) = std::env::var("ATHENA_TELEMETRY_REPORT") {
+        report.save_json(&path).expect("artifact written");
+    }
 }
 
 #[test]

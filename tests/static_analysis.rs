@@ -44,3 +44,28 @@ fn lint_catches_a_seeded_violation() {
     NoPanicInHotPath.check(&file, &config, &mut out);
     assert_eq!(out.len(), 1, "seeded unwrap must be flagged: {out:?}");
 }
+
+#[test]
+fn lint_catches_println_in_library_code() {
+    use athena_lint::rules::{NoPrintlnInLib, Rule, SourceFile};
+
+    let config =
+        athena_lint::load_config(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("lint.toml parses");
+
+    let lib = SourceFile::new(
+        "crates/store/src/cluster.rs".to_string(),
+        "fn log(n: u64) { println!(\"{n}\"); }".to_string(),
+    );
+    let mut out = Vec::new();
+    NoPrintlnInLib.check(&lib, &config, &mut out);
+    assert_eq!(out.len(), 1, "library println must be flagged: {out:?}");
+
+    // The same text in an exempt binary path is fine.
+    let bin = SourceFile::new(
+        "crates/bench/src/bin/table9_cbench.rs".to_string(),
+        "fn log(n: u64) { println!(\"{n}\"); }".to_string(),
+    );
+    let mut out = Vec::new();
+    NoPrintlnInLib.check(&bin, &config, &mut out);
+    assert!(out.is_empty(), "exempt binaries may print: {out:?}");
+}
