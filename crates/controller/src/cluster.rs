@@ -38,6 +38,7 @@ pub struct ControllerCluster {
     interceptors: Vec<Box<dyn MessageInterceptor>>,
     poller: Option<StatsPoller>,
     counters: ClusterCounters,
+    failover: FailoverCounters,
     tel: ClusterTelemetry,
 }
 
@@ -50,6 +51,8 @@ struct ClusterTelemetry {
     stats_replies: Counter,
     flow_removeds: Counter,
     packet_in_ns: Histogram,
+    elections: Counter,
+    switches_moved: Counter,
 }
 
 impl Default for ClusterTelemetry {
@@ -60,8 +63,20 @@ impl Default for ClusterTelemetry {
             stats_replies: Counter::detached(),
             flow_removeds: Counter::detached(),
             packet_in_ns: Histogram::detached(),
+            elections: Counter::detached(),
+            switches_moved: Counter::detached(),
         }
     }
+}
+
+/// Counters for mastership re-elections triggered by instance faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FailoverCounters {
+    /// Re-election rounds run (one per crash or rejoin that moved
+    /// anything).
+    pub elections: u64,
+    /// Switch masterships moved across instances.
+    pub switches_moved: u64,
 }
 
 impl ControllerCluster {
@@ -86,6 +101,7 @@ impl ControllerCluster {
             interceptors: Vec::new(),
             poller: None,
             counters: ClusterCounters::default(),
+            failover: FailoverCounters::default(),
             tel: ClusterTelemetry::default(),
         }
     }
@@ -100,6 +116,8 @@ impl ControllerCluster {
             stats_replies: m.counter("controller", "stats_replies"),
             flow_removeds: m.counter("controller", "flow_removeds"),
             packet_in_ns: m.histogram("controller", "packet_in_ns"),
+            elections: m.counter("failover", "elections"),
+            switches_moved: m.counter("failover", "switches_moved"),
         };
         if let Some(poller) = &mut self.poller {
             poller.bind_telemetry(tel);
@@ -143,9 +161,57 @@ impl ControllerCluster {
         self.mastership.reassign(dpid, to);
     }
 
+    /// Crashes a controller instance: its switches automatically
+    /// re-elect masters among the survivors (deterministic round-robin
+    /// in dpid order). Returns the switches that moved. Counted under
+    /// `failover/elections` and `failover/switches_moved`.
+    pub fn crash_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
+        let moved = self.mastership.crash(c);
+        if !moved.is_empty() {
+            self.failover.elections += 1;
+            self.failover.switches_moved += moved.len() as u64;
+            self.tel.elections.inc();
+            self.tel.switches_moved.add(moved.len() as u64);
+        }
+        moved
+    }
+
+    /// Rejoins a crashed instance: it reclaims mastership of its
+    /// topology-preferred switches. Returns the switches that moved
+    /// back.
+    pub fn rejoin_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
+        let moved = self.mastership.rejoin(c);
+        if !moved.is_empty() {
+            self.failover.elections += 1;
+            self.failover.switches_moved += moved.len() as u64;
+            self.tel.elections.inc();
+            self.tel.switches_moved.add(moved.len() as u64);
+        }
+        moved
+    }
+
+    /// `true` if the instance has not crashed.
+    pub fn instance_alive(&self, c: ControllerId) -> bool {
+        self.mastership.is_alive(c)
+    }
+
     /// The cluster's message counters.
     pub fn counters(&self) -> ClusterCounters {
         self.counters
+    }
+
+    /// The mastership re-election counters.
+    pub fn failover_counters(&self) -> FailoverCounters {
+        self.failover
+    }
+
+    /// The statistics poller's retry counters (zeroes when no poller is
+    /// configured).
+    pub fn retry_counters(&self) -> crate::stats::RetryCounters {
+        self.poller
+            .as_ref()
+            .map(StatsPoller::retry_counters)
+            .unwrap_or_default()
     }
 
     /// The flow-rule service (per-application attribution).
@@ -249,9 +315,17 @@ impl ControllerLink for ControllerCluster {
                 self.tel.flow_removeds.inc();
                 self.flow_rules.on_flow_removed(body);
             }
-            OfMessage::StatsReply { body, .. } => {
+            OfMessage::StatsReply { xid, body } => {
                 self.counters.stats_replies += 1;
                 self.tel.stats_replies.inc();
+                // Settle the poller's in-flight request so it is not
+                // retried (Athena-marked replies belong to the SB poller
+                // and are ignored here).
+                if !xid.is_athena_marked() {
+                    if let Some(poller) = &mut self.poller {
+                        poller.on_reply(*xid);
+                    }
+                }
                 // ONOS refreshes its flow-rule store from every poll.
                 if let athena_openflow::StatsReply::Flow(entries) = body {
                     for e in entries {
@@ -358,6 +432,57 @@ mod tests {
         assert_eq!(cluster.instance_count(), 3);
         assert_eq!(cluster.master_of(Dpid::new(1)), Some(ControllerId::new(0)));
         assert_eq!(cluster.master_of(Dpid::new(5)), Some(ControllerId::new(2)));
+    }
+
+    #[test]
+    fn instance_crash_re_elects_and_counts() {
+        let tel = athena_telemetry::Telemetry::new();
+        let topo = Topology::enterprise();
+        let mut cluster = ControllerCluster::new(&topo);
+        cluster.bind_telemetry(&tel);
+        let c0 = ControllerId::new(0);
+        assert!(cluster.instance_alive(c0));
+        let moved = cluster.crash_instance(c0);
+        assert_eq!(moved.len(), 6);
+        assert!(!cluster.instance_alive(c0));
+        // Every switch is now mastered by a surviving instance.
+        for s in &topo.switches {
+            let m = cluster.master_of(s.dpid).unwrap();
+            assert!(
+                cluster.instance_alive(m),
+                "switch {:?} on dead master",
+                s.dpid
+            );
+        }
+        let back = cluster.rejoin_instance(c0);
+        assert_eq!(back, moved);
+        let f = cluster.failover_counters();
+        assert_eq!(f.elections, 2);
+        assert_eq!(f.switches_moved, 12);
+        let m = tel.metrics();
+        assert_eq!(m.counter("failover", "elections").get(), 2);
+        assert_eq!(m.counter("failover", "switches_moved").get(), 12);
+    }
+
+    #[test]
+    fn stats_replies_settle_the_poller() {
+        let topo = Topology::linear(3, 2);
+        let mut net = Network::new(topo.clone());
+        let mut cluster = ControllerCluster::new(&topo);
+        net.inject_flows(workload::benign_mix_on(
+            &topo,
+            10,
+            SimDuration::from_secs(5),
+            7,
+        ));
+        net.run_until(SimTime::from_secs(20), &mut cluster);
+        // Healthy southbound: every poll is answered the same tick, so
+        // nothing times out and nothing is left outstanding for long.
+        assert_eq!(
+            cluster.retry_counters(),
+            crate::stats::RetryCounters::default()
+        );
+        assert!(cluster.counters().stats_replies > 0);
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod packet;
 pub mod services;
 pub mod stats;
 
-pub use cluster::ControllerCluster;
+pub use cluster::{ControllerCluster, FailoverCounters};
 pub use interceptor::{InterceptCtx, MessageInterceptor};
 pub use packet::{PacketContext, PacketProcessor};
 pub use services::{FlowRuleService, HostService, MastershipService};
-pub use stats::StatsPoller;
+pub use stats::{RetryCounters, RetryPolicy, StatsPoller};

@@ -5,7 +5,7 @@ use athena_dataplane::Topology;
 use athena_openflow::{FlowMod, FlowRemoved};
 use athena_telemetry::{Counter, Telemetry};
 use athena_types::{AppId, ControllerId, Dpid, Ipv4Addr, PortNo, SimTime};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Maps each switch to the controller instance that masters it.
 ///
@@ -24,17 +24,26 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct MastershipService {
     masters: HashMap<Dpid, ControllerId>,
+    // Topology-preferred masters, reclaimed when a crashed instance
+    // rejoins (ONOS's "mastership balancing" on node return).
+    preferred: HashMap<Dpid, ControllerId>,
+    all: BTreeSet<ControllerId>,
+    down: BTreeSet<ControllerId>,
 }
 
 impl MastershipService {
     /// Builds the mastership map from the topology's assignments.
     pub fn from_topology(topo: &Topology) -> Self {
+        let masters: HashMap<Dpid, ControllerId> = topo
+            .switches
+            .iter()
+            .map(|s| (s.dpid, s.controller))
+            .collect();
         MastershipService {
-            masters: topo
-                .switches
-                .iter()
-                .map(|s| (s.dpid, s.controller))
-                .collect(),
+            preferred: masters.clone(),
+            all: masters.values().copied().collect(),
+            masters,
+            down: BTreeSet::new(),
         }
     }
 
@@ -55,17 +64,69 @@ impl MastershipService {
         v
     }
 
-    /// All distinct controller instances.
+    /// All distinct controller instances (including crashed ones — the
+    /// cluster membership, not the live view; see
+    /// [`MastershipService::alive_instances`]).
     pub fn instances(&self) -> Vec<ControllerId> {
-        let mut v: Vec<ControllerId> = self.masters.values().copied().collect();
-        v.sort();
-        v.dedup();
-        v
+        self.all.iter().copied().collect()
+    }
+
+    /// Instances currently up.
+    pub fn alive_instances(&self) -> Vec<ControllerId> {
+        self.all.difference(&self.down).copied().collect()
+    }
+
+    /// `true` if the instance has not crashed (unknown instances are
+    /// considered alive, matching ONOS's optimistic membership view).
+    pub fn is_alive(&self, c: ControllerId) -> bool {
+        !self.down.contains(&c)
     }
 
     /// Reassigns a switch's mastership (failover).
     pub fn reassign(&mut self, dpid: Dpid, to: ControllerId) {
         self.masters.insert(dpid, to);
+    }
+
+    /// Marks an instance down and re-elects masters for its switches:
+    /// each orphaned switch moves, round-robin in dpid order, to the
+    /// surviving instances — deterministic, like ONOS's leadership
+    /// election over a sorted candidate list. Returns the reassigned
+    /// switches (empty if the instance held nothing, was already down,
+    /// or no instance survives to take over).
+    pub fn crash(&mut self, c: ControllerId) -> Vec<Dpid> {
+        if !self.down.insert(c) {
+            return Vec::new();
+        }
+        self.all.insert(c);
+        let orphans = self.switches_of(c);
+        let alive = self.alive_instances();
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        for (i, dpid) in orphans.iter().enumerate() {
+            self.masters.insert(*dpid, alive[i % alive.len()]);
+        }
+        orphans
+    }
+
+    /// Marks a crashed instance up again and hands back the switches it
+    /// is the topology-preferred master of. Returns the reclaimed
+    /// switches (empty if it was not down).
+    pub fn rejoin(&mut self, c: ControllerId) -> Vec<Dpid> {
+        if !self.down.remove(&c) {
+            return Vec::new();
+        }
+        let mut reclaimed: Vec<Dpid> = self
+            .preferred
+            .iter()
+            .filter(|(_, m)| **m == c)
+            .map(|(d, _)| *d)
+            .collect();
+        reclaimed.sort();
+        for dpid in &reclaimed {
+            self.masters.insert(*dpid, c);
+        }
+        reclaimed
     }
 }
 
@@ -262,6 +323,68 @@ mod tests {
         let mut m = MastershipService::from_topology(&topo);
         m.reassign(Dpid::new(1), ControllerId::new(2));
         assert_eq!(m.master_of(Dpid::new(1)), Some(ControllerId::new(2)));
+    }
+
+    #[test]
+    fn crash_re_elects_round_robin_and_rejoin_reclaims() {
+        let topo = Topology::enterprise();
+        let mut m = MastershipService::from_topology(&topo);
+        let c0 = ControllerId::new(0);
+        let orphans = m.crash(c0);
+        assert_eq!(orphans.len(), 6);
+        assert!(!m.is_alive(c0));
+        assert_eq!(m.alive_instances().len(), 2);
+        // Membership still reports the full cluster.
+        assert_eq!(m.instances().len(), 3);
+        // Nothing is left mastered by the dead instance, and survivors
+        // split its switches evenly (6 orphans over 2 instances).
+        assert!(m.switches_of(c0).is_empty());
+        for c in m.alive_instances() {
+            assert_eq!(m.switches_of(c).len(), 9);
+        }
+        // Crashing twice is a no-op.
+        assert!(m.crash(c0).is_empty());
+        // Rejoin hands back exactly the topology-preferred set.
+        let mut reclaimed = m.rejoin(c0);
+        reclaimed.sort();
+        assert_eq!(reclaimed, orphans);
+        assert_eq!(m.switches_of(c0), orphans);
+        for c in m.instances() {
+            assert_eq!(m.switches_of(c).len(), 6);
+        }
+        // Rejoining an instance that never crashed is a no-op.
+        assert!(m.rejoin(c0).is_empty());
+    }
+
+    #[test]
+    fn crash_is_deterministic() {
+        let topo = Topology::enterprise();
+        let mut a = MastershipService::from_topology(&topo);
+        let mut b = MastershipService::from_topology(&topo);
+        a.crash(ControllerId::new(1));
+        b.crash(ControllerId::new(1));
+        for s in &topo.switches {
+            assert_eq!(a.master_of(s.dpid), b.master_of(s.dpid));
+        }
+    }
+
+    #[test]
+    fn last_instance_crash_leaves_switches_orphaned_but_consistent() {
+        let topo = Topology::enterprise();
+        let mut m = MastershipService::from_topology(&topo);
+        m.crash(ControllerId::new(0));
+        m.crash(ControllerId::new(1));
+        let last = m.crash(ControllerId::new(2));
+        // No survivor: nothing could be reassigned.
+        assert!(last.is_empty());
+        assert!(m.alive_instances().is_empty());
+        // Rejoin restores the preferred mapping.
+        for c in [0u32, 1, 2] {
+            m.rejoin(ControllerId::new(c));
+        }
+        for c in m.instances() {
+            assert_eq!(m.switches_of(c).len(), 6);
+        }
     }
 
     #[test]

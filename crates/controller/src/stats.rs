@@ -4,21 +4,96 @@
 //! of its management functions; the paper marks Athena's *own* requests'
 //! XIDs to tell the two apart ("we mark an XID value for statistics
 //! request messages"). This poller is the ONOS side: unmarked XIDs.
+//!
+//! Requests are tracked until their replies arrive. A reply lost to a
+//! faulty southbound channel (see `athena-faults`) times out and is
+//! re-issued under bounded exponential backoff ([`RetryPolicy`]), with
+//! every timeout/retry/give-up surfaced through the `retry/*` telemetry
+//! counters.
 
 use athena_openflow::{MatchFields, OfMessage, StatsRequest};
 use athena_telemetry::Counter;
 use athena_types::{Dpid, PortNo, SimDuration, SimTime, Xid};
+use std::collections::BTreeMap;
 
-/// Periodically issues flow/port statistics requests to a set of switches.
+/// When and how often an unanswered statistics request is re-issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long to wait for a reply before the first retry.
+    pub timeout: SimDuration,
+    /// Maximum number of re-issues per logical request (0 disables
+    /// retries entirely; the request is simply forgotten on timeout).
+    pub max_retries: u32,
+    /// Upper bound on the backed-off timeout (`timeout * 2^attempt` is
+    /// clamped to this).
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_secs(3),
+            max_retries: 3,
+            backoff_cap: SimDuration::from_secs(24),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The reply deadline for a request issued on its `attempt`-th try
+    /// (attempt 0 is the original request): `timeout * 2^attempt`,
+    /// clamped to [`RetryPolicy::backoff_cap`].
+    pub fn deadline_after(&self, attempt: u32) -> SimDuration {
+        let factor = 1u64 << attempt.min(16);
+        let backed_off = self.timeout * factor;
+        if backed_off > self.backoff_cap {
+            self.backoff_cap
+        } else {
+            backed_off
+        }
+    }
+}
+
+/// One in-flight statistics request awaiting its reply.
+#[derive(Debug, Clone)]
+struct Outstanding {
+    dpid: Dpid,
+    body: StatsRequest,
+    issued_at: SimTime,
+    attempt: u32,
+}
+
+/// Counters for the poller's retry machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryCounters {
+    /// Requests whose reply deadline elapsed.
+    pub timeouts: u64,
+    /// Requests re-issued after a timeout.
+    pub retries: u64,
+    /// Requests abandoned after exhausting every retry.
+    pub gave_up: u64,
+}
+
+/// Periodically issues flow/port statistics requests to a set of switches,
+/// tracking replies and retrying lost requests with bounded exponential
+/// backoff.
 #[derive(Debug, Clone)]
 pub struct StatsPoller {
     /// The polling period.
     pub interval: SimDuration,
+    /// The reply-timeout/backoff policy.
+    pub retry: RetryPolicy,
     switches: Vec<Dpid>,
     last_poll: SimTime,
     next_xid: u32,
     issued: u64,
+    retry_counters: RetryCounters,
+    // Keyed by raw XID; a BTreeMap keeps timeout scans deterministic.
+    outstanding: BTreeMap<u32, Outstanding>,
     polls_issued: Counter,
+    retries_tel: Counter,
+    timeouts_tel: Counter,
+    gave_up_tel: Counter,
 }
 
 impl StatsPoller {
@@ -26,22 +101,54 @@ impl StatsPoller {
     pub fn new(switches: Vec<Dpid>, interval: SimDuration) -> Self {
         StatsPoller {
             interval,
+            retry: RetryPolicy::default(),
             switches,
             last_poll: SimTime::ZERO,
             next_xid: 0,
             issued: 0,
+            retry_counters: RetryCounters::default(),
+            outstanding: BTreeMap::new(),
             polls_issued: Counter::detached(),
+            retries_tel: Counter::detached(),
+            timeouts_tel: Counter::detached(),
+            gave_up_tel: Counter::detached(),
         }
     }
 
-    /// Routes the poller's issued-request counter into `tel`.
-    pub fn bind_telemetry(&mut self, tel: &athena_telemetry::Telemetry) {
-        self.polls_issued = tel.metrics().counter("controller", "stats_polls_issued");
+    /// Replaces the retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
-    /// Requests issued so far.
+    /// Routes the poller's issued-request and retry counters into `tel`.
+    pub fn bind_telemetry(&mut self, tel: &athena_telemetry::Telemetry) {
+        let m = tel.metrics();
+        self.polls_issued = m.counter("controller", "stats_polls_issued");
+        self.retries_tel = m.counter("retry", "stats_retries");
+        self.timeouts_tel = m.counter("retry", "stats_timeouts");
+        self.gave_up_tel = m.counter("retry", "stats_gave_up");
+    }
+
+    /// Requests issued so far (including retries).
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// The retry machinery's counters.
+    pub fn retry_counters(&self) -> RetryCounters {
+        self.retry_counters
+    }
+
+    /// Requests currently awaiting a reply.
+    pub fn outstanding_count(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Notes a statistics reply, settling the matching in-flight request.
+    /// Returns `true` if the XID was one of ours.
+    pub fn on_reply(&mut self, xid: Xid) -> bool {
+        self.outstanding.remove(&xid.raw()).is_some()
     }
 
     /// The next unmarked XID. The sequence stays strictly inside
@@ -54,37 +161,84 @@ impl StatsPoller {
         Xid::new(self.next_xid)
     }
 
-    /// Returns the requests due at `now` (empty between polling periods).
+    fn issue(
+        &mut self,
+        dpid: Dpid,
+        body: StatsRequest,
+        now: SimTime,
+        attempt: u32,
+    ) -> (Dpid, OfMessage) {
+        let xid = self.fresh_xid();
+        self.outstanding.insert(
+            xid.raw(),
+            Outstanding {
+                dpid,
+                body: body.clone(),
+                issued_at: now,
+                attempt,
+            },
+        );
+        self.issued += 1;
+        self.polls_issued.inc();
+        (dpid, OfMessage::StatsRequest { xid, body })
+    }
+
+    /// Re-issues every timed-out request that still has retry budget.
+    fn drain_timeouts(&mut self, now: SimTime) -> Vec<(Dpid, OfMessage)> {
+        let due: Vec<u32> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| {
+                now.saturating_since(o.issued_at) >= self.retry.deadline_after(o.attempt)
+            })
+            .map(|(xid, _)| *xid)
+            .collect();
+        let mut out = Vec::new();
+        for xid in due {
+            let Some(o) = self.outstanding.remove(&xid) else {
+                continue;
+            };
+            self.retry_counters.timeouts += 1;
+            self.timeouts_tel.inc();
+            if o.attempt >= self.retry.max_retries {
+                self.retry_counters.gave_up += 1;
+                self.gave_up_tel.inc();
+                continue;
+            }
+            self.retry_counters.retries += 1;
+            self.retries_tel.inc();
+            out.push(self.issue(o.dpid, o.body, now, o.attempt + 1));
+        }
+        out
+    }
+
+    /// Returns the requests due at `now`: timed-out retries plus, on the
+    /// polling period, a fresh flow + port request per switch.
     pub fn poll(&mut self, now: SimTime) -> Vec<(Dpid, OfMessage)> {
+        let mut out = self.drain_timeouts(now);
         if now < self.last_poll + self.interval && self.last_poll != SimTime::ZERO {
-            return Vec::new();
+            return out;
         }
         self.last_poll = now;
-        let mut out = Vec::with_capacity(self.switches.len() * 2);
+        out.reserve(self.switches.len() * 2);
         for i in 0..self.switches.len() {
             let dpid = self.switches[i];
-            let flow_xid = self.fresh_xid();
-            out.push((
+            out.push(self.issue(
                 dpid,
-                OfMessage::StatsRequest {
-                    xid: flow_xid,
-                    body: StatsRequest::Flow {
-                        filter: MatchFields::new(),
-                    },
+                StatsRequest::Flow {
+                    filter: MatchFields::new(),
                 },
+                now,
+                0,
             ));
-            let port_xid = self.fresh_xid();
-            out.push((
+            out.push(self.issue(
                 dpid,
-                OfMessage::StatsRequest {
-                    xid: port_xid,
-                    body: StatsRequest::Port {
-                        port_no: PortNo::ANY,
-                    },
+                StatsRequest::Port {
+                    port_no: PortNo::ANY,
                 },
+                now,
+                0,
             ));
-            self.issued += 2;
-            self.polls_issued.add(2);
         }
         out
     }
@@ -95,11 +249,19 @@ mod tests {
     use super::*;
     use athena_telemetry::Telemetry;
 
+    fn settle(p: &mut StatsPoller, msgs: &[(Dpid, OfMessage)]) {
+        for (_, m) in msgs {
+            p.on_reply(m.xid());
+        }
+    }
+
     #[test]
     fn polls_on_the_interval() {
         let mut p = StatsPoller::new(vec![Dpid::new(1), Dpid::new(2)], SimDuration::from_secs(5));
         // First poll fires immediately.
-        assert_eq!(p.poll(SimTime::from_secs(1)).len(), 4);
+        let first = p.poll(SimTime::from_secs(1));
+        assert_eq!(first.len(), 4);
+        settle(&mut p, &first);
         // Too soon.
         assert!(p.poll(SimTime::from_secs(3)).is_empty());
         // Due again.
@@ -143,5 +305,67 @@ mod tests {
                 .get(),
             4
         );
+    }
+
+    #[test]
+    fn answered_requests_do_not_retry() {
+        let mut p = StatsPoller::new(vec![Dpid::new(1)], SimDuration::from_secs(100));
+        let msgs = p.poll(SimTime::from_secs(1));
+        assert_eq!(p.outstanding_count(), 2);
+        settle(&mut p, &msgs);
+        assert_eq!(p.outstanding_count(), 0);
+        // Far past any deadline: nothing to retry.
+        assert!(p.poll(SimTime::from_secs(50)).is_empty());
+        assert_eq!(p.retry_counters(), RetryCounters::default());
+    }
+
+    #[test]
+    fn lost_replies_retry_with_backoff_then_give_up() {
+        let tel = Telemetry::new();
+        let mut p = StatsPoller::new(vec![Dpid::new(1)], SimDuration::from_secs(1_000))
+            .with_retry_policy(RetryPolicy {
+                timeout: SimDuration::from_secs(2),
+                max_retries: 2,
+                backoff_cap: SimDuration::from_secs(8),
+            });
+        p.bind_telemetry(&tel);
+        let original = p.poll(SimTime::from_secs(1));
+        assert_eq!(original.len(), 2);
+        // Drop every reply. Deadline 1: t=1+2 → both requests re-issued.
+        assert!(p.poll(SimTime::from_secs(2)).is_empty(), "not yet due");
+        let retry1 = p.poll(SimTime::from_secs(3));
+        assert_eq!(retry1.len(), 2);
+        // Fresh XIDs on retry.
+        let old: Vec<u32> = original.iter().map(|(_, m)| m.xid().raw()).collect();
+        assert!(retry1.iter().all(|(_, m)| !old.contains(&m.xid().raw())));
+        // Deadline 2 backs off to 4 s: due at t=7.
+        assert!(p.poll(SimTime::from_secs(5)).is_empty(), "backoff honored");
+        let retry2 = p.poll(SimTime::from_secs(7));
+        assert_eq!(retry2.len(), 2);
+        // Deadline 3 (8 s, capped): exhausted → give up, no re-issue.
+        let after = p.poll(SimTime::from_secs(15));
+        assert!(after.is_empty());
+        assert_eq!(p.outstanding_count(), 0);
+        let c = p.retry_counters();
+        assert_eq!(c.timeouts, 6);
+        assert_eq!(c.retries, 4);
+        assert_eq!(c.gave_up, 2);
+        let m = tel.metrics();
+        assert_eq!(m.counter("retry", "stats_retries").get(), 4);
+        assert_eq!(m.counter("retry", "stats_timeouts").get(), 6);
+        assert_eq!(m.counter("retry", "stats_gave_up").get(), 2);
+    }
+
+    #[test]
+    fn backoff_is_bounded_by_the_cap() {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_secs(3),
+            max_retries: 10,
+            backoff_cap: SimDuration::from_secs(24),
+        };
+        assert_eq!(policy.deadline_after(0), SimDuration::from_secs(3));
+        assert_eq!(policy.deadline_after(1), SimDuration::from_secs(6));
+        assert_eq!(policy.deadline_after(3), SimDuration::from_secs(24));
+        assert_eq!(policy.deadline_after(30), SimDuration::from_secs(24));
     }
 }

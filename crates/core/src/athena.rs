@@ -32,6 +32,10 @@ pub struct AthenaConfig {
     pub compute_workers: usize,
     /// Athena's statistics-poll period.
     pub poll_interval: SimDuration,
+    /// Timeout/backoff policy for Athena's marked statistics polls: a
+    /// poll whose reply is lost to a faulty southbound channel is
+    /// re-issued with bounded exponential backoff.
+    pub poll_retry: athena_controller::RetryPolicy,
     /// Whether features are published to the store (Table IX's "no DB"
     /// configuration sets this to `false`).
     pub store_enabled: bool,
@@ -44,6 +48,7 @@ impl Default for AthenaConfig {
             store_replication: 2,
             compute_workers: 6,
             poll_interval: SimDuration::from_secs(5),
+            poll_retry: athena_controller::RetryPolicy::default(),
             store_enabled: true,
         }
     }
@@ -61,6 +66,8 @@ pub struct AthenaRuntime {
     pub reactor: Mutex<AttackReactor>,
     /// The resource manager (monitoring fidelity).
     pub resource: Mutex<ResourceManager>,
+    /// Retry policy for Athena's marked statistics polls.
+    pub poll_retry: athena_controller::RetryPolicy,
     /// The deployment's telemetry domain (disabled unless the instance
     /// was built with [`Athena::with_telemetry`]).
     pub telemetry: Telemetry,
@@ -101,6 +108,7 @@ impl Athena {
             detector: Mutex::new(AttackDetector::new()),
             reactor: Mutex::new(AttackReactor::new()),
             resource: Mutex::new(resource),
+            poll_retry: config.poll_retry,
             telemetry: tel.clone(),
         });
         let compute = ComputeCluster::new(config.compute_workers);

@@ -12,11 +12,21 @@
 
 use crate::athena::AthenaRuntime;
 use crate::feature::generator::FeatureGenerator;
-use athena_controller::{InterceptCtx, MessageInterceptor};
+use athena_controller::{InterceptCtx, MessageInterceptor, RetryCounters, RetryPolicy};
 use athena_openflow::{MatchFields, OfMessage, StatsRequest};
 use athena_telemetry::{Counter, Histogram};
 use athena_types::{ControllerId, Dpid, PortNo, SimTime, Xid};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// One Athena-marked statistics request awaiting its reply.
+#[derive(Debug, Clone)]
+struct OutstandingPoll {
+    dpid: Dpid,
+    body: StatsRequest,
+    issued_at: SimTime,
+    attempt: u32,
+}
 
 /// One controller instance's Athena southbound element.
 pub struct AthenaSouthbound {
@@ -27,9 +37,16 @@ pub struct AthenaSouthbound {
     last_poll: Option<SimTime>,
     last_gc: SimTime,
     next_xid: u32,
+    retry: RetryPolicy,
+    retry_counters: RetryCounters,
+    // Keyed by raw marked XID; BTreeMap keeps timeout scans deterministic.
+    outstanding: BTreeMap<u32, OutstandingPoll>,
     feature_gen_ns: Histogram,
     dispatch_ns: Histogram,
     feature_records: Counter,
+    timeouts_tel: Counter,
+    retries_tel: Counter,
+    gave_up_tel: Counter,
 }
 
 impl AthenaSouthbound {
@@ -49,9 +66,15 @@ impl AthenaSouthbound {
             last_poll: None,
             last_gc: SimTime::ZERO,
             next_xid: 0,
+            retry: runtime.poll_retry,
+            retry_counters: RetryCounters::default(),
+            outstanding: BTreeMap::new(),
             feature_gen_ns: m.histogram_with("core", "feature_gen_ns", &instance),
             dispatch_ns: m.histogram_with("core", "dispatch_ns", &instance),
             feature_records: m.counter("core", "feature_records"),
+            timeouts_tel: m.counter("retry", "sb_stats_timeouts"),
+            retries_tel: m.counter("retry", "sb_stats_retries"),
+            gave_up_tel: m.counter("retry", "sb_stats_gave_up"),
             runtime,
         }
     }
@@ -59,6 +82,16 @@ impl AthenaSouthbound {
     /// The feature generator's record counter.
     pub fn records_generated(&self) -> u64 {
         self.generator.records_generated()
+    }
+
+    /// Retry counters for Athena-marked statistics polls.
+    pub fn retry_counters(&self) -> RetryCounters {
+        self.retry_counters
+    }
+
+    /// Athena-marked polls still awaiting a reply.
+    pub fn outstanding_polls(&self) -> usize {
+        self.outstanding.len()
     }
 
     fn dispatch(
@@ -99,6 +132,64 @@ impl AthenaSouthbound {
         self.next_xid = self.next_xid.wrapping_add(1);
         Xid::athena_marked(self.next_xid)
     }
+
+    /// Issues one Athena-marked statistics request and registers it for
+    /// timeout tracking.
+    fn issue_poll(
+        &mut self,
+        dpid: Dpid,
+        body: StatsRequest,
+        now: SimTime,
+        attempt: u32,
+        out: &mut Vec<(Dpid, OfMessage)>,
+    ) {
+        let xid = self.fresh_xid();
+        self.outstanding.insert(
+            xid.raw(),
+            OutstandingPoll {
+                dpid,
+                body: body.clone(),
+                issued_at: now,
+                attempt,
+            },
+        );
+        out.push((dpid, OfMessage::StatsRequest { xid, body }));
+    }
+
+    /// Reissues timed-out marked polls with bounded exponential backoff;
+    /// gives up past `max_retries` (and on switches this controller no
+    /// longer masters).
+    fn drain_timeouts(
+        &mut self,
+        ctx: &InterceptCtx<'_>,
+        now: SimTime,
+        out: &mut Vec<(Dpid, OfMessage)>,
+    ) {
+        let due: Vec<u32> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| {
+                now.saturating_since(o.issued_at) >= self.retry.deadline_after(o.attempt)
+            })
+            .map(|(xid, _)| *xid)
+            .collect();
+        for xid in due {
+            let Some(o) = self.outstanding.remove(&xid) else {
+                continue;
+            };
+            self.retry_counters.timeouts += 1;
+            self.timeouts_tel.inc();
+            let still_mastered = ctx.mastership.master_of(o.dpid) == Some(self.controller);
+            if o.attempt >= self.retry.max_retries || !still_mastered {
+                self.retry_counters.gave_up += 1;
+                self.gave_up_tel.inc();
+                continue;
+            }
+            self.retry_counters.retries += 1;
+            self.retries_tel.inc();
+            self.issue_poll(o.dpid, o.body, now, o.attempt + 1, out);
+        }
+    }
 }
 
 impl MessageInterceptor for AthenaSouthbound {
@@ -117,6 +208,12 @@ impl MessageInterceptor for AthenaSouthbound {
         // switches that the controller directly manages".
         if ctx.mastership.master_of(from) != Some(self.controller) {
             return Vec::new();
+        }
+        // Settle the marked poll this reply answers.
+        if let OfMessage::StatsReply { xid, .. } = msg {
+            if xid.is_athena_marked() {
+                self.outstanding.remove(&xid.raw());
+            }
         }
         let records = {
             let timer = self.feature_gen_ns.start_timer();
@@ -137,6 +234,9 @@ impl MessageInterceptor for AthenaSouthbound {
             (r.poll_interval, r.monitoring_enabled)
         };
 
+        // Reissue timed-out marked polls before scheduling new ones.
+        self.drain_timeouts(ctx, now, &mut out);
+
         // Athena's own marked statistics polling.
         let due = self
             .last_poll
@@ -149,31 +249,25 @@ impl MessageInterceptor for AthenaSouthbound {
                 if !allowed {
                     continue;
                 }
-                out.push((
+                self.issue_poll(
                     dpid,
-                    OfMessage::StatsRequest {
-                        xid: self.fresh_xid(),
-                        body: StatsRequest::Flow {
-                            filter: MatchFields::new(),
-                        },
+                    StatsRequest::Flow {
+                        filter: MatchFields::new(),
                     },
-                ));
-                out.push((
+                    now,
+                    0,
+                    &mut out,
+                );
+                self.issue_poll(
                     dpid,
-                    OfMessage::StatsRequest {
-                        xid: self.fresh_xid(),
-                        body: StatsRequest::Port {
-                            port_no: PortNo::ANY,
-                        },
+                    StatsRequest::Port {
+                        port_no: PortNo::ANY,
                     },
-                ));
-                out.push((
-                    dpid,
-                    OfMessage::StatsRequest {
-                        xid: self.fresh_xid(),
-                        body: StatsRequest::Table,
-                    },
-                ));
+                    now,
+                    0,
+                    &mut out,
+                );
+                self.issue_poll(dpid, StatsRequest::Table, now, 0, &mut out);
             }
             // Flush the per-window message counters as features.
             let records = self.generator.flush_window(now);
@@ -220,5 +314,141 @@ impl std::fmt::Debug for AthenaSouthbound {
             .field("controller", &self.controller)
             .field("records_generated", &self.records_generated())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::athena::{Athena, AthenaConfig};
+    use athena_controller::{FlowRuleService, HostService, MastershipService};
+    use athena_dataplane::Topology;
+    use athena_openflow::StatsReply;
+    use athena_telemetry::Telemetry;
+
+    struct Ctx {
+        flow_rules: FlowRuleService,
+        hosts: HostService,
+        mastership: MastershipService,
+        topology: Topology,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            let topology = Topology::enterprise();
+            Ctx {
+                flow_rules: FlowRuleService::new(),
+                hosts: HostService::from_topology(&topology),
+                mastership: MastershipService::from_topology(&topology),
+                topology,
+            }
+        }
+
+        fn borrow(&self, controller: ControllerId) -> InterceptCtx<'_> {
+            InterceptCtx {
+                controller,
+                flow_rules: &self.flow_rules,
+                hosts: &self.hosts,
+                mastership: &self.mastership,
+                topology: &self.topology,
+            }
+        }
+    }
+
+    fn sb(tel: Telemetry) -> AthenaSouthbound {
+        let athena = Athena::with_telemetry(AthenaConfig::default(), tel);
+        athena.southbound(ControllerId::new(0))
+    }
+
+    fn marked_stats_requests(out: &[(Dpid, OfMessage)]) -> Vec<(Dpid, Xid)> {
+        out.iter()
+            .filter_map(|(d, m)| match m {
+                OfMessage::StatsRequest { xid, .. } if xid.is_athena_marked() => Some((*d, *xid)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replies_settle_marked_polls() {
+        let ctx = Ctx::new();
+        let mut sb = sb(Telemetry::off());
+        let out = sb.on_tick(&ctx.borrow(ControllerId::new(0)), SimTime::from_secs(5));
+        let issued = marked_stats_requests(&out);
+        assert!(!issued.is_empty());
+        assert_eq!(sb.outstanding_polls(), issued.len());
+        for (dpid, xid) in issued {
+            sb.on_southbound(
+                &ctx.borrow(ControllerId::new(0)),
+                dpid,
+                &OfMessage::StatsReply {
+                    xid,
+                    body: StatsReply::Table(Vec::new()),
+                },
+                SimTime::from_secs(5),
+            );
+        }
+        assert_eq!(sb.outstanding_polls(), 0);
+        assert_eq!(sb.retry_counters(), RetryCounters::default());
+    }
+
+    #[test]
+    fn lost_replies_are_retried_with_backoff_then_dropped() {
+        let ctx = Ctx::new();
+        let tel = Telemetry::new();
+        let mut sb = sb(tel.clone());
+        // Issue one poll round; never answer it.
+        let out = sb.on_tick(&ctx.borrow(ControllerId::new(0)), SimTime::from_secs(5));
+        let issued = marked_stats_requests(&out).len();
+        assert!(issued > 0);
+        // Stop new interval polls from mixing in: disable monitoring.
+        sb.runtime.resource.lock().monitoring_enabled = false;
+        let policy = RetryPolicy::default();
+        let mut now = SimTime::from_secs(5);
+        // Walk far enough for every attempt to expire (attempts 0..=max).
+        for _ in 0..=policy.max_retries {
+            now += policy.backoff_cap;
+            let out = sb.on_tick(&ctx.borrow(ControllerId::new(0)), now);
+            // Retries re-issue the same stats bodies with fresh marked xids.
+            for (_, msg) in &out {
+                if let OfMessage::StatsRequest { xid, .. } = msg {
+                    assert!(xid.is_athena_marked());
+                }
+            }
+        }
+        now += policy.backoff_cap;
+        sb.on_tick(&ctx.borrow(ControllerId::new(0)), now);
+        let c = sb.retry_counters();
+        assert_eq!(c.retries, issued as u64 * u64::from(policy.max_retries));
+        assert_eq!(c.gave_up, issued as u64);
+        assert_eq!(c.timeouts, c.retries + c.gave_up);
+        assert_eq!(sb.outstanding_polls(), 0);
+        let m = tel.metrics();
+        assert_eq!(m.counter("retry", "sb_stats_timeouts").get(), c.timeouts);
+        assert_eq!(m.counter("retry", "sb_stats_gave_up").get(), c.gave_up);
+    }
+
+    #[test]
+    fn polls_for_lost_mastership_are_abandoned_not_retried() {
+        let ctx = Ctx::new();
+        let mut sb = sb(Telemetry::off());
+        let out = sb.on_tick(&ctx.borrow(ControllerId::new(0)), SimTime::from_secs(5));
+        let issued = marked_stats_requests(&out).len();
+        assert!(issued > 0);
+        sb.runtime.resource.lock().monitoring_enabled = false;
+        // Mastership moves away (e.g. this instance crashed and rejoined
+        // elsewhere): outstanding polls are abandoned on expiry.
+        let mut moved = Ctx::new();
+        for s in &mut moved.topology.switches {
+            s.controller = ControllerId::new(1);
+        }
+        moved.mastership = MastershipService::from_topology(&moved.topology);
+        let later = SimTime::from_secs(5) + RetryPolicy::default().backoff_cap;
+        let out = sb.on_tick(&moved.borrow(ControllerId::new(0)), later);
+        assert!(marked_stats_requests(&out).is_empty());
+        let c = sb.retry_counters();
+        assert_eq!(c.gave_up, issued as u64);
+        assert_eq!(c.retries, 0);
+        assert_eq!(sb.outstanding_polls(), 0);
     }
 }

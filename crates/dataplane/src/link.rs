@@ -19,6 +19,10 @@ pub struct SimLink {
     delivered_bytes_total: u64,
     dropped_bytes_total: u64,
     last_utilization: f64,
+    /// Effective-capacity multiplier: `1.0` healthy, `(0, 1)` degraded,
+    /// `0.0` down. Fault injection flips this; traffic offered while the
+    /// factor is zero is dropped in full.
+    capacity_factor: f64,
 }
 
 impl SimLink {
@@ -31,7 +35,25 @@ impl SimLink {
             delivered_bytes_total: 0,
             dropped_bytes_total: 0,
             last_utilization: 0.0,
+            capacity_factor: 1.0,
         }
+    }
+
+    /// Sets the effective-capacity multiplier (clamped to `[0, 1]`):
+    /// `1.0` restores the link, a fraction degrades it, `0.0` takes it
+    /// down entirely.
+    pub fn set_capacity_factor(&mut self, factor: f64) {
+        self.capacity_factor = factor.clamp(0.0, 1.0);
+    }
+
+    /// The current effective-capacity multiplier.
+    pub fn capacity_factor(&self) -> f64 {
+        self.capacity_factor
+    }
+
+    /// `true` unless the link is administratively/faultily down.
+    pub fn is_up(&self) -> bool {
+        self.capacity_factor > 0.0
     }
 
     /// Offers `bytes` for transmission this tick.
@@ -49,9 +71,15 @@ impl SimLink {
     ///
     /// Returns `(delivered_fraction, dropped_bytes)` for the tick.
     pub fn settle_tick(&mut self, tick: SimDuration) -> (f64, u64) {
-        let cap = self.capacity_per_tick(tick).max(1);
         let offered = self.offered_bytes_this_tick;
         self.offered_bytes_this_tick = 0;
+        if self.capacity_factor <= 0.0 {
+            // Link down: everything offered is lost.
+            self.last_utilization = if offered > 0 { f64::INFINITY } else { 0.0 };
+            self.dropped_bytes_total += offered;
+            return (0.0, offered);
+        }
+        let cap = ((self.capacity_per_tick(tick) as f64 * self.capacity_factor) as u64).max(1);
         self.last_utilization = offered as f64 / cap as f64;
         if offered <= cap {
             self.delivered_bytes_total += offered;
@@ -135,5 +163,45 @@ mod tests {
     fn sub_second_ticks_scale_capacity() {
         let l = link(8_000_000);
         assert_eq!(l.capacity_per_tick(SimDuration::from_millis(100)), 100_000);
+    }
+
+    #[test]
+    fn downed_link_drops_everything_and_recovers() {
+        let mut l = link(8_000_000);
+        l.set_capacity_factor(0.0);
+        assert!(!l.is_up());
+        l.offer(100_000);
+        let (frac, dropped) = l.settle_tick(SimDuration::from_secs(1));
+        assert_eq!(frac, 0.0);
+        assert_eq!(dropped, 100_000);
+        assert_eq!(l.delivered_bytes(), 0);
+        assert_eq!(l.dropped_bytes(), 100_000);
+        l.set_capacity_factor(1.0);
+        l.offer(100_000);
+        let (frac, dropped) = l.settle_tick(SimDuration::from_secs(1));
+        assert_eq!(frac, 1.0);
+        assert_eq!(dropped, 0);
+        assert_eq!(l.delivered_bytes(), 100_000);
+    }
+
+    #[test]
+    fn degraded_link_scales_capacity() {
+        let mut l = link(8_000_000); // 1 MB per second-tick
+        l.set_capacity_factor(0.5); // now 500 KB
+        assert!(l.is_up());
+        l.offer(1_000_000);
+        let (frac, dropped) = l.settle_tick(SimDuration::from_secs(1));
+        assert!((frac - 0.5).abs() < 1e-9, "frac {frac}");
+        assert_eq!(dropped, 500_000);
+        assert!(l.is_congested());
+    }
+
+    #[test]
+    fn capacity_factor_is_clamped() {
+        let mut l = link(8_000_000);
+        l.set_capacity_factor(7.0);
+        assert_eq!(l.capacity_factor(), 1.0);
+        l.set_capacity_factor(-1.0);
+        assert_eq!(l.capacity_factor(), 0.0);
     }
 }

@@ -169,6 +169,11 @@ impl Network {
         &self.topology
     }
 
+    /// The simulator configuration.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -219,6 +224,34 @@ impl Network {
         }
     }
 
+    /// Simulates a full switch reboot: flow state *and* port counters are
+    /// lost (see [`SimSwitch::reboot`]). Returns how many flow entries
+    /// were lost, or 0 for an unknown switch.
+    pub fn reboot_switch(&mut self, dpid: Dpid) -> usize {
+        let now = self.now;
+        match self.switches.get_mut(&dpid) {
+            Some(sw) => sw.reboot(now),
+            None => 0,
+        }
+    }
+
+    /// Sets the effective-capacity factor of every link direction between
+    /// switches `a` and `b`: `0.0` takes the link down, `(0, 1)` degrades
+    /// it, `1.0` restores it. Returns how many link directions were
+    /// affected (0 when no such link exists).
+    pub fn set_link_state(&mut self, a: Dpid, b: Dpid, factor: f64) -> usize {
+        let mut n = 0;
+        for link in self.links.values_mut() {
+            let fwd = link.id.src == a && link.id.dst == b;
+            let rev = link.id.src == b && link.id.dst == a;
+            if fwd || rev {
+                link.set_capacity_factor(factor);
+                n += 1;
+            }
+        }
+        n
+    }
+
     /// Schedules flows for injection.
     pub fn inject_flows(&mut self, flows: impl IntoIterator<Item = FlowSpec>) {
         self.pending.extend(flows);
@@ -237,68 +270,85 @@ impl Network {
             .map(|tel| tel.tracer().span("dataplane", "run_until", run_start));
         let mut ticks: u64 = 0;
         while self.now < until {
-            let before = self.counters;
-            let step_timer = self.tel.step_ns.start_timer();
-            let t = self.now + self.config.tick;
-            self.now = t;
+            self.step(ctrl);
             ticks += 1;
-
-            // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
-            let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
-            for dpid in &dpids {
-                let removed = match self.switches.get_mut(dpid) {
-                    Some(sw) => sw.expire(t),
-                    None => continue,
-                };
-                for fr in removed {
-                    self.counters.flow_removeds += 1;
-                    let xid = self.fresh_xid();
-                    let msg = via_wire(
-                        OfMessage::FlowRemoved { xid, body: fr },
-                        self.config.wire_mode,
-                    );
-                    let cmds = ctrl.on_message(*dpid, msg, t);
-                    self.apply_commands(cmds, ctrl);
-                }
-            }
-
-            // 2. Activate flows whose start time has arrived.
-            while let Some(spec) = self.pending.pop_if(|f| f.start <= t) {
-                self.activate_flow(spec, ctrl);
-            }
-
-            // 3. Controller's own tick (stats polling etc.).
-            let cmds = ctrl.on_tick(t);
-            self.apply_commands(cmds, ctrl);
-
-            // 4. Credit a tick of traffic for every active flow.
-            self.tick_traffic(ctrl);
-
-            // 5. Retire finished flows.
-            let now = self.now;
-            self.active.retain(|f| f.spec.end_time() > now);
-
-            step_timer.observe(&self.tel.step_ns);
-            // Mirror this tick's counter deltas into the registry — one
-            // add per counter per tick keeps the inner loops untouched.
-            self.tel
-                .packet_ins
-                .add(self.counters.packet_ins - before.packet_ins);
-            self.tel
-                .flow_removeds
-                .add(self.counters.flow_removeds - before.flow_removeds);
-            self.tel
-                .delivered_bytes
-                .add(self.counters.delivered_bytes - before.delivered_bytes);
-            self.tel
-                .dropped_bytes
-                .add(self.counters.dropped_bytes - before.dropped_bytes);
         }
         self.publish_table_gauges();
         if let (Some(span), Some(tel)) = (run_span, &self.tel.handle) {
             tel.tracer()
                 .end_span(span, self.now, format!("{ticks} ticks"));
         }
+    }
+
+    /// Advances the simulation by exactly one tick. This is the unit the
+    /// fault injector drives: it applies due fault events between steps,
+    /// so every tick sees a consistent fault state.
+    ///
+    /// [`Network::run_until`] is `step` in a loop plus a trace span and
+    /// the end-of-run gauge flush ([`Network::flush_gauges`]).
+    pub fn step(&mut self, ctrl: &mut impl ControllerLink) {
+        let before = self.counters;
+        let step_timer = self.tel.step_ns.start_timer();
+        let t = self.now + self.config.tick;
+        self.now = t;
+
+        // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
+        let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
+        for dpid in &dpids {
+            let removed = match self.switches.get_mut(dpid) {
+                Some(sw) => sw.expire(t),
+                None => continue,
+            };
+            for fr in removed {
+                self.counters.flow_removeds += 1;
+                let xid = self.fresh_xid();
+                let msg = via_wire(
+                    OfMessage::FlowRemoved { xid, body: fr },
+                    self.config.wire_mode,
+                );
+                let cmds = ctrl.on_message(*dpid, msg, t);
+                self.apply_commands(cmds, ctrl);
+            }
+        }
+
+        // 2. Activate flows whose start time has arrived.
+        while let Some(spec) = self.pending.pop_if(|f| f.start <= t) {
+            self.activate_flow(spec, ctrl);
+        }
+
+        // 3. Controller's own tick (stats polling etc.).
+        let cmds = ctrl.on_tick(t);
+        self.apply_commands(cmds, ctrl);
+
+        // 4. Credit a tick of traffic for every active flow.
+        self.tick_traffic(ctrl);
+
+        // 5. Retire finished flows.
+        let now = self.now;
+        self.active.retain(|f| f.spec.end_time() > now);
+
+        step_timer.observe(&self.tel.step_ns);
+        // Mirror this tick's counter deltas into the registry — one
+        // add per counter per tick keeps the inner loops untouched.
+        self.tel
+            .packet_ins
+            .add(self.counters.packet_ins - before.packet_ins);
+        self.tel
+            .flow_removeds
+            .add(self.counters.flow_removeds - before.flow_removeds);
+        self.tel
+            .delivered_bytes
+            .add(self.counters.delivered_bytes - before.delivered_bytes);
+        self.tel
+            .dropped_bytes
+            .add(self.counters.dropped_bytes - before.dropped_bytes);
+    }
+
+    /// Publishes the per-switch table gauges now (done automatically at
+    /// the end of every [`Network::run_until`]; harnesses driving
+    /// [`Network::step`] directly call this before rendering a report).
+    pub fn flush_gauges(&self) {
+        self.publish_table_gauges();
     }
 
     fn fresh_xid(&mut self) -> Xid {
@@ -957,6 +1007,87 @@ mod tests {
         };
         net.run_until(SimTime::from_secs(3), &mut ctrl);
         assert_eq!(ctrl.replies, 3); // one per tick
+    }
+
+    #[test]
+    fn link_down_blackholes_and_restore_recovers() {
+        let (mut net, mut ctrl, ft) = two_host_net();
+        net.inject_flows([FlowSpec::new(
+            ft,
+            SimTime::ZERO,
+            SimDuration::from_secs(20),
+            8_000_000,
+        )]);
+        net.run_until(SimTime::from_secs(5), &mut ctrl);
+        let delivered_up = net.delivered_bytes();
+        assert!(delivered_up > 0);
+        // Take the s1-s2 link down: traffic blackholes.
+        assert_eq!(net.set_link_state(Dpid::new(1), Dpid::new(2), 0.0), 2);
+        net.run_until(SimTime::from_secs(10), &mut ctrl);
+        let delivered_down = net.delivered_bytes();
+        assert_eq!(delivered_down, delivered_up, "link was down");
+        assert!(net.counters().dropped_bytes > 0);
+        // Restore: traffic flows again.
+        assert_eq!(net.set_link_state(Dpid::new(1), Dpid::new(2), 1.0), 2);
+        net.run_until(SimTime::from_secs(15), &mut ctrl);
+        assert!(net.delivered_bytes() > delivered_down, "no recovery");
+    }
+
+    #[test]
+    fn set_link_state_on_unknown_pair_is_harmless() {
+        let (mut net, _, _) = two_host_net();
+        assert_eq!(net.set_link_state(Dpid::new(7), Dpid::new(9), 0.0), 0);
+    }
+
+    #[test]
+    fn reboot_switch_clears_flows_and_port_counters() {
+        let (mut net, mut ctrl, ft) = two_host_net();
+        net.inject_flows([FlowSpec::new(
+            ft,
+            SimTime::ZERO,
+            SimDuration::from_secs(20),
+            8_000_000,
+        )]);
+        net.run_until(SimTime::from_secs(5), &mut ctrl);
+        assert!(net.switch(Dpid::new(2)).unwrap().flow_count() > 0);
+        let lost = net.reboot_switch(Dpid::new(2));
+        assert!(lost > 0);
+        let sw = net.switch(Dpid::new(2)).unwrap();
+        assert_eq!(sw.flow_count(), 0);
+        let athena_openflow::StatsReply::Port(ports) = sw.stats(
+            &athena_openflow::StatsRequest::Port {
+                port_no: PortNo::ANY,
+            },
+            net.now(),
+        ) else {
+            panic!("expected port stats");
+        };
+        assert!(ports.iter().all(|p| p.rx_bytes == 0 && p.tx_bytes == 0));
+        assert_eq!(net.reboot_switch(Dpid::new(99)), 0);
+        // The flow re-punts and keeps delivering after the reboot.
+        let before = net.delivered_bytes();
+        net.run_until(SimTime::from_secs(10), &mut ctrl);
+        assert!(net.delivered_bytes() > before);
+    }
+
+    #[test]
+    fn step_matches_run_until() {
+        let (mut a, mut ctrl_a, ft) = two_host_net();
+        let (mut b, mut ctrl_b, _) = two_host_net();
+        let flows = [FlowSpec::new(
+            ft,
+            SimTime::ZERO,
+            SimDuration::from_secs(5),
+            8_000_000,
+        )];
+        a.inject_flows(flows);
+        b.inject_flows(flows);
+        a.run_until(SimTime::from_secs(8), &mut ctrl_a);
+        for _ in 0..8 {
+            b.step(&mut ctrl_b);
+        }
+        assert_eq!(a.counters(), b.counters());
+        assert_eq!(a.now(), b.now());
     }
 
     #[test]

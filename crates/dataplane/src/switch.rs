@@ -178,6 +178,22 @@ impl SimSwitch {
     pub fn clear_flows(&mut self, now: SimTime) -> Vec<FlowRemoved> {
         self.apply_flow_mod(&FlowMod::delete(MatchFields::new()), now)
     }
+
+    /// Simulates a full reboot: all flow state and all port counters are
+    /// lost, exactly as on a real power-cycled switch. No `FLOW_REMOVED`
+    /// notifications are generated — the state is simply gone. Returns
+    /// the number of flow entries that were lost.
+    pub fn reboot(&mut self, now: SimTime) -> usize {
+        let lost = self.table.len();
+        let _ = self.clear_flows(now);
+        for (port_no, entry) in self.ports.iter_mut() {
+            *entry = PortStatsEntry {
+                port_no: *port_no,
+                ..PortStatsEntry::default()
+            };
+        }
+        lost
+    }
 }
 
 #[cfg(test)]

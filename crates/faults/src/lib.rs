@@ -1,0 +1,54 @@
+//! Deterministic, seeded fault injection for the Athena reproduction.
+//!
+//! Athena's claim (DSN 2017) is anomaly detection that keeps working on a
+//! *distributed* substrate — an ONOS controller cluster, a replicated
+//! store, distributed compute. That claim is only testable if failures
+//! are scripted and reproducible, not injected by hand. This crate
+//! provides:
+//!
+//! - [`FaultPlan`] / [`FaultKind`] — a sorted, virtual-time schedule of
+//!   fault events: link flap/degrade, switch reboot, controller-instance
+//!   crash/rejoin, store-replica outage/partition, and southbound
+//!   message drop/delay/duplication ([`plan`] module),
+//! - [`Scenario`] — the canonical chaos-matrix scenarios, each expanding
+//!   to a plan as a pure function of `(topology, seed)`,
+//! - [`FaultInjector`] — applies due events between dataplane ticks
+//!   ([`run_with_faults`] is the drive loop), surfacing `faults/*`
+//!   telemetry counters ([`injector`] module),
+//! - [`ChaosChannel`] — a [`athena_dataplane::ControllerLink`] wrapper
+//!   that drops/delays/duplicates southbound messages under a seeded
+//!   profile ([`chaos`] module), and the [`FaultTarget`] trait the
+//!   injector uses to reach controller-crash and message-fault knobs.
+//!
+//! Everything runs on virtual time with explicit seeds: the same
+//! topology, workload, and plan seed reproduce the same run byte for
+//! byte (asserted by the chaos determinism e2e test).
+//!
+//! # Examples
+//!
+//! ```
+//! use athena_controller::ControllerCluster;
+//! use athena_dataplane::{workload, Network, Topology};
+//! use athena_faults::{run_with_faults, ChaosChannel, FaultInjector, Scenario};
+//! use athena_types::{SimDuration, SimTime};
+//!
+//! let topo = Topology::enterprise();
+//! let mut net = Network::new(topo.clone());
+//! let mut ctrl = ChaosChannel::new(ControllerCluster::new(&topo), 42);
+//! net.inject_flows(workload::benign_mix_on(&topo, 30, SimDuration::from_secs(10), 42));
+//! let plan = Scenario::LinkFlap.plan(&topo, 0, 42, SimTime::from_secs(4), SimTime::from_secs(8));
+//! let mut injector = FaultInjector::new(plan);
+//! run_with_faults(&mut net, SimTime::from_secs(12), &mut ctrl, &mut injector);
+//! assert!(injector.finished());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+pub mod chaos;
+pub mod injector;
+pub mod plan;
+
+pub use chaos::{ChaosChannel, FaultTarget, MessageFaultCounters};
+pub use injector::{run_with_faults, FaultCounters, FaultInjector};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, MessageFaultProfile, Scenario};

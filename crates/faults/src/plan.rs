@@ -1,0 +1,454 @@
+//! Fault plans: seeded, virtual-time schedules of fault events.
+//!
+//! A [`FaultPlan`] is a sorted list of [`FaultEvent`]s. Everything about a
+//! plan — which link flaps, which controller instance dies, when the store
+//! partition heals — is a pure function of the topology, the scenario, and
+//! the seed, so a run under a plan is reproducible bit-for-bit.
+
+use athena_dataplane::Topology;
+use athena_types::{ControllerId, Dpid, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Southbound message-fault probabilities, applied by
+/// [`crate::ChaosChannel`] to every switch→controller message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageFaultProfile {
+    /// Probability a message is silently dropped.
+    pub drop_p: f64,
+    /// Probability a delivered message is processed twice.
+    pub dup_p: f64,
+    /// Probability a message is held back by [`MessageFaultProfile::delay`].
+    pub delay_p: f64,
+    /// How long delayed messages are held.
+    pub delay: SimDuration,
+}
+
+impl Default for MessageFaultProfile {
+    fn default() -> Self {
+        MessageFaultProfile {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_p: 0.0,
+            delay: SimDuration::ZERO,
+        }
+    }
+}
+
+impl MessageFaultProfile {
+    /// The healthy profile: no message faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Drops each message with probability `p`.
+    pub fn drops(p: f64) -> Self {
+        MessageFaultProfile {
+            drop_p: p,
+            ..Self::default()
+        }
+    }
+
+    /// Duplicates each message with probability `p`.
+    pub fn duplicates(p: f64) -> Self {
+        MessageFaultProfile {
+            dup_p: p,
+            ..Self::default()
+        }
+    }
+
+    /// Delays each message by `delay` with probability `p`.
+    pub fn delays(p: f64, delay: SimDuration) -> Self {
+        MessageFaultProfile {
+            delay_p: p,
+            delay,
+            ..Self::default()
+        }
+    }
+
+    /// `true` if the profile injects nothing.
+    pub fn is_none(&self) -> bool {
+        self.drop_p <= 0.0 && self.dup_p <= 0.0 && self.delay_p <= 0.0
+    }
+}
+
+/// One kind of fault the injector can apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Both directions of the `a`↔`b` link go down (capacity factor 0).
+    LinkDown {
+        /// One endpoint switch.
+        a: Dpid,
+        /// The other endpoint switch.
+        b: Dpid,
+    },
+    /// Both directions of the `a`↔`b` link degrade to `factor` capacity.
+    LinkDegrade {
+        /// One endpoint switch.
+        a: Dpid,
+        /// The other endpoint switch.
+        b: Dpid,
+        /// Remaining capacity fraction in `(0, 1)`.
+        factor: f64,
+    },
+    /// The `a`↔`b` link returns to full capacity.
+    LinkRestore {
+        /// One endpoint switch.
+        a: Dpid,
+        /// The other endpoint switch.
+        b: Dpid,
+    },
+    /// A switch power-cycles: flow table and port counters wiped.
+    SwitchReboot {
+        /// The rebooting switch.
+        dpid: Dpid,
+    },
+    /// A controller instance crashes; its switches re-elect masters.
+    ControllerCrash {
+        /// The crashing instance.
+        instance: ControllerId,
+    },
+    /// A crashed controller instance rejoins and reclaims its switches.
+    ControllerRejoin {
+        /// The rejoining instance.
+        instance: ControllerId,
+    },
+    /// A store replica goes down (writes hand off, reads degrade).
+    StoreNodeDown {
+        /// Index of the node.
+        node: usize,
+    },
+    /// A downed store replica comes back.
+    StoreNodeUp {
+        /// Index of the node.
+        node: usize,
+    },
+    /// Replaces the active southbound message-fault profile
+    /// (`MessageFaultProfile::none()` clears it).
+    MessageFaults {
+        /// The profile to apply from this event on.
+        profile: MessageFaultProfile,
+    },
+}
+
+/// A fault scheduled at a virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault applies (takes effect on the first tick at or after
+    /// this time).
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A seeded, sorted schedule of fault events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (the seed also drives the chaos
+    /// channel's message-fault draws).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Adds an event, keeping the schedule sorted by time (ties keep
+    /// insertion order, so plans are deterministic).
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The canonical fault scenarios the chaos matrix runs — one per fault
+/// class the paper's distributed substrate must absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// A core link goes down mid-run and comes back (flap).
+    LinkFlap,
+    /// A core link degrades to a quarter of its capacity, then recovers.
+    LinkDegrade,
+    /// A switch reboots, losing all flow state and counters.
+    SwitchReboot,
+    /// A controller instance crashes and later rejoins.
+    ControllerCrash,
+    /// One store replica goes down and later recovers.
+    StoreOutage,
+    /// A minority of store replicas drop out simultaneously (partition),
+    /// then heal.
+    StorePartition,
+    /// Southbound messages are dropped with probability 0.3.
+    MessageDrop,
+    /// Southbound messages are delayed two ticks with probability 0.5.
+    MessageDelay,
+    /// Southbound messages are duplicated with probability 0.5.
+    MessageDuplicate,
+}
+
+impl Scenario {
+    /// Every scenario, in a fixed order.
+    pub fn all() -> &'static [Scenario] {
+        &[
+            Scenario::LinkFlap,
+            Scenario::LinkDegrade,
+            Scenario::SwitchReboot,
+            Scenario::ControllerCrash,
+            Scenario::StoreOutage,
+            Scenario::StorePartition,
+            Scenario::MessageDrop,
+            Scenario::MessageDelay,
+            Scenario::MessageDuplicate,
+        ]
+    }
+
+    /// A stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::LinkFlap => "link_flap",
+            Scenario::LinkDegrade => "link_degrade",
+            Scenario::SwitchReboot => "switch_reboot",
+            Scenario::ControllerCrash => "controller_crash",
+            Scenario::StoreOutage => "store_outage",
+            Scenario::StorePartition => "store_partition",
+            Scenario::MessageDrop => "message_drop",
+            Scenario::MessageDelay => "message_delay",
+            Scenario::MessageDuplicate => "message_duplicate",
+        }
+    }
+
+    /// Builds this scenario's plan for a topology: the fault strikes at
+    /// `inject_at` and heals at `recover_at` (instantaneous faults like a
+    /// reboot only use `inject_at`). Target selection — which link,
+    /// switch, instance, or store node — is drawn from `seed`, so the
+    /// same `(topology, scenario, seed)` always yields the same plan.
+    ///
+    /// `store_nodes` is the node count of the store cluster the injector
+    /// will drive (0 is fine for store scenarios — they become empty
+    /// plans, so pass the real count when running them).
+    pub fn plan(
+        self,
+        topo: &Topology,
+        store_nodes: usize,
+        seed: u64,
+        inject_at: SimTime,
+        recover_at: SimTime,
+    ) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_0000 ^ self as u64);
+        let plan = FaultPlan::new(seed);
+        match self {
+            Scenario::LinkFlap => {
+                let (a, b) = pick_link(topo, &mut rng);
+                plan.at(inject_at, FaultKind::LinkDown { a, b })
+                    .at(recover_at, FaultKind::LinkRestore { a, b })
+            }
+            Scenario::LinkDegrade => {
+                let (a, b) = pick_link(topo, &mut rng);
+                plan.at(inject_at, FaultKind::LinkDegrade { a, b, factor: 0.25 })
+                    .at(recover_at, FaultKind::LinkRestore { a, b })
+            }
+            Scenario::SwitchReboot => {
+                let dpid = pick_switch(topo, &mut rng);
+                plan.at(inject_at, FaultKind::SwitchReboot { dpid })
+            }
+            Scenario::ControllerCrash => {
+                let instance = pick_instance(topo, &mut rng);
+                plan.at(inject_at, FaultKind::ControllerCrash { instance })
+                    .at(recover_at, FaultKind::ControllerRejoin { instance })
+            }
+            Scenario::StoreOutage => {
+                if store_nodes == 0 {
+                    return plan;
+                }
+                let node = rng.random_range(0..store_nodes);
+                plan.at(inject_at, FaultKind::StoreNodeDown { node })
+                    .at(recover_at, FaultKind::StoreNodeUp { node })
+            }
+            Scenario::StorePartition => {
+                if store_nodes == 0 {
+                    return plan;
+                }
+                // A strict minority drops out so quorum writes survive.
+                let k = ((store_nodes.saturating_sub(1)) / 2).max(1);
+                let first = rng.random_range(0..store_nodes);
+                let mut plan = plan;
+                for i in 0..k {
+                    let node = (first + i) % store_nodes;
+                    plan = plan
+                        .at(inject_at, FaultKind::StoreNodeDown { node })
+                        .at(recover_at, FaultKind::StoreNodeUp { node });
+                }
+                plan
+            }
+            Scenario::MessageDrop => {
+                profile_window(plan, MessageFaultProfile::drops(0.3), inject_at, recover_at)
+            }
+            Scenario::MessageDelay => profile_window(
+                plan,
+                MessageFaultProfile::delays(0.5, SimDuration::from_secs(2)),
+                inject_at,
+                recover_at,
+            ),
+            Scenario::MessageDuplicate => profile_window(
+                plan,
+                MessageFaultProfile::duplicates(0.5),
+                inject_at,
+                recover_at,
+            ),
+        }
+    }
+}
+
+fn profile_window(
+    plan: FaultPlan,
+    profile: MessageFaultProfile,
+    inject_at: SimTime,
+    recover_at: SimTime,
+) -> FaultPlan {
+    plan.at(inject_at, FaultKind::MessageFaults { profile }).at(
+        recover_at,
+        FaultKind::MessageFaults {
+            profile: MessageFaultProfile::none(),
+        },
+    )
+}
+
+/// Picks an inter-switch link, deterministically from the rng.
+fn pick_link(topo: &Topology, rng: &mut StdRng) -> (Dpid, Dpid) {
+    let mut pairs: Vec<(Dpid, Dpid)> = topo.links.iter().map(|l| (l.a.0, l.b.0)).collect();
+    pairs.sort_by_key(|(a, b)| (a.raw(), b.raw()));
+    pairs.dedup();
+    if pairs.is_empty() {
+        return (Dpid::new(0), Dpid::new(0));
+    }
+    pairs[rng.random_range(0..pairs.len())]
+}
+
+/// Picks a switch, deterministically from the rng.
+fn pick_switch(topo: &Topology, rng: &mut StdRng) -> Dpid {
+    let mut dpids: Vec<Dpid> = topo.switches.iter().map(|s| s.dpid).collect();
+    dpids.sort();
+    if dpids.is_empty() {
+        return Dpid::new(0);
+    }
+    dpids[rng.random_range(0..dpids.len())]
+}
+
+/// Picks a controller instance, deterministically from the rng.
+fn pick_instance(topo: &Topology, rng: &mut StdRng) -> ControllerId {
+    let mut ids: Vec<ControllerId> = topo.switches.iter().map(|s| s.controller).collect();
+    ids.sort();
+    ids.dedup();
+    if ids.is_empty() {
+        return ControllerId::new(0);
+    }
+    ids[rng.random_range(0..ids.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_sorted_and_deterministic() {
+        let topo = Topology::enterprise();
+        for &s in Scenario::all() {
+            let a = s.plan(&topo, 3, 42, SimTime::from_secs(10), SimTime::from_secs(20));
+            let b = s.plan(&topo, 3, 42, SimTime::from_secs(10), SimTime::from_secs(20));
+            assert_eq!(a, b, "{} not deterministic", s.name());
+            assert!(
+                a.events().windows(2).all(|w| w[0].at <= w[1].at),
+                "{} not sorted",
+                s.name()
+            );
+            assert!(!a.is_empty(), "{} plans nothing", s.name());
+        }
+    }
+
+    #[test]
+    fn seeds_change_targets() {
+        let topo = Topology::enterprise();
+        let plans: Vec<FaultPlan> = (0..8)
+            .map(|seed| {
+                Scenario::SwitchReboot.plan(
+                    &topo,
+                    3,
+                    seed,
+                    SimTime::from_secs(10),
+                    SimTime::from_secs(20),
+                )
+            })
+            .collect();
+        let distinct = plans
+            .iter()
+            .map(|p| format!("{:?}", p.events()))
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert!(distinct > 1, "seed does not influence target choice");
+    }
+
+    #[test]
+    fn partition_downs_a_strict_minority() {
+        let topo = Topology::enterprise();
+        let plan = Scenario::StorePartition.plan(
+            &topo,
+            5,
+            7,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        let downs = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::StoreNodeDown { .. }))
+            .count();
+        assert_eq!(downs, 2);
+        let ups = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::StoreNodeUp { .. }))
+            .count();
+        assert_eq!(ups, downs);
+    }
+
+    #[test]
+    fn builder_sorts_out_of_order_events() {
+        let plan = FaultPlan::new(1)
+            .at(
+                SimTime::from_secs(9),
+                FaultKind::SwitchReboot { dpid: Dpid::new(1) },
+            )
+            .at(
+                SimTime::from_secs(3),
+                FaultKind::SwitchReboot { dpid: Dpid::new(2) },
+            );
+        assert_eq!(plan.events()[0].at, SimTime::from_secs(3));
+        assert_eq!(plan.len(), 2);
+    }
+}

@@ -2,10 +2,14 @@
 //! flow-table invariants under arbitrary operation sequences.
 
 use athena_openflow::{
-    decode_message, encode_message, Action, FlowMod, FlowTable, MatchFields, OfMessage, OfVersion,
-    PacketHeader,
+    decode_message, encode_message, Action, AggregateStats, FeaturesReply, FlowMod, FlowRemoved,
+    FlowRemovedReason, FlowStatsEntry, FlowTable, MatchFields, OfMessage, OfVersion, PacketHeader,
+    PacketOut, PortStatsEntry, PortStatus, PortStatusReason, StatsReply, StatsRequest,
+    TableStatsEntry,
 };
-use athena_types::{EtherType, IpProto, Ipv4Addr, MacAddr, PortNo, SimDuration, SimTime, Xid};
+use athena_types::{
+    Dpid, EtherType, IpProto, Ipv4Addr, MacAddr, PortNo, SimDuration, SimTime, Xid,
+};
 use proptest::prelude::*;
 
 fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
@@ -114,22 +118,212 @@ fn arb_flow_mod() -> impl Strategy<Value = FlowMod> {
         })
 }
 
+// `None` encodes as the OFP_NO_BUFFER sentinel, so a present buffer id
+// must stay below it to survive the round trip.
+fn arb_buffer_id() -> impl Strategy<Value = Option<u32>> {
+    proptest::option::of(0u32..0xffff_fffe)
+}
+
+fn arb_echo_data() -> impl Strategy<Value = athena_openflow::EchoData> {
+    proptest::collection::vec(any::<u8>(), 0..64).prop_map(athena_openflow::EchoData)
+}
+
+fn arb_features_reply() -> impl Strategy<Value = FeaturesReply> {
+    (
+        any::<u64>(),
+        any::<u8>(),
+        proptest::collection::vec(any::<u32>().prop_map(PortNo::new), 0..8),
+    )
+        .prop_map(|(dpid, n_tables, ports)| FeaturesReply {
+            dpid: Dpid::new(dpid),
+            n_tables,
+            ports,
+        })
+}
+
+fn arb_flow_removed() -> impl Strategy<Value = FlowRemoved> {
+    (
+        arb_match(),
+        any::<u64>(),
+        any::<u16>(),
+        prop_oneof![
+            Just(FlowRemovedReason::IdleTimeout),
+            Just(FlowRemovedReason::HardTimeout),
+            Just(FlowRemovedReason::Delete),
+        ],
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(match_fields, cookie, priority, reason, micros, pkts, bytes)| FlowRemoved {
+                match_fields,
+                cookie,
+                priority,
+                reason,
+                duration: SimDuration::from_micros(micros),
+                packet_count: pkts,
+                byte_count: bytes,
+            },
+        )
+}
+
+fn arb_port_status() -> impl Strategy<Value = PortStatus> {
+    (
+        prop_oneof![
+            Just(PortStatusReason::Add),
+            Just(PortStatusReason::Delete),
+            Just(PortStatusReason::Modify),
+        ],
+        any::<u32>(),
+        any::<bool>(),
+    )
+        .prop_map(|(reason, port, link_up)| PortStatus {
+            reason,
+            port_no: PortNo::new(port),
+            link_up,
+        })
+}
+
+fn arb_stats_request() -> impl Strategy<Value = StatsRequest> {
+    prop_oneof![
+        arb_match().prop_map(|filter| StatsRequest::Flow { filter }),
+        arb_match().prop_map(|filter| StatsRequest::Aggregate { filter }),
+        any::<u32>().prop_map(|p| StatsRequest::Port {
+            port_no: PortNo::new(p)
+        }),
+        Just(StatsRequest::Table),
+    ]
+}
+
+fn arb_flow_stats_entry() -> impl Strategy<Value = FlowStatsEntry> {
+    (
+        (
+            any::<u8>(),
+            arb_match(),
+            any::<u16>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(arb_action(), 0..3),
+        ),
+    )
+        .prop_map(
+            |(
+                (table_id, match_fields, priority, duration, idle, hard),
+                (cookie, packet_count, byte_count, actions),
+            )| FlowStatsEntry {
+                table_id,
+                match_fields,
+                priority,
+                duration: SimDuration::from_micros(duration),
+                idle_timeout: SimDuration::from_micros(idle),
+                hard_timeout: SimDuration::from_micros(hard),
+                cookie,
+                packet_count,
+                byte_count,
+                actions,
+            },
+        )
+}
+
+fn arb_port_stats_entry() -> impl Strategy<Value = PortStatsEntry> {
+    (
+        any::<u32>(),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(port, (rxp, txp, rxb, txb), (rxd, txd, rxe, txe))| PortStatsEntry {
+                port_no: PortNo::new(port),
+                rx_packets: rxp,
+                tx_packets: txp,
+                rx_bytes: rxb,
+                tx_bytes: txb,
+                rx_dropped: rxd,
+                tx_dropped: txd,
+                rx_errors: rxe,
+                tx_errors: txe,
+            },
+        )
+}
+
+fn arb_table_stats_entry() -> impl Strategy<Value = TableStatsEntry> {
+    (any::<u8>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+        |(table_id, active, lookups, matched)| TableStatsEntry {
+            table_id,
+            active_count: active,
+            lookup_count: lookups,
+            matched_count: matched,
+        },
+    )
+}
+
+fn arb_stats_reply() -> impl Strategy<Value = StatsReply> {
+    prop_oneof![
+        proptest::collection::vec(arb_flow_stats_entry(), 0..4).prop_map(StatsReply::Flow),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(p, b, f)| {
+            StatsReply::Aggregate(AggregateStats {
+                packet_count: p,
+                byte_count: b,
+                flow_count: f,
+            })
+        }),
+        proptest::collection::vec(arb_port_stats_entry(), 0..6).prop_map(StatsReply::Port),
+        proptest::collection::vec(arb_table_stats_entry(), 0..6).prop_map(StatsReply::Table),
+    ]
+}
+
+/// Every [`OfMessage`] variant — the round-trip property quantifies over
+/// the complete message surface, not a convenient subset.
 fn arb_message() -> impl Strategy<Value = OfMessage> {
     let xid = any::<u32>().prop_map(Xid::new);
     prop_oneof![
         (xid.clone(), any::<u8>()).prop_map(|(xid, v)| OfMessage::Hello { xid, version: v }),
+        (xid.clone(), arb_echo_data()).prop_map(|(xid, data)| OfMessage::EchoRequest { xid, data }),
+        (xid.clone(), arb_echo_data()).prop_map(|(xid, data)| OfMessage::EchoReply { xid, data }),
         xid.clone()
             .prop_map(|xid| OfMessage::FeaturesRequest { xid }),
+        (xid.clone(), arb_features_reply())
+            .prop_map(|(xid, body)| OfMessage::FeaturesReply { xid, body }),
+        (xid.clone(), arb_buffer_id(), arb_header()).prop_map(|(xid, buffer_id, h)| {
+            let OfMessage::PacketIn { mut body, .. } = OfMessage::packet_in(xid, h) else {
+                unreachable!()
+            };
+            body.buffer_id = buffer_id;
+            OfMessage::PacketIn { xid, body }
+        }),
+        (
+            xid.clone(),
+            arb_buffer_id(),
+            arb_header(),
+            proptest::collection::vec(arb_action(), 0..4)
+        )
+            .prop_map(|(xid, buffer_id, header, actions)| OfMessage::PacketOut {
+                xid,
+                body: PacketOut {
+                    buffer_id,
+                    header,
+                    actions,
+                },
+            }),
+        (xid.clone(), arb_flow_mod()).prop_map(|(xid, body)| OfMessage::FlowMod { xid, body }),
+        (xid.clone(), arb_flow_removed())
+            .prop_map(|(xid, body)| OfMessage::FlowRemoved { xid, body }),
+        (xid.clone(), arb_port_status())
+            .prop_map(|(xid, body)| OfMessage::PortStatus { xid, body }),
+        (xid.clone(), arb_stats_request())
+            .prop_map(|(xid, body)| OfMessage::StatsRequest { xid, body }),
+        (xid.clone(), arb_stats_reply())
+            .prop_map(|(xid, body)| OfMessage::StatsReply { xid, body }),
         xid.clone()
             .prop_map(|xid| OfMessage::BarrierRequest { xid }),
-        (xid.clone(), arb_header()).prop_map(|(xid, h)| OfMessage::packet_in(xid, h)),
-        (xid.clone(), arb_flow_mod()).prop_map(|(xid, body)| OfMessage::FlowMod { xid, body }),
-        (xid, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(xid, data)| {
-            OfMessage::EchoRequest {
-                xid,
-                data: athena_openflow::EchoData(data),
-            }
-        }),
+        xid.prop_map(|xid| OfMessage::BarrierReply { xid }),
     ]
 }
 
@@ -148,6 +342,41 @@ proptest! {
         let (back, v) = decode_message(&wire).unwrap();
         prop_assert_eq!(back, msg);
         prop_assert_eq!(v, OfVersion::V1_3);
+    }
+
+    /// Decoding must never panic, whatever the bytes — arbitrary garbage
+    /// returns `Ok` or `Err`, nothing else.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&bytes);
+    }
+
+    /// Truncating a valid encoding at any point must yield a clean decode
+    /// result (usually an error), never a panic or an out-of-bounds read.
+    #[test]
+    fn decode_never_panics_on_truncation(msg in arb_message(), cut in any::<usize>()) {
+        for version in [OfVersion::V1_0, OfVersion::V1_3] {
+            let wire = encode_message(&msg, version);
+            let cut = cut % (wire.len() + 1);
+            let _ = decode_message(&wire[..cut]);
+        }
+    }
+
+    /// Corrupting any single byte of a valid encoding must yield a clean
+    /// decode result; if it still decodes, the result is a valid message
+    /// (we only require no panic).
+    #[test]
+    fn decode_never_panics_on_mutation(
+        msg in arb_message(),
+        pos in any::<usize>(),
+        val in any::<u8>(),
+    ) {
+        for version in [OfVersion::V1_0, OfVersion::V1_3] {
+            let mut wire = encode_message(&msg, version).to_vec();
+            let pos = pos % wire.len();
+            wire[pos] = val;
+            let _ = decode_message(&wire);
+        }
     }
 
     #[test]

@@ -13,21 +13,38 @@ use crate::query::{Aggregation, FindOptions};
 use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{AthenaError, Result};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A single store node: the shards it hosts plus its write journal.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StoreNode {
     collections: RwLock<HashMap<String, RwLock<Collection>>>,
     journal_bytes: AtomicU64,
     journal_records: AtomicU64,
+    up: AtomicBool,
+}
+
+impl Default for StoreNode {
+    fn default() -> Self {
+        StoreNode {
+            collections: RwLock::new(HashMap::new()),
+            journal_bytes: AtomicU64::new(0),
+            journal_records: AtomicU64::new(0),
+            up: AtomicBool::new(true),
+        }
+    }
 }
 
 impl StoreNode {
     fn new() -> Self {
         StoreNode::default()
+    }
+
+    /// `true` unless the node is faulted down.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
     }
 
     fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
@@ -81,6 +98,12 @@ pub struct ClusterMetrics {
     pub aggregations: u64,
     /// Documents deleted.
     pub deletes: u64,
+    /// Writes redirected off a down replica onto the next ring node.
+    pub write_handoffs: u64,
+    /// Inserts rejected for lack of a write quorum.
+    pub quorum_failures: u64,
+    /// Read operations served while at least one node was down.
+    pub degraded_reads: u64,
 }
 
 #[derive(Debug, Default)]
@@ -90,6 +113,9 @@ struct MetricsInner {
     finds: AtomicU64,
     aggregations: AtomicU64,
     deletes: AtomicU64,
+    write_handoffs: AtomicU64,
+    quorum_failures: AtomicU64,
+    degraded_reads: AtomicU64,
 }
 
 /// The cluster's telemetry instruments (detached until
@@ -101,6 +127,9 @@ struct StoreTelemetry {
     aggregate_ns: Histogram,
     replica_writes: Counter,
     deletes: Counter,
+    write_handoffs: Counter,
+    quorum_failures: Counter,
+    degraded_reads: Counter,
 }
 
 /// A distributed document store: N nodes, hash sharding, replication.
@@ -158,6 +187,9 @@ impl StoreCluster {
             aggregate_ns: m.histogram("store", "aggregate_ns"),
             replica_writes: m.counter("store", "replica_writes"),
             deletes: m.counter("store", "deletes"),
+            write_handoffs: m.counter("retry", "store_write_handoffs"),
+            quorum_failures: m.counter("retry", "store_quorum_failures"),
+            degraded_reads: m.counter("retry", "store_degraded_reads"),
         };
     }
 
@@ -188,7 +220,37 @@ impl StoreCluster {
             finds: self.metrics.finds.load(Ordering::Relaxed),
             aggregations: self.metrics.aggregations.load(Ordering::Relaxed),
             deletes: self.metrics.deletes.load(Ordering::Relaxed),
+            write_handoffs: self.metrics.write_handoffs.load(Ordering::Relaxed),
+            quorum_failures: self.metrics.quorum_failures.load(Ordering::Relaxed),
+            degraded_reads: self.metrics.degraded_reads.load(Ordering::Relaxed),
         }
+    }
+
+    /// Takes a node down (`up = false`) or brings it back (`up = true`).
+    ///
+    /// A down node serves no reads and accepts no writes; writes destined
+    /// for it are handed off to the next live ring node, and reads fall
+    /// back to replica copies. Out of range indices are ignored.
+    pub fn set_node_up(&self, i: usize, up: bool) {
+        if let Some(node) = self.nodes.get(i) {
+            node.up.store(up, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` if node `i` exists and is up.
+    pub fn node_is_up(&self, i: usize) -> bool {
+        self.nodes.get(i).is_some_and(StoreNode::is_up)
+    }
+
+    /// Number of nodes currently down.
+    pub fn down_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_up()).count()
+    }
+
+    /// The minimum number of replica writes for an insert to succeed
+    /// (majority of the replication factor).
+    pub fn write_quorum(&self) -> usize {
+        self.replication / 2 + 1
     }
 
     /// Total journal bytes across all nodes.
@@ -214,6 +276,41 @@ impl StoreCluster {
         let primary = self.primary_for(id);
         (0..self.replication).map(move |k| (primary + k) % self.nodes.len())
     }
+
+    /// The node indices an insert of `id` writes to: the preferred
+    /// replica set, with each down member handed off to the next live
+    /// ring node not already holding a copy (consistent-hashing-style
+    /// hinted handoff). Returns `(targets, handoff_count)`.
+    fn write_targets(&self, id: DocId) -> (Vec<usize>, u64) {
+        let n = self.nodes.len();
+        let preferred: Vec<usize> = self.replicas_for(id).collect();
+        let mut targets: Vec<usize> = Vec::with_capacity(preferred.len());
+        let mut handoffs = 0u64;
+        // The handoff cursor starts just past the preferred set and keeps
+        // advancing, so two down replicas get two distinct stand-ins.
+        let mut cursor = (self.primary_for(id) + self.replication) % n;
+        for &idx in &preferred {
+            if self.nodes[idx].is_up() {
+                targets.push(idx);
+                continue;
+            }
+            let mut steps = 0;
+            while steps < n {
+                let cand = cursor;
+                cursor = (cursor + 1) % n;
+                steps += 1;
+                if self.nodes[cand].is_up()
+                    && !preferred.contains(&cand)
+                    && !targets.contains(&cand)
+                {
+                    targets.push(cand);
+                    handoffs += 1;
+                    break;
+                }
+            }
+        }
+        (targets, handoffs)
+    }
 }
 
 /// A handle to one logical (cluster-wide) collection.
@@ -231,12 +328,17 @@ impl CollectionHandle {
 
     /// Inserts a document, assigning it a cluster-unique id.
     ///
-    /// The write is journaled and applied on the primary and every replica.
+    /// The write is journaled and applied on the primary and every
+    /// replica. When a preferred replica is down, the write is handed
+    /// off to the next live ring node; the insert succeeds as long as a
+    /// majority of the replication factor ([`StoreCluster::write_quorum`])
+    /// is written.
     ///
     /// # Errors
     ///
     /// Returns [`AthenaError::Store`] if the cluster has no nodes (cannot
-    /// happen via [`StoreCluster::new`]).
+    /// happen via [`StoreCluster::new`]) or too few nodes are up to reach
+    /// the write quorum.
     pub fn insert(&self, doc: Document) -> Result<DocId> {
         if self.cluster.nodes.is_empty() {
             return Err(AthenaError::Store("no store nodes".into()));
@@ -245,13 +347,38 @@ impl CollectionHandle {
         // path below takes the index-request and collection locks, and
         // lock-discipline (rightly) refuses nested acquisition under
         // `tel`.
-        let (insert_ns, replica_writes) = {
+        let (insert_ns, replica_writes, write_handoffs, quorum_failures) = {
             let tel = self.cluster.tel.read();
-            (tel.insert_ns.clone(), tel.replica_writes.clone())
+            (
+                tel.insert_ns.clone(),
+                tel.replica_writes.clone(),
+                tel.write_handoffs.clone(),
+                tel.quorum_failures.clone(),
+            )
         };
         let timer = insert_ns.start_timer();
         let id = DocId(self.cluster.next_id.fetch_add(1, Ordering::Relaxed));
+        let (targets, handoffs) = self.cluster.write_targets(id);
+        if targets.len() < self.cluster.write_quorum() {
+            self.cluster
+                .metrics
+                .quorum_failures
+                .fetch_add(1, Ordering::Relaxed);
+            quorum_failures.inc();
+            return Err(AthenaError::Store(format!(
+                "write quorum not reached: {} of {} required copies placeable",
+                targets.len(),
+                self.cluster.write_quorum()
+            )));
+        }
         self.cluster.metrics.inserts.fetch_add(1, Ordering::Relaxed);
+        if handoffs > 0 {
+            self.cluster
+                .metrics
+                .write_handoffs
+                .fetch_add(handoffs, Ordering::Relaxed);
+            write_handoffs.add(handoffs);
+        }
         let indexed_fields = self
             .cluster
             .index_requests
@@ -263,7 +390,7 @@ impl CollectionHandle {
         // same bytes (so journaling costs one encode per logical write,
         // as in a real replicated store).
         let encoded_len = doc.encoded_len() as u64;
-        for node_idx in self.cluster.replicas_for(id) {
+        for node_idx in targets {
             let node = &self.cluster.nodes[node_idx];
             node.journal(encoded_len);
             node.with_collection(&self.name, |c| {
@@ -282,13 +409,30 @@ impl CollectionHandle {
         Ok(id)
     }
 
-    /// Inserts many documents.
+    /// Inserts many documents, attempting every document even when some
+    /// fail — a quorum failure on one document no longer aborts the rest
+    /// of the batch.
     ///
     /// # Errors
     ///
-    /// Propagates the first failing insert.
+    /// Returns [`AthenaError::Store`] if any document failed, after all
+    /// documents have been attempted.
     pub fn insert_many(&self, docs: impl IntoIterator<Item = Document>) -> Result<Vec<DocId>> {
-        docs.into_iter().map(|d| self.insert(d)).collect()
+        let mut ids = Vec::new();
+        let mut failed = 0usize;
+        for d in docs {
+            match self.insert(d) {
+                Ok(id) => ids.push(id),
+                Err(_) => failed += 1,
+            }
+        }
+        if failed > 0 {
+            return Err(AthenaError::Store(format!(
+                "{failed} of {} inserts failed (below write quorum)",
+                ids.len() + failed
+            )));
+        }
+        Ok(ids)
     }
 
     /// Registers a secondary index on `field` across all shards.
@@ -366,11 +510,40 @@ impl CollectionHandle {
     }
 
     fn find_primaries(&self, filter: &Filter) -> Vec<Document> {
+        if self.cluster.nodes.iter().all(StoreNode::is_up) {
+            // Healthy path: each shard answers from its primary copy only,
+            // so replicated documents are not duplicated.
+            let mut out = Vec::new();
+            for (node_idx, node) in self.cluster.nodes.iter().enumerate() {
+                let mut hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
+                hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
+                out.append(&mut hits);
+            }
+            return out;
+        }
+        // Degraded path: a down primary's documents are recovered from
+        // replica copies. Every up node is consulted in index order and
+        // duplicates are dropped first-seen — deterministic regardless of
+        // which nodes are down.
+        self.cluster
+            .metrics
+            .degraded_reads
+            .fetch_add(1, Ordering::Relaxed);
+        // `try_read`: callers like `find` hold the tel read lock across
+        // this call; a blocking `read` could deadlock behind a waiting
+        // writer, so a contended bind just skips the increment.
+        if let Some(tel) = self.cluster.tel.try_read() {
+            tel.degraded_reads.inc();
+        }
+        let mut seen: HashSet<DocId> = HashSet::new();
         let mut out = Vec::new();
-        for (node_idx, node) in self.cluster.nodes.iter().enumerate() {
-            let mut hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
-            hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
-            out.append(&mut hits);
+        for node in self.cluster.nodes.iter().filter(|n| n.is_up()) {
+            let hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
+            for d in hits {
+                if seen.insert(d.id) {
+                    out.push(d);
+                }
+            }
         }
         out
     }
@@ -484,6 +657,100 @@ mod tests {
         assert_eq!(cluster.replication(), 2);
         let cluster = StoreCluster::new(3, 0);
         assert_eq!(cluster.replication(), 1);
+    }
+
+    #[test]
+    fn down_replica_hands_writes_off_and_reads_degrade() {
+        let tel = Telemetry::new();
+        let cluster = StoreCluster::new(4, 2);
+        cluster.bind_telemetry(&tel);
+        let coll = cluster.collection("c");
+        cluster.set_node_up(1, false);
+        assert!(!cluster.node_is_up(1));
+        assert_eq!(cluster.down_count(), 1);
+        for i in 0..100i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.inserts, 100);
+        // Every logical write still placed `replication` copies.
+        assert_eq!(m.replica_writes, 200);
+        // Node 1 would have been primary or replica for some shard of 100
+        // docs; those writes were handed off.
+        assert!(m.write_handoffs > 0, "no handoffs recorded");
+        assert_eq!(m.quorum_failures, 0);
+        // The down node received nothing.
+        assert_eq!(cluster.node(1).journal_records(), 0);
+        // Reads see every document despite the outage.
+        assert_eq!(coll.count(&Filter::All), 100);
+        assert!(cluster.metrics().degraded_reads > 0);
+        let t = tel.metrics();
+        assert!(t.counter("retry", "store_write_handoffs").get() > 0);
+        assert!(t.counter("retry", "store_degraded_reads").get() > 0);
+        // Recovery: bring the node back; the healthy read path resumes
+        // and still sees every primary copy (handed-off copies live on
+        // ring stand-ins, which dedup correctly).
+        cluster.set_node_up(1, true);
+        let healthy = coll.count(&Filter::All);
+        assert!(healthy >= 100 - m.write_handoffs as usize);
+    }
+
+    #[test]
+    fn insert_fails_below_quorum_and_insert_many_attempts_all() {
+        let cluster = StoreCluster::new(3, 3);
+        let coll = cluster.collection("c");
+        // quorum = 2 of 3; with two nodes down only one copy is placeable.
+        cluster.set_node_up(0, false);
+        cluster.set_node_up(1, false);
+        let err = coll.insert(doc! { "i" => 1 }).unwrap_err();
+        assert!(err.to_string().contains("quorum"));
+        assert_eq!(cluster.metrics().quorum_failures, 1);
+        assert_eq!(cluster.metrics().inserts, 0);
+        let batch_err = coll
+            .insert_many((0..5i64).map(|i| doc! { "i" => i }))
+            .unwrap_err();
+        assert!(batch_err.to_string().contains("5 of 5"));
+        // One node back: 2 of 3 copies placeable → quorum reached.
+        cluster.set_node_up(0, true);
+        let ids = coll
+            .insert_many((0..5i64).map(|i| doc! { "i" => i }))
+            .unwrap();
+        assert_eq!(ids.len(), 5);
+        assert_eq!(coll.count(&Filter::All), 5);
+    }
+
+    #[test]
+    fn degraded_reads_are_deterministic() {
+        let build = || {
+            let cluster = StoreCluster::new(4, 2);
+            let coll = cluster.collection("c");
+            for i in 0..50i64 {
+                coll.insert(doc! { "i" => i }).unwrap();
+            }
+            cluster.set_node_up(2, false);
+            let mut vals: Vec<i64> = coll.all().iter().filter_map(|d| d.get_i64("i")).collect();
+            vals.sort_unstable();
+            (vals, cluster.metrics())
+        };
+        let (a, ma) = build();
+        let (b, mb) = build();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50, "degraded read lost documents");
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn healthy_cluster_behavior_is_unchanged() {
+        let cluster = StoreCluster::new(5, 3);
+        let coll = cluster.collection("c");
+        for i in 0..10i64 {
+            coll.insert(doc! { "i" => i }).unwrap();
+        }
+        let m = cluster.metrics();
+        assert_eq!(m.write_handoffs, 0);
+        assert_eq!(m.quorum_failures, 0);
+        assert_eq!(m.degraded_reads, 0);
+        assert_eq!(m.replica_writes, 30);
     }
 
     #[test]

@@ -14,8 +14,20 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> athena-lint"
 cargo run -q -p athena-lint --offline
 
-echo "==> cargo test"
-cargo test -q --workspace --offline
+# ATHENA_CHAOS_SMOKE=1 keeps the chaos matrix on the light workload in
+# CI (the full scenario matrix still runs — no scenario is skipped).
+echo "==> cargo test (chaos smoke workload)"
+ATHENA_CHAOS_SMOKE=1 cargo test -q --workspace --offline
+
+echo "==> chaos matrix gate (every scenario x both detectors, < 60 s)"
+chaos_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 cargo test -q --offline --test e2e_failures
+chaos_elapsed=$(( $(date +%s) - chaos_start ))
+echo "    chaos matrix finished in ${chaos_elapsed}s (bound: 60 s)"
+[ "$chaos_elapsed" -lt 60 ]
+
+echo "==> openflow codec property tests (round-trip + decode-never-panics)"
+cargo test -q -p athena-openflow --offline --test proptest_codec
 
 echo "==> telemetry overhead microbench (smoke mode)"
 ATHENA_BENCH_SMOKE=1 cargo bench -q -p athena-telemetry --offline --bench overhead

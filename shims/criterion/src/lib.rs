@@ -76,7 +76,8 @@ impl Criterion {
             }
         }
 
-        let per_sample = self.measurement_time / u32::try_from(self.sample_size).unwrap_or(u32::MAX);
+        let per_sample =
+            self.measurement_time / u32::try_from(self.sample_size).unwrap_or(u32::MAX);
         let iters_per_sample = if per_iter.is_zero() {
             bencher.iters
         } else {

@@ -97,7 +97,9 @@ pub mod option {
 pub mod prelude {
     pub use crate::strategy::{Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::{any, ProptestConfig};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(pat in strategy, …) { body }`

@@ -151,7 +151,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter_map {:?} rejected 1000 candidates in a row", self.whence);
+        panic!(
+            "prop_filter_map {:?} rejected 1000 candidates in a row",
+            self.whence
+        );
     }
 }
 
@@ -321,7 +324,10 @@ impl<T> Union<T> {
     ///
     /// Panics if `options` is empty.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one strategy"
+        );
         Union { options }
     }
 }

@@ -137,10 +137,8 @@ impl Number {
         match *self {
             Number::PosInt(u) => i64::try_from(u).ok(),
             Number::NegInt(i) => Some(i),
-            Number::Float(f) => {
-                (f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64)
-                    .then_some(f as i64)
-            }
+            Number::Float(f) => (f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64)
+                .then_some(f as i64),
         }
     }
 
@@ -166,7 +164,8 @@ impl Number {
 
     /// Whether this is an integer representable as `i64`.
     pub fn is_i64(&self) -> bool {
-        matches!(*self, Number::NegInt(_)) || matches!(*self, Number::PosInt(u) if i64::try_from(u).is_ok())
+        matches!(*self, Number::NegInt(_))
+            || matches!(*self, Number::PosInt(u) if i64::try_from(u).is_ok())
     }
 
     /// Whether this is stored as a float.

@@ -172,7 +172,11 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         skip_type(&tokens, &mut i);
         // Now at a `,` or the end.
@@ -362,9 +366,9 @@ fn gen_deserialize(name: &str, body: &Body) -> String {
              ::std::result::Result::Ok({})",
             named_fields_ctor(name, fields, "__obj")
         ),
-        Body::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Body::TupleStruct(n) => format!(
             "let __arr = __v.as_array().ok_or_else(|| \
              ::serde::Error::custom(concat!(\"expected array for struct \", {name:?})))?;\n\

@@ -238,7 +238,9 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String> {
                 while end < b.len() && (b[end] & 0xc0) == 0x80 {
                     end += 1;
                 }
-                out.push_str(std::str::from_utf8(&b[start..end]).map_err(|e| Error(e.to_string()))?);
+                out.push_str(
+                    std::str::from_utf8(&b[start..end]).map_err(|e| Error(e.to_string()))?,
+                );
                 *pos = end;
             }
         }
@@ -281,7 +283,9 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value> {
             return Ok(Value::Number(Number::NegInt(i)));
         }
     }
-    let f: f64 = text.parse().map_err(|e: std::num::ParseFloatError| Error(e.to_string()))?;
+    let f: f64 = text
+        .parse()
+        .map_err(|e: std::num::ParseFloatError| Error(e.to_string()))?;
     Number::from_f64(f)
         .map(Value::Number)
         .ok_or_else(|| Error(format!("non-finite number {text}")))

@@ -15,6 +15,7 @@
 //! | [`ml`] | `athena-ml` | the 11 Athena ML algorithms + preprocessors + metrics |
 //! | [`core`] | `athena-core` | **the framework**: features, SB/NB elements, the 8 NB APIs |
 //! | [`apps`] | `athena-apps` | DDoS / LFA / NAE applications + Table VIII baselines |
+//! | [`faults`] | `athena-faults` | seeded fault injection: fault plans, chaos channel, injector |
 //! | [`telemetry`] | `athena-telemetry` | metrics + virtual-time tracing (off by default) |
 //!
 //! Start with the runnable examples:
@@ -58,6 +59,7 @@ pub use athena_compute as compute;
 pub use athena_controller as controller;
 pub use athena_core as core;
 pub use athena_dataplane as dataplane;
+pub use athena_faults as faults;
 pub use athena_ml as ml;
 pub use athena_openflow as openflow;
 pub use athena_store as store;
