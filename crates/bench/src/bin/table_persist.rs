@@ -1,0 +1,269 @@
+//! Persistence table — the durability layer as an evaluation artifact.
+//!
+//! Exercises the `athena-persist` journal through each subsystem that
+//! writes one — the feature store, the trained-model snapshots, and the
+//! controller cluster — and reports per subsystem the WAL append
+//! throughput, the checkpoint size and duration, and the crash-recovery
+//! replay time. The paper outsources durability to MongoDB's journal and
+//! Spark's lineage; this table is the reproduction's equivalent budget.
+//! The `persist/*` telemetry slice is printed at exit.
+//!
+//! Knobs: `ATHENA_PERSIST_DOCS` (store documents, default 4000),
+//! `ATHENA_PERSIST_FLOWS` (controller workload flows, default 60).
+
+use athena_bench::{env_scale, header};
+use athena_controller::ControllerCluster;
+use athena_core::{DetectionModel, DetectorManager, UiManager};
+use athena_dataplane::{workload, Network, Topology};
+use athena_ml::Algorithm;
+use athena_persist::PersistConfig;
+use athena_store::{doc, StoreCluster};
+use athena_telemetry::Telemetry;
+use athena_types::{SimDuration, SimTime, VirtualClock};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Row {
+    subsystem: &'static str,
+    wal_records: u64,
+    wal_bytes: u64,
+    append_throughput: f64, // records per second of pure append time
+    checkpoint_bytes: u64,
+    checkpoint_ms: f64,
+    replayed: u64,
+    replay_ms: f64,
+}
+
+impl Row {
+    fn render(&self) -> Vec<String> {
+        vec![
+            self.subsystem.to_owned(),
+            self.wal_records.to_string(),
+            self.wal_bytes.to_string(),
+            format!("{:.0}", self.append_throughput),
+            self.checkpoint_bytes.to_string(),
+            format!("{:.2}", self.checkpoint_ms),
+            self.replayed.to_string(),
+            format!("{:.2}", self.replay_ms),
+        ]
+    }
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "athena-table-persist-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pure-append throughput from the journal's own `_append_ns` histogram:
+/// records divided by time spent inside `Journal::append`.
+fn throughput(tel: &Telemetry, name: &str) -> (u64, u64, f64) {
+    let m = tel.metrics();
+    let records = m.counter("persist", &format!("{name}_wal_records")).get();
+    let bytes = m.counter("persist", &format!("{name}_wal_bytes")).get();
+    let append_ns = m
+        .histogram("persist", &format!("{name}_append_ns"))
+        .snapshot()
+        .sum;
+    let per_sec = if append_ns == 0 {
+        0.0
+    } else {
+        records as f64 / (append_ns as f64 / 1e9)
+    };
+    (records, bytes, per_sec)
+}
+
+fn store_row(tel: &Telemetry, docs: usize) -> Row {
+    let dir = bench_dir("store");
+    let clock = VirtualClock::new();
+    let cluster = StoreCluster::new(3, 2);
+    cluster
+        .attach_persistence(PersistConfig::new(&dir), clock.clone(), tel)
+        .expect("store journal");
+    let coll = cluster.collection("bench");
+    coll.create_index("sw");
+    for i in 0..docs as i64 {
+        clock.advance_by(SimDuration::from_millis(1));
+        coll.insert(doc! { "sw" => i % 16, "bytes" => i * 1400, "packets" => i })
+            .expect("insert");
+    }
+    let t = Instant::now();
+    cluster.checkpoint().expect("checkpoint");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    // A WAL tail past the checkpoint, so recovery replays records too.
+    for i in 0..(docs / 2) as i64 {
+        clock.advance_by(SimDuration::from_millis(1));
+        coll.insert(doc! { "sw" => i % 16, "tail" => true })
+            .expect("insert");
+    }
+    let (wal_records, wal_bytes, append_throughput) = throughput(tel, "store");
+    let checkpoint_bytes = tel
+        .metrics()
+        .histogram("persist", "store_checkpoint_bytes")
+        .snapshot()
+        .max;
+    drop((coll, cluster)); // crash
+
+    let recovered = StoreCluster::new(3, 2);
+    let t = Instant::now();
+    let report = recovered
+        .attach_persistence(
+            PersistConfig::new(&dir),
+            VirtualClock::new(),
+            &Telemetry::off(),
+        )
+        .expect("store recovery");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.docs_restored, docs as u64,
+        "checkpoint lost documents"
+    );
+    assert_eq!(report.ops_replayed, (docs / 2) as u64, "tail lost records");
+    let _ = std::fs::remove_dir_all(&dir);
+    Row {
+        subsystem: "store",
+        wal_records,
+        wal_bytes,
+        append_throughput,
+        checkpoint_bytes,
+        checkpoint_ms,
+        replayed: report.ops_replayed,
+        replay_ms,
+    }
+}
+
+fn model_row() -> Row {
+    let dir = bench_dir("model");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let data = athena_apps::dataset::DdosDataset::generate(4_000, 8);
+    let features: Vec<String> = athena_apps::dataset::FEATURES
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let det = athena_apps::DdosDetector::new(athena_apps::DdosDetectorConfig::default());
+    let dm = DetectorManager::new(athena_compute::ComputeCluster::new(2));
+    let model = dm
+        .generate_from_points(
+            data.points.clone(),
+            &features,
+            &det.preprocessor(),
+            &Algorithm::NaiveBayes,
+        )
+        .expect("train");
+    let path = dir.join("model.snap");
+    let t = Instant::now();
+    model
+        .save_to(&path, SimTime::from_secs(1))
+        .expect("save model");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    let checkpoint_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let t = Instant::now();
+    let loaded = DetectionModel::load_from(&path).expect("load model");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(loaded, model, "model snapshot round-trip diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+    Row {
+        subsystem: "model",
+        // Model snapshots are single checkpoint files, not WAL streams.
+        wal_records: 0,
+        wal_bytes: 0,
+        append_throughput: 0.0,
+        checkpoint_bytes,
+        checkpoint_ms,
+        replayed: 1,
+        replay_ms,
+    }
+}
+
+fn controller_row(tel: &Telemetry, n_flows: usize) -> Row {
+    let dir = bench_dir("controller");
+    let topo = Topology::enterprise();
+    let mut net = Network::new(topo.clone());
+    let mut cluster = ControllerCluster::new(&topo);
+    cluster
+        .attach_persistence(PersistConfig::new(&dir), tel)
+        .expect("controller journal");
+    net.inject_flows(workload::benign_mix_on(
+        &topo,
+        n_flows,
+        SimDuration::from_secs(15),
+        11,
+    ));
+    net.run_until(SimTime::from_secs(10), &mut cluster);
+    let t = Instant::now();
+    cluster.checkpoint().expect("checkpoint");
+    let checkpoint_ms = t.elapsed().as_secs_f64() * 1e3;
+    net.run_until(SimTime::from_secs(20), &mut cluster);
+    let (wal_records, wal_bytes, append_throughput) = throughput(tel, "controller");
+    let checkpoint_bytes = tel
+        .metrics()
+        .histogram("persist", "controller_checkpoint_bytes")
+        .snapshot()
+        .max;
+    drop(cluster); // crash
+
+    let mut recovered = ControllerCluster::new(&topo);
+    let t = Instant::now();
+    let report = recovered
+        .attach_persistence(PersistConfig::new(&dir), &Telemetry::off())
+        .expect("controller recovery");
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        report.checkpoint_applied,
+        "controller checkpoint not applied"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Row {
+        subsystem: "controller",
+        wal_records,
+        wal_bytes,
+        append_throughput,
+        checkpoint_bytes,
+        checkpoint_ms,
+        replayed: report.ops_replayed,
+        replay_ms,
+    }
+}
+
+fn main() {
+    println!(
+        "{}",
+        header("Persistence — WAL, checkpoint, and recovery budget")
+    );
+    let docs = env_scale("ATHENA_PERSIST_DOCS", 4000);
+    let n_flows = env_scale("ATHENA_PERSIST_FLOWS", 60);
+
+    let tel = Telemetry::new();
+    let rows = [
+        store_row(&tel, docs),
+        model_row(),
+        controller_row(&tel, n_flows),
+    ];
+    let ui = UiManager::new();
+    println!(
+        "{}",
+        ui.render_table(
+            &[
+                "Subsystem",
+                "WAL recs",
+                "WAL bytes",
+                "Append rec/s",
+                "Ckpt bytes",
+                "Ckpt ms",
+                "Replayed",
+                "Replay ms",
+            ],
+            &rows.iter().map(Row::render).collect::<Vec<_>>()
+        )
+    );
+
+    // The persist/* telemetry slice, as every subsystem surfaced it.
+    let mut report = tel.report();
+    report.counters.retain(|e| e.key.subsystem == "persist");
+    report.gauges.retain(|e| e.key.subsystem == "persist");
+    report.histograms.retain(|e| e.key.subsystem == "persist");
+    println!("{}", report.render());
+}

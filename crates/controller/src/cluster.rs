@@ -31,15 +31,20 @@ pub struct ClusterCounters {
 /// [`athena_dataplane::Network::run_until`].
 pub struct ControllerCluster {
     topology: Topology,
-    mastership: MastershipService,
+    pub(crate) mastership: MastershipService,
     hosts: HostService,
-    flow_rules: FlowRuleService,
+    pub(crate) flow_rules: FlowRuleService,
     processors: Vec<Box<dyn PacketProcessor>>,
     interceptors: Vec<Box<dyn MessageInterceptor>>,
     poller: Option<StatsPoller>,
-    counters: ClusterCounters,
-    failover: FailoverCounters,
+    pub(crate) counters: ClusterCounters,
+    pub(crate) failover: FailoverCounters,
     tel: ClusterTelemetry,
+    pub(crate) persist: Option<crate::persist::ControllerPersist>,
+    // Virtual time of the latest southbound message or tick — stamps
+    // journal records written from paths that do not carry `now`
+    // (crash/rejoin/fail-over calls arrive from the fault injector).
+    pub(crate) last_seen: SimTime,
 }
 
 /// The cluster's telemetry instruments (detached until
@@ -103,6 +108,8 @@ impl ControllerCluster {
             counters: ClusterCounters::default(),
             failover: FailoverCounters::default(),
             tel: ClusterTelemetry::default(),
+            persist: None,
+            last_seen: SimTime::ZERO,
         }
     }
 
@@ -159,6 +166,7 @@ impl ControllerCluster {
     /// the new master.
     pub fn fail_over(&mut self, dpid: Dpid, to: ControllerId) {
         self.mastership.reassign(dpid, to);
+        self.journal_mastership(crate::persist::events::reassign(dpid, to));
     }
 
     /// Crashes a controller instance: its switches automatically
@@ -166,7 +174,11 @@ impl ControllerCluster {
     /// in dpid order). Returns the switches that moved. Counted under
     /// `failover/elections` and `failover/switches_moved`.
     pub fn crash_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
+        let was_alive = self.mastership.is_alive(c);
         let moved = self.mastership.crash(c);
+        if was_alive {
+            self.journal_mastership(crate::persist::events::crash(c));
+        }
         if !moved.is_empty() {
             self.failover.elections += 1;
             self.failover.switches_moved += moved.len() as u64;
@@ -180,7 +192,11 @@ impl ControllerCluster {
     /// topology-preferred switches. Returns the switches that moved
     /// back.
     pub fn rejoin_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
+        let was_down = !self.mastership.is_alive(c);
         let moved = self.mastership.rejoin(c);
+        if was_down {
+            self.journal_mastership(crate::persist::events::rejoin(c));
+        }
         if !moved.is_empty() {
             self.failover.elections += 1;
             self.failover.switches_moved += moved.len() as u64;
@@ -281,6 +297,7 @@ impl ControllerCluster {
 
 impl ControllerLink for ControllerCluster {
     fn on_message(&mut self, from: Dpid, msg: OfMessage, now: SimTime) -> Vec<(Dpid, OfMessage)> {
+        self.last_seen = now;
         let mut commands: Vec<(Dpid, OfMessage)> = Vec::new();
         match &msg {
             OfMessage::PacketIn { body, .. } => {
@@ -314,6 +331,7 @@ impl ControllerLink for ControllerCluster {
                 self.counters.flow_removeds += 1;
                 self.tel.flow_removeds.inc();
                 self.flow_rules.on_flow_removed(body);
+                self.journal_rule_removal(body.cookie);
             }
             OfMessage::StatsReply { xid, body } => {
                 self.counters.stats_replies += 1;
@@ -344,10 +362,12 @@ impl ControllerLink for ControllerCluster {
             .count() as u64;
         self.counters.flow_mods += flow_mods;
         self.tel.flow_mods.add(flow_mods);
+        self.journal_rule_installs(&commands, now);
         commands
     }
 
     fn on_tick(&mut self, now: SimTime) -> Vec<(Dpid, OfMessage)> {
+        self.last_seen = now;
         let mut commands = Vec::new();
         for p in &mut self.processors {
             p.on_tick(now);
@@ -367,6 +387,7 @@ impl ControllerLink for ControllerCluster {
             commands.extend(i.on_tick(&ctx, now));
         }
         self.register_proxy_rules(&commands[start..], now);
+        self.journal_rule_installs(&commands, now);
         commands
     }
 }

@@ -21,7 +21,9 @@
 //!   into (the paper's `OpenFlowController` modification) and the proxy
 //!   path for the Attack Reactor ([`interceptor`] module),
 //! - a Cbench-style throughput harness ([`cbench`] module) for the
-//!   paper's Table IX.
+//!   paper's Table IX,
+//! - durable journaling of mastership transitions and flow-rule state,
+//!   with checkpoint + WAL-tail recovery on restart ([`persist`] module).
 //!
 //! # Examples
 //!
@@ -46,11 +48,13 @@ pub mod cbench;
 pub mod cluster;
 pub mod interceptor;
 pub mod packet;
+pub mod persist;
 pub mod services;
 pub mod stats;
 
 pub use cluster::{ControllerCluster, FailoverCounters};
 pub use interceptor::{InterceptCtx, MessageInterceptor};
 pub use packet::{PacketContext, PacketProcessor};
+pub use persist::ControllerRecoveryReport;
 pub use services::{FlowRuleService, HostService, MastershipService};
 pub use stats::{RetryCounters, RetryPolicy, StatsPoller};

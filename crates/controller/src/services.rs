@@ -128,6 +128,27 @@ impl MastershipService {
         }
         reclaimed
     }
+
+    /// The current mastership map and down-set, sorted — the persistable
+    /// part of the service (preferences and membership come back from the
+    /// topology on restart).
+    pub fn snapshot(&self) -> (Vec<(Dpid, ControllerId)>, Vec<ControllerId>) {
+        let mut masters: Vec<(Dpid, ControllerId)> =
+            self.masters.iter().map(|(d, c)| (*d, *c)).collect();
+        masters.sort();
+        (masters, self.down.iter().copied().collect())
+    }
+
+    /// Overwrites the mastership map and down-set from a snapshot taken
+    /// by [`MastershipService::snapshot`] on an equally built service.
+    pub fn restore(&mut self, masters: &[(Dpid, ControllerId)], down: &[ControllerId]) {
+        for (d, c) in masters {
+            self.masters.insert(*d, *c);
+            self.all.insert(*c);
+        }
+        self.down = down.iter().copied().collect();
+        self.all.extend(down.iter().copied());
+    }
 }
 
 /// Host-location service.
@@ -295,6 +316,45 @@ impl FlowRuleService {
     /// Number of live tracked rules.
     pub fn live_count(&self) -> usize {
         self.records.len()
+    }
+
+    /// All live rule records, sorted by cookie (a canonical view for
+    /// checkpoints).
+    pub fn snapshot_records(&self) -> Vec<FlowRuleRecord> {
+        let mut out: Vec<FlowRuleRecord> = self.records.values().cloned().collect();
+        out.sort_by_key(|r| r.cookie);
+        out
+    }
+
+    /// `(installs, removals, next_seq)` — the counters a checkpoint must
+    /// carry alongside the records.
+    pub fn snapshot_counters(&self) -> (u64, u64, u64) {
+        (self.installs, self.removals, self.next_seq)
+    }
+
+    /// Overwrites records and counters from a checkpoint snapshot.
+    pub fn restore(&mut self, records: Vec<FlowRuleRecord>, counters: (u64, u64, u64)) {
+        self.records = records.into_iter().map(|r| (r.cookie, r)).collect();
+        self.installs = counters.0;
+        self.removals = counters.1;
+        self.next_seq = counters.2;
+    }
+
+    /// Re-admits one rule record during WAL replay, counting it as an
+    /// install and advancing `next_seq` past the cookie's sequence bits so
+    /// post-recovery cookies stay unique.
+    pub fn restore_record(&mut self, rec: FlowRuleRecord) {
+        self.next_seq = self.next_seq.max(rec.cookie & 0x0000_ffff_ffff_ffff);
+        self.installs += 1;
+        self.records.insert(rec.cookie, rec);
+    }
+
+    /// Re-applies one rule removal during WAL replay (absent cookies are
+    /// a no-op, mirroring [`FlowRuleService::on_flow_removed`]).
+    pub fn restore_removal(&mut self, cookie: u64) {
+        if self.records.remove(&cookie).is_some() {
+            self.removals += 1;
+        }
     }
 }
 

@@ -217,7 +217,10 @@ impl FeatureGenerator {
     pub fn flush_window(&mut self, now: SimTime) -> Vec<FeatureRecord> {
         let window_secs = self.window.as_secs_f64().max(1e-9);
         let mut out = Vec::new();
-        let switches: Vec<Dpid> = self.msg_counts.keys().copied().collect();
+        // Sorted so identically-seeded runs emit (and store) the window
+        // records in the same order — crash-recovery diffs rely on it.
+        let mut switches: Vec<Dpid> = self.msg_counts.keys().copied().collect();
+        switches.sort();
         for dpid in switches {
             let counts = self.msg_counts.remove(&dpid).unwrap_or_default();
             let prev = self
@@ -508,6 +511,10 @@ impl FeatureGenerator {
             dst.rx_packets += e.packet_count;
             dst.fanin.insert(ft.src);
         }
+        // Sorted so identically-seeded runs emit (and store) the host
+        // records in the same order — crash-recovery diffs rely on it.
+        let mut hosts: Vec<_> = hosts.into_iter().collect();
+        hosts.sort_by_key(|(ip, _)| *ip);
         hosts
             .into_iter()
             .map(|(ip, agg)| {

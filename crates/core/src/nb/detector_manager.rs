@@ -16,7 +16,7 @@ use athena_ml::{
     Preprocessor, TrainedModel, ValidationSummary,
 };
 use athena_telemetry::{Counter, Histogram, Telemetry};
-use athena_types::{AthenaError, FiveTuple, Result, SimDuration};
+use athena_types::{AthenaError, FiveTuple, Result, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -57,6 +57,41 @@ impl DetectionModel {
     /// Returns [`AthenaError::Model`] for malformed input.
     pub fn from_json(json: &str) -> Result<Self> {
         serde_json::from_str(json).map_err(|e| AthenaError::Model(e.to_string()))
+    }
+
+    /// Persists the model to a snapshot file: the JSON export wrapped in
+    /// the persist layer's framed record format (CRC-checked, stamped with
+    /// virtual time `now`) — the durable, file-based flavor of the paper's
+    /// model sharing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Model`] if serialization fails or
+    /// [`AthenaError::Persist`] if the file cannot be written.
+    pub fn save_to(&self, path: &std::path::Path, now: SimTime) -> Result<()> {
+        let json = self.to_json()?;
+        athena_persist::write_snapshot_file(
+            path,
+            athena_persist::record::kind::MODEL,
+            json.as_bytes(),
+            now,
+        )
+    }
+
+    /// Loads a model persisted with [`DetectionModel::save_to`],
+    /// validating the record framing and checksum first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Persist`] for torn or corrupt snapshot files
+    /// and [`AthenaError::Model`] for a valid record holding malformed
+    /// model JSON — corruption is always an error, never a wrong model.
+    pub fn load_from(path: &std::path::Path) -> Result<Self> {
+        let (_, payload) =
+            athena_persist::read_snapshot_file(path, athena_persist::record::kind::MODEL)?;
+        let json = std::str::from_utf8(&payload)
+            .map_err(|e| AthenaError::Model(format!("model snapshot is not UTF-8: {e}")))?;
+        Self::from_json(json)
     }
 
     /// Scores one feature record; `None` if the record lacks the model's

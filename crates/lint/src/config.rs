@@ -57,6 +57,10 @@ pub struct Config {
     /// Path prefixes exempt from `no-println-in-lib` (binary-only code
     /// that owns stdout: bench and lint binaries).
     pub println_exempt: Vec<String>,
+    /// Path prefixes exempt from `no-wallclock-in-lib` (code that is
+    /// *supposed* to read the host clock: telemetry's timers and the
+    /// real-time bench harnesses).
+    pub wallclock_exempt: Vec<String>,
     /// Per-rule severity overrides.
     pub severity: HashMap<String, Severity>,
     /// Grandfathered sites.
@@ -154,6 +158,9 @@ impl Config {
                 ("lint", "bus_calls") => config.bus_calls = parse_string_array(&value, line_no)?,
                 ("lint", "println_exempt") => {
                     config.println_exempt = parse_string_array(&value, line_no)?;
+                }
+                ("lint", "wallclock_exempt") => {
+                    config.wallclock_exempt = parse_string_array(&value, line_no)?;
                 }
                 ("severity", rule) => {
                     let sev = Severity::parse(&parse_string(&value, line_no)?)?;

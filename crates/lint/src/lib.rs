@@ -1,6 +1,6 @@
 //! Static-analysis gate for the Athena workspace.
 //!
-//! `athena-lint` enforces five invariants over the workspace's production
+//! `athena-lint` enforces six invariants over the workspace's production
 //! sources without any external parser dependency:
 //!
 //! - **no-panic-in-hot-path** — `unwrap`/`expect`, `panic!`-family
@@ -15,6 +15,10 @@
 //! - **no-println-in-lib** — library crates never write to the console;
 //!   output goes through telemetry events or return values. Only the
 //!   binary paths listed under `println_exempt` own stdout.
+//! - **no-wallclock-in-lib** — `Instant::now()` and `SystemTime` are
+//!   banned outside the `wallclock_exempt` paths (telemetry timers, bench
+//!   harnesses): everything else runs on virtual `SimTime`, which is what
+//!   keeps runs and crash-recovery replays deterministic.
 //!
 //! Grandfathered sites live in `lint.toml` under `[[allow]]`, each with a
 //! mandatory one-line justification. The `athena-lint` binary prints

@@ -81,6 +81,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(LockDiscipline),
         Box::new(ErrorHygiene),
         Box::new(NoPrintlnInLib),
+        Box::new(NoWallclockInLib),
     ]
 }
 
@@ -248,6 +249,51 @@ impl Rule for NoPrintlnInLib {
                         "{}! in library code; emit a telemetry event or return the text",
                         t.text
                     ),
+                ));
+            }
+        }
+    }
+}
+
+/// Bans wall-clock reads (`Instant::now()` and any `SystemTime` use) in
+/// library code: the simulation is deterministic under virtual time, and
+/// a stray wall-clock read silently breaks replay and the byte-identical
+/// recovery guarantees. Only the paths under `wallclock_exempt` in
+/// `lint.toml` — telemetry's own timers and the real-time bench harnesses
+/// — may read the host clock.
+pub struct NoWallclockInLib;
+
+impl Rule for NoWallclockInLib {
+    fn name(&self) -> &'static str {
+        "no-wallclock-in-lib"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
+        if config
+            .wallclock_exempt
+            .iter()
+            .any(|p| file.rel_path.starts_with(p.as_str()))
+        {
+            return;
+        }
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            if t.text == "SystemTime" {
+                out.push(Violation::at(
+                    t,
+                    "SystemTime reads the wall clock; use virtual SimTime".to_string(),
+                ));
+            } else if t.text == "Instant"
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
+            {
+                out.push(Violation::at(
+                    t,
+                    "Instant::now() reads the wall clock; use virtual SimTime".to_string(),
                 ));
             }
         }

@@ -1,0 +1,222 @@
+//! Corruption-injection properties for the persist layer.
+//!
+//! A journal directory is written with a known history (appends, optionally
+//! a mid-history checkpoint), then mangled — bit flips anywhere, truncation,
+//! duplicated segments, reordered segments — and reopened. Recovery must
+//! never panic and must never yield state that is not a *prefix* of the
+//! true history: a (possibly older) checkpoint we actually took, followed
+//! by consecutive genuine records. Silent corruption — wrong payloads,
+//! reordered ops, invented records — fails the property.
+
+use athena_persist::record::kind;
+use athena_persist::{read_snapshot_file, write_snapshot_file, Journal, PersistConfig};
+use athena_types::SimTime;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn test_dir() -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "athena-persist-prop-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn op_payload(seq: u64) -> Vec<u8> {
+    format!("op-{seq}-padding-to-make-records-nontrivial").into_bytes()
+}
+
+fn ckpt_payload(seq: u64) -> Vec<u8> {
+    format!("ckpt-after-{seq}").into_bytes()
+}
+
+/// Small segments so histories span several files.
+fn config(dir: &Path) -> PersistConfig {
+    PersistConfig {
+        dir: dir.to_path_buf(),
+        segment_max_bytes: 160,
+    }
+}
+
+/// Writes `n_ops` appends, checkpointing after op `ckpt_at` (0 = never).
+fn write_history(dir: &Path, n_ops: u64, ckpt_at: u64) {
+    let (mut j, _) = Journal::open(config(dir)).unwrap();
+    for seq in 1..=n_ops {
+        j.append(kind::STORE_OP, &op_payload(seq), SimTime::from_micros(seq))
+            .unwrap();
+        if seq == ckpt_at {
+            j.checkpoint(&ckpt_payload(seq), SimTime::from_micros(seq))
+                .unwrap();
+        }
+    }
+}
+
+/// All persist files in the directory, sorted for determinism.
+fn files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Reopens the directory and checks the prefix property.
+fn assert_recovery_sound(dir: &Path, n_ops: u64, ckpt_at: u64) {
+    let (_, recovery) = Journal::open(config(dir)).expect("recovery must not error");
+    let base_seq = match &recovery.checkpoint {
+        Some(ck) => {
+            // Any recovered checkpoint must be one we genuinely took.
+            prop_assert!(ckpt_at > 0, "recovered a checkpoint that was never written");
+            prop_assert_eq!(ck.seq, ckpt_at);
+            prop_assert_eq!(&ck.payload, &ckpt_payload(ckpt_at));
+            ck.seq
+        }
+        None => 0,
+    };
+    prop_assert!(recovery.tail.len() as u64 <= n_ops);
+    for (i, rec) in recovery.tail.iter().enumerate() {
+        let want_seq = base_seq + 1 + i as u64;
+        prop_assert_eq!(rec.seq, want_seq, "tail seq not consecutive");
+        prop_assert!(want_seq <= n_ops, "tail contains a record never appended");
+        prop_assert_eq!(&rec.payload, &op_payload(want_seq), "payload mismatch");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single bit flip anywhere in any persist file never panics, never
+    /// errors, and never surfaces non-genuine state.
+    #[test]
+    fn bit_flips_never_yield_corrupt_state(
+        n_ops in 1u64..32,
+        ckpt_frac in 0u64..100,
+        file_pick in 0usize..64,
+        byte_pick in 0usize..4096,
+        bit in 0u32..8,
+    ) {
+        let ckpt_at = n_ops * ckpt_frac / 100;
+        let dir = test_dir();
+        write_history(&dir, n_ops, ckpt_at);
+        let fs = files(&dir);
+        let path = &fs[file_pick % fs.len()];
+        let mut bytes = std::fs::read(path).unwrap();
+        if !bytes.is_empty() {
+            let pos = byte_pick % bytes.len();
+            bytes[pos] ^= 1 << bit;
+            std::fs::write(path, &bytes).unwrap();
+        }
+        assert_recovery_sound(&dir, n_ops, ckpt_at);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncating any file at any point (a torn write) recovers a clean
+    /// prefix of the history.
+    #[test]
+    fn truncation_never_yields_corrupt_state(
+        n_ops in 1u64..32,
+        ckpt_frac in 0u64..100,
+        file_pick in 0usize..64,
+        cut_frac in 0u64..100,
+    ) {
+        let ckpt_at = n_ops * ckpt_frac / 100;
+        let dir = test_dir();
+        write_history(&dir, n_ops, ckpt_at);
+        let fs = files(&dir);
+        let path = &fs[file_pick % fs.len()];
+        let bytes = std::fs::read(path).unwrap();
+        let keep = (bytes.len() as u64 * cut_frac / 100) as usize;
+        std::fs::write(path, &bytes[..keep]).unwrap();
+        assert_recovery_sound(&dir, n_ops, ckpt_at);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Duplicating a WAL segment under a fresh (later) name only produces
+    /// already-seen sequence numbers, which recovery skips: the history is
+    /// intact and nothing is applied twice.
+    #[test]
+    fn duplicated_segments_are_idempotent(
+        n_ops in 1u64..32,
+        ckpt_frac in 0u64..100,
+        file_pick in 0usize..64,
+    ) {
+        let ckpt_at = n_ops * ckpt_frac / 100;
+        let dir = test_dir();
+        write_history(&dir, n_ops, ckpt_at);
+        let segs: Vec<PathBuf> = files(&dir)
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        if !segs.is_empty() {
+            let src = &segs[file_pick % segs.len()];
+            std::fs::copy(src, dir.join("wal-000099.log")).unwrap();
+            let (_, recovery) = Journal::open(config(&dir)).expect("recovery must not error");
+            // Duplication loses nothing: the full post-checkpoint tail is
+            // still recovered exactly once.
+            prop_assert_eq!(recovery.tail.len() as u64, n_ops - ckpt_at);
+            prop_assert!(recovery.stats.duplicates_skipped > 0);
+            assert_recovery_sound(&dir, n_ops, ckpt_at);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Swapping two segment file names (reordered segments) never yields
+    /// out-of-order or invented state — recovery stops at the resulting
+    /// sequence gap instead.
+    #[test]
+    fn reordered_segments_never_yield_corrupt_state(
+        n_ops in 1u64..48,
+        ckpt_frac in 0u64..100,
+        pick_a in 0usize..64,
+        pick_b in 0usize..64,
+    ) {
+        let ckpt_at = n_ops * ckpt_frac / 100;
+        let dir = test_dir();
+        write_history(&dir, n_ops, ckpt_at);
+        let segs: Vec<PathBuf> = files(&dir)
+            .into_iter()
+            .filter(|p| p.extension().is_some_and(|e| e == "log"))
+            .collect();
+        if segs.len() >= 2 {
+            let a = &segs[pick_a % segs.len()];
+            let b = &segs[pick_b % segs.len()];
+            if a != b {
+                let tmp = dir.join("swap.tmp");
+                std::fs::rename(a, &tmp).unwrap();
+                std::fs::rename(b, a).unwrap();
+                std::fs::rename(&tmp, b).unwrap();
+            }
+        }
+        assert_recovery_sound(&dir, n_ops, ckpt_at);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Standalone snapshot files (model persistence) reject every single-bit
+    /// flip with an error — never a panic, never a silently-different
+    /// payload.
+    #[test]
+    fn snapshot_files_reject_bit_flips(
+        payload in proptest::collection::vec(0u8..=255, 0..200),
+        byte_pick in 0usize..4096,
+        bit in 0u32..8,
+    ) {
+        let dir = test_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        write_snapshot_file(&path, kind::MODEL, &payload, SimTime::from_secs(1)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = byte_pick % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(read_snapshot_file(&path, kind::MODEL).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

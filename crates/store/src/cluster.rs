@@ -9,10 +9,12 @@
 use crate::collection::Collection;
 use crate::document::{DocId, Document};
 use crate::filter::Filter;
+use crate::persist::{ops, StorePersist};
 use crate::query::{Aggregation, FindOptions};
 use athena_telemetry::{Counter, Histogram, Telemetry};
 use athena_types::{AthenaError, Result};
 use parking_lot::{Mutex, RwLock};
+use serde_json::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,7 +49,7 @@ impl StoreNode {
         self.up.load(Ordering::Relaxed)
     }
 
-    fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
+    pub(crate) fn with_collection<R>(&self, name: &str, f: impl FnOnce(&mut Collection) -> R) -> R {
         {
             let map = self.collections.read();
             if let Some(coll) = map.get(name) {
@@ -62,13 +64,22 @@ impl StoreNode {
         result
     }
 
-    fn read_collection<R: Default>(&self, name: &str, f: impl FnOnce(&Collection) -> R) -> R {
+    pub(crate) fn read_collection<R: Default>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Collection) -> R,
+    ) -> R {
         let map = self.collections.read();
         map.get(name)
             .map_or_else(R::default, |coll| f(&coll.read()))
     }
 
-    fn journal(&self, encoded_len: u64) {
+    /// Names of the collections this node holds shards of.
+    pub(crate) fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    pub(crate) fn journal(&self, encoded_len: u64) {
         let bytes = encoded_len + 16; // header overhead
         self.journal_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.journal_records.fetch_add(1, Ordering::Relaxed);
@@ -98,6 +109,8 @@ pub struct ClusterMetrics {
     pub aggregations: u64,
     /// Documents deleted.
     pub deletes: u64,
+    /// Logical documents changed by cluster-wide updates.
+    pub updates: u64,
     /// Writes redirected off a down replica onto the next ring node.
     pub write_handoffs: u64,
     /// Inserts rejected for lack of a write quorum.
@@ -107,12 +120,13 @@ pub struct ClusterMetrics {
 }
 
 #[derive(Debug, Default)]
-struct MetricsInner {
+pub(crate) struct MetricsInner {
     inserts: AtomicU64,
     replica_writes: AtomicU64,
     finds: AtomicU64,
     aggregations: AtomicU64,
     deletes: AtomicU64,
+    updates: AtomicU64,
     write_handoffs: AtomicU64,
     quorum_failures: AtomicU64,
     degraded_reads: AtomicU64,
@@ -153,12 +167,14 @@ struct StoreTelemetry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct StoreCluster {
-    nodes: Arc<Vec<StoreNode>>,
+    pub(crate) nodes: Arc<Vec<StoreNode>>,
     replication: usize,
-    next_id: Arc<AtomicU64>,
-    metrics: Arc<MetricsInner>,
-    index_requests: Arc<Mutex<HashMap<String, Vec<String>>>>,
+    pub(crate) next_id: Arc<AtomicU64>,
+    pub(crate) metrics: Arc<MetricsInner>,
+    pub(crate) index_requests: Arc<Mutex<HashMap<String, Vec<String>>>>,
     tel: Arc<RwLock<StoreTelemetry>>,
+    pub(crate) persist: Arc<Mutex<Option<StorePersist>>>,
+    pub(crate) persist_on: Arc<AtomicBool>,
 }
 
 impl StoreCluster {
@@ -174,6 +190,8 @@ impl StoreCluster {
             metrics: Arc::new(MetricsInner::default()),
             index_requests: Arc::new(Mutex::new(HashMap::new())),
             tel: Arc::new(RwLock::new(StoreTelemetry::default())),
+            persist: Arc::new(Mutex::new(None)),
+            persist_on: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -220,6 +238,7 @@ impl StoreCluster {
             finds: self.metrics.finds.load(Ordering::Relaxed),
             aggregations: self.metrics.aggregations.load(Ordering::Relaxed),
             deletes: self.metrics.deletes.load(Ordering::Relaxed),
+            updates: self.metrics.updates.load(Ordering::Relaxed),
             write_handoffs: self.metrics.write_handoffs.load(Ordering::Relaxed),
             quorum_failures: self.metrics.quorum_failures.load(Ordering::Relaxed),
             degraded_reads: self.metrics.degraded_reads.load(Ordering::Relaxed),
@@ -230,10 +249,72 @@ impl StoreCluster {
     ///
     /// A down node serves no reads and accepts no writes; writes destined
     /// for it are handed off to the next live ring node, and reads fall
-    /// back to replica copies. Out of range indices are ignored.
+    /// back to replica copies. When a node comes back up the stored hints
+    /// are delivered: every document lands back on its preferred replica
+    /// set, so the healthy primary-only read path sees writes accepted
+    /// during the outage. Out of range indices are ignored.
     pub fn set_node_up(&self, i: usize, up: bool) {
         if let Some(node) = self.nodes.get(i) {
-            node.up.store(up, Ordering::Relaxed);
+            let was = node.up.swap(up, Ordering::Relaxed);
+            if up && !was {
+                self.deliver_handoffs();
+            }
+        }
+    }
+
+    /// Hinted-handoff delivery after a node rejoins: re-places every
+    /// logical document onto its (current) preferred replica set, copying
+    /// it where missing and dropping stand-in copies. Deterministic:
+    /// collections by name, documents by id, nodes in index order.
+    fn deliver_handoffs(&self) {
+        let mut names: Vec<String> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.collection_names())
+            .collect();
+        names.sort();
+        names.dedup();
+        for name in names {
+            let indexed = self
+                .index_requests
+                .lock()
+                .get(&name)
+                .cloned()
+                .unwrap_or_default();
+            let mut seen: HashSet<DocId> = HashSet::new();
+            let mut docs: Vec<Document> = Vec::new();
+            for node in self.nodes.iter().filter(|n| n.is_up()) {
+                for d in node.read_collection(&name, |c| c.find_unordered(&Filter::All)) {
+                    if seen.insert(d.id) {
+                        docs.push(d);
+                    }
+                }
+            }
+            docs.sort_by_key(|d| d.id);
+            for doc in docs {
+                let (targets, _) = self.write_targets(doc.id);
+                for (idx, node) in self.nodes.iter().enumerate() {
+                    if !node.is_up() {
+                        continue;
+                    }
+                    let holds = node.read_collection(&name, |c| c.get(doc.id).is_some());
+                    if targets.contains(&idx) {
+                        if !holds {
+                            node.journal(doc.encoded_len() as u64);
+                            node.with_collection(&name, |c| {
+                                for f in &indexed {
+                                    c.create_index(f.clone());
+                                }
+                                c.insert_with_id(doc.id, doc.clone());
+                            });
+                        }
+                    } else if holds {
+                        node.with_collection(&name, |c| {
+                            c.delete_by_id(doc.id);
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -267,12 +348,12 @@ impl StoreCluster {
         &self.nodes[i]
     }
 
-    fn primary_for(&self, id: DocId) -> usize {
+    pub(crate) fn primary_for(&self, id: DocId) -> usize {
         // Fibonacci hashing of the id spreads sequential ids uniformly.
         (id.0.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % self.nodes.len()
     }
 
-    fn replicas_for(&self, id: DocId) -> impl Iterator<Item = usize> + '_ {
+    pub(crate) fn replicas_for(&self, id: DocId) -> impl Iterator<Item = usize> + '_ {
         let primary = self.primary_for(id);
         (0..self.replication).map(move |k| (primary + k) % self.nodes.len())
     }
@@ -281,7 +362,7 @@ impl StoreCluster {
     /// replica set, with each down member handed off to the next live
     /// ring node not already holding a copy (consistent-hashing-style
     /// hinted handoff). Returns `(targets, handoff_count)`.
-    fn write_targets(&self, id: DocId) -> (Vec<usize>, u64) {
+    pub(crate) fn write_targets(&self, id: DocId) -> (Vec<usize>, u64) {
         let n = self.nodes.len();
         let preferred: Vec<usize> = self.replicas_for(id).collect();
         let mut targets: Vec<usize> = Vec::with_capacity(preferred.len());
@@ -405,6 +486,10 @@ impl CollectionHandle {
                 .fetch_add(1, Ordering::Relaxed);
             replica_writes.inc();
         }
+        if self.cluster.persist_on.load(Ordering::Relaxed) {
+            self.cluster
+                .journal_store_op(&ops::insert(&self.name, id, &doc))?;
+        }
         timer.observe(&insert_ns);
         Ok(id)
     }
@@ -446,6 +531,11 @@ impl CollectionHandle {
             .push(field.clone());
         for node in self.cluster.nodes.iter() {
             node.with_collection(&self.name, |c| c.create_index(field.clone()));
+        }
+        if self.cluster.persist_on.load(Ordering::Relaxed) {
+            let _ = self
+                .cluster
+                .journal_store_op(&ops::create_index(&self.name, &field));
         }
     }
 
@@ -501,14 +591,52 @@ impl CollectionHandle {
             .deletes
             .fetch_add(victims.len() as u64, Ordering::Relaxed);
         self.cluster.tel.read().deletes.add(victims.len() as u64);
+        if self.cluster.persist_on.load(Ordering::Relaxed) && !victims.is_empty() {
+            let _ = self
+                .cluster
+                .journal_store_op(&ops::delete(&self.name, &victims));
+        }
         victims.len()
     }
 
-    /// All documents (primary copies), unordered.
+    /// Sets fields on every matching document, on every live replica copy
+    /// (including handed-off copies on ring stand-ins). Returns the number
+    /// of logical documents changed.
+    pub fn update(&self, filter: &Filter, changes: &[(String, Value)]) -> usize {
+        let victims: Vec<DocId> = self
+            .find_primaries(filter)
+            .into_iter()
+            .map(|d| d.id)
+            .collect();
+        for id in &victims {
+            for node in self.cluster.nodes.iter().filter(|n| n.is_up()) {
+                node.with_collection(&self.name, |c| {
+                    c.update_by_id(*id, changes);
+                });
+            }
+        }
+        self.cluster
+            .metrics
+            .updates
+            .fetch_add(victims.len() as u64, Ordering::Relaxed);
+        if self.cluster.persist_on.load(Ordering::Relaxed) && !victims.is_empty() {
+            let _ = self
+                .cluster
+                .journal_store_op(&ops::update(&self.name, &victims, changes));
+        }
+        victims.len()
+    }
+
+    /// All documents (primary copies), in canonical id order.
     pub fn all(&self) -> Vec<Document> {
         self.find_primaries(&Filter::All)
     }
 
+    /// Cluster-wide reads return documents in canonical id order (ids are
+    /// assigned sequentially, so this is global insertion order). The
+    /// order is therefore independent of document placement and of
+    /// per-shard index history — a run that handed documents off during
+    /// an outage and a run recovered from the journal read identically.
     fn find_primaries(&self, filter: &Filter) -> Vec<Document> {
         if self.cluster.nodes.iter().all(StoreNode::is_up) {
             // Healthy path: each shard answers from its primary copy only,
@@ -519,6 +647,7 @@ impl CollectionHandle {
                 hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
                 out.append(&mut hits);
             }
+            out.sort_by_key(|d| d.id);
             return out;
         }
         // Degraded path: a down primary's documents are recovered from
@@ -545,6 +674,7 @@ impl CollectionHandle {
                 }
             }
         }
+        out.sort_by_key(|d| d.id);
         out
     }
 }

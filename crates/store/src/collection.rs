@@ -156,6 +156,35 @@ impl Collection {
         ids.len()
     }
 
+    /// Sets fields on the document with the given id, maintaining indexes.
+    /// Returns `true` if the document existed.
+    pub fn update_by_id(&mut self, id: DocId, changes: &[(String, Value)]) -> bool {
+        let Some(doc) = self.docs.get_mut(&id) else {
+            return false;
+        };
+        for (field, idx) in &mut self.indexes {
+            if let Some(v) = doc.get(field) {
+                idx.remove(id, &v.clone());
+            }
+        }
+        for (k, v) in changes {
+            doc.set(k.clone(), v.clone());
+        }
+        for (field, idx) in &mut self.indexes {
+            if let Some(v) = doc.get(field) {
+                idx.insert(id, &v.clone());
+            }
+        }
+        true
+    }
+
+    /// Names of the secondary indexes, sorted.
+    pub fn index_fields(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.indexes.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
     /// Deletes matching documents. Returns how many were removed.
     pub fn delete(&mut self, filter: &Filter) -> usize {
         let ids: Vec<DocId> = self

@@ -43,10 +43,12 @@ pub mod collection;
 pub mod document;
 pub mod filter;
 pub mod index;
+pub mod persist;
 pub mod query;
 
 pub use cluster::{ClusterMetrics, StoreCluster, StoreNode};
 pub use collection::Collection;
 pub use document::{DocId, Document};
 pub use filter::Filter;
+pub use persist::StoreRecoveryReport;
 pub use query::{Accumulator, AggStage, Aggregation, FindOptions, GroupSpec, SortOrder, SortSpec};

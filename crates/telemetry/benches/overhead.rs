@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
 fn smoke_config() -> Criterion {
-    if std::env::var_os("ATHENA_BENCH_SMOKE").is_some() {
+    if athena_types::env_flag("ATHENA_BENCH_SMOKE") {
         Criterion::default()
             .sample_size(10)
             .warm_up_time(Duration::from_millis(50))

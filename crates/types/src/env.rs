@@ -1,0 +1,59 @@
+//! Environment-flag parsing shared by every crate.
+//!
+//! Historically each harness read its own flag its own way —
+//! `ATHENA_BENCH_SMOKE` was "set at all" (so `=0` still enabled it) while
+//! `ATHENA_CHAOS_SMOKE` demanded exactly `"1"`. [`env_flag`] is the single
+//! truthy-semantics helper every call site uses instead.
+
+/// Reads an environment variable as a boolean flag.
+///
+/// A flag is *on* when the variable is set to anything except the usual
+/// falsy spellings: empty, `0`, `false`, `off`, or `no` (case-insensitive,
+/// surrounding whitespace ignored). Unset means *off*.
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::env_flag;
+///
+/// std::env::remove_var("ATHENA_DOC_EXAMPLE");
+/// assert!(!env_flag("ATHENA_DOC_EXAMPLE"));
+/// std::env::set_var("ATHENA_DOC_EXAMPLE", "1");
+/// assert!(env_flag("ATHENA_DOC_EXAMPLE"));
+/// std::env::set_var("ATHENA_DOC_EXAMPLE", "0");
+/// assert!(!env_flag("ATHENA_DOC_EXAMPLE"));
+/// std::env::remove_var("ATHENA_DOC_EXAMPLE");
+/// ```
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v.is_empty() || v == "0" || v == "false" || v == "off" || v == "no")
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test mutating one dedicated variable: env vars are process-global,
+    // so truthy and falsy spellings are checked sequentially here rather
+    // than across parallel tests.
+    #[test]
+    fn truthy_and_falsy_spellings() {
+        const VAR: &str = "ATHENA_ENV_FLAG_TEST";
+        std::env::remove_var(VAR);
+        assert!(!env_flag(VAR));
+        for on in ["1", "true", "yes", "on", "2", "TRUE", " 1 "] {
+            std::env::set_var(VAR, on);
+            assert!(env_flag(VAR), "{on:?} should enable the flag");
+        }
+        for off in ["", "0", "false", "off", "no", "FALSE", " 0 "] {
+            std::env::set_var(VAR, off);
+            assert!(!env_flag(VAR), "{off:?} should disable the flag");
+        }
+        std::env::remove_var(VAR);
+    }
+}

@@ -51,6 +51,8 @@ pub enum AthenaError {
     Ml(String),
     /// A detection-model operation failed.
     Model(String),
+    /// A persistence (WAL/checkpoint/snapshot) operation failed.
+    Persist(String),
     /// Catch-all for everything else.
     Other(String),
 }
@@ -88,6 +90,7 @@ impl fmt::Display for AthenaError {
             AthenaError::Compute(msg) => write!(f, "compute error: {msg}"),
             AthenaError::Ml(msg) => write!(f, "ml error: {msg}"),
             AthenaError::Model(msg) => write!(f, "model error: {msg}"),
+            AthenaError::Persist(msg) => write!(f, "persist error: {msg}"),
             AthenaError::Other(msg) => write!(f, "{msg}"),
         }
     }

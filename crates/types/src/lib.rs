@@ -28,11 +28,13 @@
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+pub mod env;
 pub mod error;
 pub mod id;
 pub mod net;
 pub mod time;
 
+pub use env::env_flag;
 pub use error::{AthenaError, Result};
 pub use id::{AppId, ControllerId, Dpid, FlowId, HostId, LinkId, PortNo, Xid};
 pub use net::{EtherType, FiveTuple, IpProto, Ipv4Addr, MacAddr};

@@ -26,6 +26,16 @@ chaos_elapsed=$(( $(date +%s) - chaos_start ))
 echo "    chaos matrix finished in ${chaos_elapsed}s (bound: 60 s)"
 [ "$chaos_elapsed" -lt 60 ]
 
+echo "==> recovery gate (kill mid-run, recover from disk, diff verdicts, < 60 s)"
+recovery_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 cargo test -q --offline --test e2e_recovery
+recovery_elapsed=$(( $(date +%s) - recovery_start ))
+echo "    recovery gate finished in ${recovery_elapsed}s (bound: 60 s)"
+[ "$recovery_elapsed" -lt 60 ]
+
+echo "==> persistence corruption property tests (bit flips never panic)"
+cargo test -q -p athena-persist --offline --test proptest_persist
+
 echo "==> openflow codec property tests (round-trip + decode-never-panics)"
 cargo test -q -p athena-openflow --offline --test proptest_codec
 

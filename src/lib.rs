@@ -16,6 +16,7 @@
 //! | [`core`] | `athena-core` | **the framework**: features, SB/NB elements, the 8 NB APIs |
 //! | [`apps`] | `athena-apps` | DDoS / LFA / NAE applications + Table VIII baselines |
 //! | [`faults`] | `athena-faults` | seeded fault injection: fault plans, chaos channel, injector |
+//! | [`persist`] | `athena-persist` | append-only WAL + checkpoints; crash recovery for store/models/controller |
 //! | [`telemetry`] | `athena-telemetry` | metrics + virtual-time tracing (off by default) |
 //!
 //! Start with the runnable examples:
@@ -62,6 +63,7 @@ pub use athena_dataplane as dataplane;
 pub use athena_faults as faults;
 pub use athena_ml as ml;
 pub use athena_openflow as openflow;
+pub use athena_persist as persist;
 pub use athena_store as store;
 pub use athena_telemetry as telemetry;
 pub use athena_types as types;

@@ -32,7 +32,7 @@ const RECOVER_AT: SimTime = SimTime::from_secs(20);
 const MISS_WINDOW_BOUND: SimDuration = SimDuration::from_secs(15);
 
 fn smoke() -> bool {
-    std::env::var("ATHENA_CHAOS_SMOKE").is_ok_and(|v| v == "1")
+    athena::types::env_flag("ATHENA_CHAOS_SMOKE")
 }
 
 /// Workload scale: the smoke profile halves flow counts (same timeline,

@@ -1,15 +1,54 @@
 //! Off-the-shelf model sharing (paper §II): a detection model trained on
 //! one Athena deployment serializes to JSON, loads on a second deployment,
-//! and produces identical verdicts there.
+//! and produces identical verdicts there. The disk round-trip goes through
+//! the persist layer's checksummed snapshot files, so a shared model is
+//! also tamper-evident.
 
 use athena::apps::dataset::{DdosDataset, FEATURES};
 use athena::apps::{DdosDetector, DdosDetectorConfig};
 use athena::compute::ComputeCluster;
 use athena::core::{DetectionModel, DetectorManager};
+use athena::ml::algorithms::forest::ForestParams;
+use athena::ml::algorithms::gbt::GbtParams;
+use athena::ml::algorithms::gmm::GmmParams;
+use athena::ml::algorithms::kmeans::KMeansParams;
+use athena::ml::algorithms::linear::LinearParams;
 use athena::ml::Algorithm;
+use athena::types::SimTime;
 
 fn features() -> Vec<String> {
     FEATURES.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// Every Table-IV algorithm family the frameworks trains plus the
+/// threshold rule — the full menu a deployment might share.
+fn all_algorithms() -> Vec<Algorithm> {
+    vec![
+        Algorithm::GradientBoostedTrees(GbtParams::default()),
+        Algorithm::decision_tree(),
+        Algorithm::logistic_regression(),
+        Algorithm::NaiveBayes,
+        Algorithm::RandomForest(ForestParams {
+            trees: 10,
+            ..ForestParams::default()
+        }),
+        Algorithm::Svm(Default::default()),
+        Algorithm::GaussianMixture(GmmParams::default()),
+        Algorithm::KMeans(KMeansParams {
+            k: 4,
+            ..KMeansParams::default()
+        }),
+        Algorithm::Lasso {
+            params: LinearParams::default(),
+            lambda: 1e-3,
+        },
+        Algorithm::Linear(LinearParams::default()),
+        Algorithm::Ridge {
+            params: LinearParams::default(),
+            lambda: 1e-3,
+        },
+        Algorithm::threshold(4, 350.0),
+    ]
 }
 
 #[test]
@@ -42,6 +81,67 @@ fn models_roundtrip_through_json_with_identical_verdicts() {
         let b = other.validate_points(&data.points, &loaded);
         assert_eq!(a.confusion, b.confusion, "{}", algorithm.name());
     }
+}
+
+#[test]
+fn every_algorithm_roundtrips_through_disk_snapshot() {
+    let dir = std::env::temp_dir().join(format!("athena-model-share-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = DdosDataset::generate(6_000, 8);
+    let det = DdosDetector::new(DdosDetectorConfig::default());
+    let dm = DetectorManager::new(ComputeCluster::new(2));
+    for (i, algorithm) in all_algorithms().into_iter().enumerate() {
+        let model = dm
+            .generate_from_points(
+                data.points.clone(),
+                &features(),
+                &det.preprocessor(),
+                &algorithm,
+            )
+            .unwrap();
+        let path = dir.join(format!("model-{i}.snap"));
+        model.save_to(&path, SimTime::from_secs(1)).unwrap();
+        let loaded = DetectionModel::load_from(&path).unwrap();
+        assert_eq!(loaded, model, "{}", algorithm.name());
+
+        // Identical verdicts on a second "deployment" loading from disk.
+        let other = DetectorManager::new(ComputeCluster::new(5));
+        let a = dm.validate_points(&data.points, &model);
+        let b = other.validate_points(&data.points, &loaded);
+        assert_eq!(a.confusion, b.confusion, "{}", algorithm.name());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_model_snapshot_is_rejected_not_misloaded() {
+    let dir = std::env::temp_dir().join(format!("athena-model-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let data = DdosDataset::generate(2_000, 8);
+    let det = DdosDetector::new(DdosDetectorConfig::default());
+    let dm = DetectorManager::new(ComputeCluster::new(2));
+    let model = dm
+        .generate_from_points(
+            data.points.clone(),
+            &features(),
+            &det.preprocessor(),
+            &Algorithm::NaiveBayes,
+        )
+        .unwrap();
+    let path = dir.join("model.snap");
+    model.save_to(&path, SimTime::from_secs(1)).unwrap();
+
+    // Flip one payload bit: the checksum must reject the file outright.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(DetectionModel::load_from(&path).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
