@@ -1,0 +1,282 @@
+//! Parallel-execution scalability: per-subsystem speedup of the
+//! `athena-parallel` pool at 1/2/4/8 workers, and a byte-identity check
+//! that every width produces the same answer.
+//!
+//! The host may have a single CPU core (the CI box does), so wall-clock
+//! speedup cannot demonstrate scaling there. Following the Figure-10
+//! virtual-time methodology, every chunk a pool job executes is timed
+//! for real and the job's completion time at width *W* is **modeled** by
+//! placing the measured chunk costs on *W* workers longest-first (LPT —
+//! `athena_parallel::makespan_ns`). The reported speedup is
+//! `Σ serial / Σ makespan(W)`; wall time is printed alongside for
+//! multi-core hosts. Results are written to `BENCH_parallel.json`
+//! (override with `ATHENA_PARALLEL_JSON`).
+//!
+//! Set `ATHENA_BENCH_SMOKE=1` for the <60 s CI workload.
+
+use athena_apps::dataset::{DdosDataset, FEATURES};
+use athena_apps::{DdosDetector, DdosDetectorConfig};
+use athena_bench::{env_scale, header};
+use athena_compute::ComputeCluster;
+use athena_core::{DetectorManager, FeatureGenerator};
+use athena_ml::data::LabeledPoint;
+use athena_ml::sweep::{cross_validate, fit_all, table_iv_roster};
+use athena_ml::Algorithm;
+use athena_openflow::{Action, FlowStatsEntry, MatchFields, OfMessage, StatsReply};
+use athena_parallel::{set_accounting, take_jobs, JobStats};
+use athena_store::{doc, Filter, FindOptions, StoreCluster};
+use athena_telemetry::Telemetry;
+use athena_types::{
+    AppId, ControllerId, Dpid, FiveTuple, Ipv4Addr, PortNo, SimDuration, SimTime, Xid,
+};
+use std::time::Instant;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn smoke() -> bool {
+    athena_types::env_flag("ATHENA_BENCH_SMOKE")
+}
+
+/// One subsystem's sweep: modeled virtual ms, modeled speedup, and wall
+/// ms at each width.
+struct Row {
+    name: &'static str,
+    virtual_ms: Vec<f64>,
+    speedup: Vec<f64>,
+    wall_ms: Vec<f64>,
+}
+
+/// Runs `work` once per width with chunk accounting on, asserts the
+/// digest is byte-identical at every width, and models the speedup from
+/// the measured chunk costs.
+fn measure(name: &'static str, mut work: impl FnMut() -> String) -> Row {
+    let mut row = Row {
+        name,
+        virtual_ms: Vec::new(),
+        speedup: Vec::new(),
+        wall_ms: Vec::new(),
+    };
+    let mut baseline: Option<String> = None;
+    for &w in &WIDTHS {
+        std::env::set_var("ATHENA_THREADS", w.to_string());
+        set_accounting(true);
+        let t0 = Instant::now();
+        let digest = work();
+        let wall = t0.elapsed();
+        let jobs = take_jobs();
+        set_accounting(false);
+        match &baseline {
+            None => baseline = Some(digest),
+            Some(b) => assert_eq!(
+                *b, digest,
+                "{name}: output at {w} workers diverges from the sequential run"
+            ),
+        }
+        let mut serial: u64 = jobs.iter().map(JobStats::serial_ns).sum();
+        let mut modeled: u64 = jobs.iter().map(|j| j.makespan_ns(w)).sum();
+        if jobs.is_empty() && w == 1 {
+            // Subsystems gated on `threads() > 1` (store, generator)
+            // bypass the pool entirely at width 1: the whole wall run IS
+            // the serial execution.
+            serial = wall.as_nanos() as u64;
+            modeled = serial;
+        }
+        assert!(
+            serial > 0,
+            "{name}: no pool jobs were recorded at width {w}"
+        );
+        row.virtual_ms.push(modeled as f64 / 1e6);
+        row.speedup.push(serial as f64 / modeled.max(1) as f64);
+        row.wall_ms.push(wall.as_secs_f64() * 1e3);
+    }
+    std::env::remove_var("ATHENA_THREADS");
+    row
+}
+
+/// The Figure-10 scalability workload: distributed validation of the
+/// DDoS detector over partitioned points.
+fn fig10_row() -> Row {
+    let entries = env_scale(
+        "ATHENA_PARALLEL_ENTRIES",
+        if smoke() { 80_000 } else { 150_000 },
+    );
+    let data = DdosDataset::generate(entries, 20170610);
+    let det = DdosDetector::new(DdosDetectorConfig::default());
+    let features: Vec<String> = FEATURES.iter().map(|s| (*s).to_owned()).collect();
+    let tel = Telemetry::off();
+    let trainer = DetectorManager::with_telemetry(ComputeCluster::new(4), &tel);
+    let model = trainer
+        .generate_from_points(
+            data.points[..entries / 10].to_vec(),
+            &features,
+            &det.preprocessor(),
+            &det.config.algorithm,
+        )
+        .expect("model");
+    let points = data.points;
+    measure("compute/fig10-validate", move || {
+        let dm = DetectorManager::with_telemetry(ComputeCluster::new(4), &tel);
+        let (summary, _vt) = dm.validate_points_distributed(points.clone(), &model);
+        format!(
+            "{:?} benign={} malicious={}",
+            summary.confusion, summary.benign_unique_flows, summary.malicious_unique_flows
+        )
+    })
+}
+
+/// Two well-separated blobs, deterministic (no RNG).
+fn blobs(n: usize) -> Vec<LabeledPoint> {
+    let mut data = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let x = (i % 10) as f64 * 0.01 + (i % 97) as f64 * 1e-4;
+        data.push(LabeledPoint::new(vec![x, 1.0 - x], 0.0));
+        data.push(LabeledPoint::new(vec![5.0 + x, 6.0 - x], 1.0));
+    }
+    data
+}
+
+/// The Table-IV sweep: one pool task per algorithm, then k-fold
+/// cross-validation (one task per fold).
+fn ml_row() -> Row {
+    let n = env_scale(
+        "ATHENA_PARALLEL_SWEEP_POINTS",
+        if smoke() { 80 } else { 250 },
+    );
+    let data = blobs(n);
+    measure("ml/table-iv-sweep", move || {
+        let fits = fit_all(table_iv_roster(), &data);
+        let folds = cross_validate(&Algorithm::decision_tree(), &data, 8);
+        let mut digest = String::new();
+        for f in &fits {
+            digest.push_str(&format!("{} {:?};", f.algorithm.name(), f.result));
+        }
+        for r in &folds {
+            digest.push_str(&format!("fold{} {:?};", r.fold, r.result));
+        }
+        digest
+    })
+}
+
+/// Cross-shard scans: a 6-node cluster answering non-indexed range
+/// queries, one pool task per shard with an ordered id merge.
+fn store_row() -> Row {
+    let docs = env_scale("ATHENA_PARALLEL_DOCS", if smoke() { 1_500 } else { 6_000 });
+    let cluster = StoreCluster::new(6, 2);
+    let coll = cluster.collection("bench");
+    coll.insert_many((0..docs).map(|i| doc! { "i" => i as i64, "v" => (i as i64 * 7) % 1000 }))
+        .expect("insert");
+    measure("store/cross-shard-find", move || {
+        let mut digest = String::new();
+        for lo in [100i64, 300, 500, 700, 900] {
+            let hits = coll.find(&Filter::gt("v", lo), &FindOptions::default());
+            let id_sum: u64 = hits.iter().map(|d| d.id.0).sum();
+            digest.push_str(&format!("gt{lo}:{}:{id_sum};", hits.len()));
+        }
+        digest
+    })
+}
+
+/// Feature extraction from one large FLOW_STATS snapshot: per-entry flow
+/// records and per-host aggregates.
+fn generator_row() -> Row {
+    let n = env_scale("ATHENA_PARALLEL_FLOWS", if smoke() { 768 } else { 3_000 });
+    let entries: Vec<FlowStatsEntry> = (0..n)
+        .map(|i| {
+            let src = Ipv4Addr::new(10, ((i >> 6) % 200) as u8, (i % 64) as u8, 1);
+            let dst = Ipv4Addr::new(10, 200, ((i * 13) % 250) as u8, 2);
+            FlowStatsEntry {
+                table_id: 0,
+                match_fields: MatchFields::exact_five_tuple(FiveTuple::tcp(
+                    src,
+                    1024 + (i % 5000) as u16,
+                    dst,
+                    80,
+                )),
+                priority: 100,
+                duration: SimDuration::from_secs(5 + (i % 30) as u64),
+                idle_timeout: SimDuration::from_secs(30),
+                hard_timeout: SimDuration::ZERO,
+                cookie: (i % 7) as u64,
+                packet_count: 10 + (i % 1000) as u64,
+                byte_count: 1000 + (i % 100_000) as u64,
+                actions: vec![Action::Output(PortNo::new(2))],
+            }
+        })
+        .collect();
+    let msg = OfMessage::StatsReply {
+        xid: Xid::athena_marked(1),
+        body: StatsReply::Flow(entries),
+    };
+    measure("core/feature-extraction", move || {
+        let mut generator = FeatureGenerator::new(ControllerId::new(0));
+        let records = generator.ingest(Dpid::new(1), &msg, SimTime::from_secs(6), &|c| {
+            AppId::new(c as u32)
+        });
+        format!("{}:{records:?}", records.len())
+    })
+}
+
+fn json_row(row: &Row) -> String {
+    let nums = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.3}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "    {{\"subsystem\": \"{}\", \"workers\": [1, 2, 4, 8], \"virtual_ms\": [{}], \"speedup\": [{}], \"wall_ms\": [{}]}}",
+        row.name,
+        nums(&row.virtual_ms),
+        nums(&row.speedup),
+        nums(&row.wall_ms)
+    )
+}
+
+fn main() {
+    println!(
+        "{}",
+        header("athena-parallel — modeled speedup at 1/2/4/8 workers")
+    );
+    println!(
+        "methodology: measured chunk costs placed LPT on W workers (virtual time);\n\
+         wall time alongside. Outputs asserted byte-identical at every width.\n"
+    );
+
+    let rows = [fig10_row(), ml_row(), store_row(), generator_row()];
+
+    println!(
+        "{:<26} {:>7} {:>12} {:>9} {:>10}",
+        "subsystem", "workers", "virtual ms", "speedup", "wall ms"
+    );
+    for row in &rows {
+        for (k, &w) in WIDTHS.iter().enumerate() {
+            println!(
+                "{:<26} {:>7} {:>12.2} {:>8.2}x {:>10.1}",
+                if k == 0 { row.name } else { "" },
+                w,
+                row.virtual_ms[k],
+                row.speedup[k],
+                row.wall_ms[k]
+            );
+        }
+    }
+
+    let json_path =
+        std::env::var("ATHENA_PARALLEL_JSON").unwrap_or_else(|_| "BENCH_parallel.json".to_owned());
+    let body = rows.iter().map(json_row).collect::<Vec<_>>().join(",\n");
+    let json = format!("{{\n  \"rows\": [\n{body}\n  ]\n}}\n");
+    std::fs::write(&json_path, json).expect("write BENCH_parallel.json");
+    println!("\nwrote {json_path}");
+
+    // Acceptance: ≥ 2.5× modeled speedup at 4 workers on the Figure-10
+    // scalability workload; every width byte-identical (asserted above).
+    let fig10_speedup_at_4 = rows[0].speedup[2];
+    assert!(
+        fig10_speedup_at_4 >= 2.5,
+        "fig10 workload speedup at 4 workers below 2.5x: {fig10_speedup_at_4:.2}"
+    );
+    println!(
+        "\nverified: fig10 workload {:.2}x at 4 workers (>= 2.5x), outputs byte-identical at all widths",
+        fig10_speedup_at_4
+    );
+}

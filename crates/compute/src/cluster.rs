@@ -135,16 +135,23 @@ impl ComputeCluster {
         self.inner.jobs.lock().clear();
     }
 
-    /// Runs a job: executes `task` over each partition (for real),
-    /// measures each task's CPU cost, and charges the virtual makespan.
+    /// Runs a job: executes `task` over each partition (for real, in
+    /// parallel on the `athena-parallel` pool at the `ATHENA_THREADS`
+    /// width), measures each task's CPU cost, and charges the virtual
+    /// makespan.
     ///
-    /// Returns the per-partition results.
+    /// Results come back in partition order (the pool's ordered
+    /// reduction), so output is byte-identical at any thread count.
     pub(crate) fn run_job<P, R>(
         &self,
         label: &str,
-        partitions: &[P],
-        mut task: impl FnMut(&P) -> R,
-    ) -> Vec<R> {
+        partitions: &Arc<Vec<P>>,
+        task: impl Fn(&P) -> R + Send + Sync + 'static,
+    ) -> Vec<R>
+    where
+        P: Send + Sync + 'static,
+        R: Send + 'static,
+    {
         // Instruments are cloned out of a short-lived guard so the jobs
         // log below is never locked while `tel` is held.
         let tel = {
@@ -157,17 +164,22 @@ impl ComputeCluster {
             }
         };
         let job_timer = tel.job_ns.start_timer();
-        let mut results = Vec::with_capacity(partitions.len());
-        let mut costs = Vec::with_capacity(partitions.len());
-        for p in partitions {
+        let parts = Arc::clone(partitions);
+        let task_hist = tel.task_ns.clone();
+        let timed = athena_parallel::par_map_indexed(parts.len(), move |i| {
             let start = Instant::now();
-            results.push(task(p));
+            let r = task(&parts[i]);
             let elapsed = start.elapsed();
-            tel.task_ns
-                .record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
-            costs.push(SimDuration::from_micros(elapsed.as_micros() as u64));
+            task_hist.record(elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+            (SimDuration::from_micros(elapsed.as_micros() as u64), r)
+        });
+        let mut results = Vec::with_capacity(timed.len());
+        let mut costs = Vec::with_capacity(timed.len());
+        for (cost, r) in timed {
+            costs.push(cost);
+            results.push(r);
         }
-        tel.tasks.add(partitions.len() as u64);
+        tel.tasks.add(costs.len() as u64);
         let virtual_time = self.inner.scheduler.makespan(&costs);
         let job_id = self.inner.job_counter.fetch_add(1, Ordering::Relaxed);
         let virtual_total = self

@@ -87,20 +87,25 @@ impl<T> Dataset<T> {
     }
 }
 
-impl<T: Clone> Dataset<T> {
+impl<T: Clone + Send + Sync + 'static> Dataset<T> {
     /// Applies `f` to every element (one job, one task per partition).
-    pub fn map<U>(&self, f: impl Fn(&T) -> U) -> Dataset<U> {
-        let parts = self.cluster.run_job("map", &self.partitions, |p: &Vec<T>| {
-            p.iter().map(&f).collect::<Vec<U>>()
-        });
+    pub fn map<U: Send + 'static>(
+        &self,
+        f: impl Fn(&T) -> U + Send + Sync + 'static,
+    ) -> Dataset<U> {
+        let parts = self
+            .cluster
+            .run_job("map", &self.partitions, move |p: &Vec<T>| {
+                p.iter().map(&f).collect::<Vec<U>>()
+            });
         Dataset::from_partitions(self.cluster.clone(), parts)
     }
 
     /// Keeps elements satisfying `f`.
-    pub fn filter(&self, f: impl Fn(&T) -> bool) -> Dataset<T> {
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Dataset<T> {
         let parts = self
             .cluster
-            .run_job("filter", &self.partitions, |p: &Vec<T>| {
+            .run_job("filter", &self.partitions, move |p: &Vec<T>| {
                 p.iter().filter(|x| f(x)).cloned().collect::<Vec<T>>()
             });
         Dataset::from_partitions(self.cluster.clone(), parts)
@@ -108,30 +113,45 @@ impl<T: Clone> Dataset<T> {
 
     /// Applies `f` to whole partitions (the workhorse for per-partition
     /// aggregation in ML algorithms).
-    pub fn map_partitions<U>(&self, f: impl Fn(&[T]) -> Vec<U>) -> Dataset<U> {
+    pub fn map_partitions<U: Send + 'static>(
+        &self,
+        f: impl Fn(&[T]) -> Vec<U> + Send + Sync + 'static,
+    ) -> Dataset<U> {
         let parts = self
             .cluster
-            .run_job("map_partitions", &self.partitions, |p: &Vec<T>| f(p));
+            .run_job("map_partitions", &self.partitions, move |p: &Vec<T>| f(p));
         Dataset::from_partitions(self.cluster.clone(), parts)
     }
 
     /// Combines all elements with `f` (associative).
-    pub fn reduce(&self, f: impl Fn(T, T) -> T) -> Option<T> {
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync + 'static) -> Option<T> {
+        let f = Arc::new(f);
+        let g = Arc::clone(&f);
         let partials = self
             .cluster
-            .run_job("reduce", &self.partitions, |p: &Vec<T>| {
-                p.iter().cloned().reduce(&f)
+            .run_job("reduce", &self.partitions, move |p: &Vec<T>| {
+                p.iter().cloned().reduce(&*g)
             });
-        partials.into_iter().flatten().reduce(f)
+        partials.into_iter().flatten().reduce(&*f)
     }
 
     /// Spark's `aggregate`: per-partition fold with `seq`, then a driver
-    /// combine with `comb`.
-    pub fn fold<A: Clone>(&self, init: A, seq: impl Fn(A, &T) -> A, comb: impl Fn(A, A) -> A) -> A {
+    /// combine with `comb`. The driver combine runs in partition order,
+    /// so the result is byte-identical at any thread count.
+    pub fn fold<A>(
+        &self,
+        init: A,
+        seq: impl Fn(A, &T) -> A + Send + Sync + 'static,
+        comb: impl Fn(A, A) -> A,
+    ) -> A
+    where
+        A: Clone + Send + Sync + 'static,
+    {
+        let seed = init.clone();
         let partials = self
             .cluster
-            .run_job("fold", &self.partitions, |p: &Vec<T>| {
-                p.iter().fold(init.clone(), &seq)
+            .run_job("fold", &self.partitions, move |p: &Vec<T>| {
+                p.iter().fold(seed.clone(), &seq)
             });
         partials.into_iter().fold(init, comb)
     }
@@ -171,7 +191,7 @@ impl<T: Clone> Dataset<T> {
         let keep_every = (1.0 / fraction).round().max(1.0) as usize;
         let parts = self
             .cluster
-            .run_job("sample", &self.partitions, |p: &Vec<T>| {
+            .run_job("sample", &self.partitions, move |p: &Vec<T>| {
                 p.iter().step_by(keep_every).cloned().collect::<Vec<T>>()
             });
         Dataset::from_partitions(self.cluster.clone(), parts)

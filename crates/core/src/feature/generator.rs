@@ -10,9 +10,15 @@ use athena_openflow::stats::PortStatsEntry;
 use athena_openflow::{FlowStatsEntry, MatchFields, OfMessage, StatsReply};
 use athena_types::{AppId, ControllerId, Dpid, FiveTuple, PortNo, SimDuration, SimTime};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Nominal link capacity used for utilization features (bits/second).
 const NOMINAL_CAPACITY_BPS: f64 = 1_000_000_000.0;
+
+/// Snapshots smaller than this are formatted in place: the stateful
+/// phase has already run, and the per-record construction cost does not
+/// amortize a parallel job for a handful of entries.
+const PAR_THRESHOLD: usize = 32;
 
 #[derive(Debug, Clone, Copy)]
 struct PrevFlowSample {
@@ -310,6 +316,15 @@ impl FeatureGenerator {
     }
 
     /// Per-flow + per-switch features from a flow-stats snapshot.
+    ///
+    /// Runs in two phases so the expensive part can go wide: a
+    /// sequential *stateful* pass (previous-sample table updates, app
+    /// resolution, per-switch aggregation — everything that touches
+    /// `&mut self` or the non-`Sync` `app_of`), then a pure
+    /// record-construction pass that runs on the `athena-parallel` pool
+    /// for large snapshots. Ordered reduction keeps the emitted record
+    /// order — and therefore store contents — byte-identical at any
+    /// `ATHENA_THREADS`.
     fn flow_stats_features(
         &mut self,
         from: Dpid,
@@ -330,69 +345,20 @@ impl FeatureGenerator {
         let total_tuples = tuples.len().max(1);
         let pair_ratio = pair_count as f64 / total_tuples as f64;
 
-        let mut out = Vec::with_capacity(entries.len() + 1);
         let mut unique_src: HashSet<athena_types::Ipv4Addr> = HashSet::new();
         let mut unique_dst: HashSet<athena_types::Ipv4Addr> = HashSet::new();
         let mut total_packets = 0u64;
         let mut total_bytes = 0u64;
         let mut total_duration = 0.0f64;
 
+        // Phase 1 (sequential): state updates and per-entry derivations.
+        let mut derived = Vec::with_capacity(entries.len());
         for e in entries {
             let ft = e.match_fields.five_tuple();
-            let app = app_of(e.cookie);
-            let mut index = FeatureIndex::switch(from);
-            index.five_tuple = ft;
-            index.app = Some(app);
-            let mut r = FeatureRecord::new(index).with_meta(self.meta(now, "FLOW_STATS", polled));
-
-            let dur = e.duration.as_secs_f64();
-            r.push_field("FLOW_PACKET_COUNT", e.packet_count as f64);
-            r.push_field("FLOW_BYTE_COUNT", e.byte_count as f64);
-            r.push_field("FLOW_DURATION_SEC", e.duration_sec() as f64);
-            r.push_field("FLOW_DURATION_NSEC", e.duration_nsec() as f64);
-            r.push_field("FLOW_PRIORITY", f64::from(e.priority));
-            r.push_field("FLOW_IDLE_TIMEOUT", e.idle_timeout.as_secs_f64());
-            r.push_field("FLOW_HARD_TIMEOUT", e.hard_timeout.as_secs_f64());
-            r.push_field("FLOW_TABLE_ID", f64::from(e.table_id));
             if let Some(ft) = ft {
-                r.push_field("FLOW_IP_PROTO", f64::from(ft.proto.number()));
-                r.push_field("FLOW_IP_SRC", f64::from(ft.src.raw()));
-                r.push_field("FLOW_IP_DST", f64::from(ft.dst.raw()));
-                r.push_field("FLOW_TP_SRC", f64::from(ft.src_port));
-                r.push_field("FLOW_TP_DST", f64::from(ft.dst_port));
                 unique_src.insert(ft.src);
                 unique_dst.insert(ft.dst);
             }
-            if let Some(et) = e.match_fields.eth_type {
-                r.push_field("FLOW_ETH_TYPE", f64::from(et.number()));
-            }
-            if let Some(p) = athena_openflow::Action::first_output(&e.actions) {
-                r.push_field("FLOW_ACTION_OUTPUT_PORT", f64::from(p.raw()));
-            }
-            // Combination features.
-            r.push_field(
-                "FLOW_BYTE_PER_PACKET",
-                safe_div(e.byte_count as f64, e.packet_count as f64),
-            );
-            r.push_field(
-                "FLOW_PACKET_PER_DURATION",
-                safe_div(e.packet_count as f64, dur),
-            );
-            r.push_field("FLOW_BYTE_PER_DURATION", safe_div(e.byte_count as f64, dur));
-            r.push_field(
-                "FLOW_UTILIZATION",
-                safe_div(e.byte_count as f64 * 8.0, dur) / NOMINAL_CAPACITY_BPS,
-            );
-            // Stateful features.
-            let is_pair = ft.is_some_and(|t| tuples.contains(&t.reversed()));
-            r.push_field("PAIR_FLOW", f64::from(u8::from(is_pair)));
-            r.push_field("PAIR_FLOW_RATIO", pair_ratio);
-            r.push_field("FLOW_APP_ID", f64::from(app.raw()));
-            r.push_field(
-                "FLOW_ORIGIN_REACTIVE",
-                f64::from(u8::from(!e.idle_timeout.is_zero())),
-            );
-            // Variation features against the previous sample.
             let prev = self.prev_flow.insert(
                 (from, e.match_fields),
                 PrevFlowSample {
@@ -402,38 +368,35 @@ impl FeatureGenerator {
                     last_seen: now,
                 },
             );
-            if let Some(p) = prev {
-                r.push_field(
-                    "FLOW_PACKET_COUNT_VAR",
-                    e.packet_count as f64 - p.packet_count as f64,
-                );
-                r.push_field(
-                    "FLOW_BYTE_COUNT_VAR",
-                    e.byte_count as f64 - p.byte_count as f64,
-                );
-                r.push_field(
-                    "FLOW_DURATION_SEC_VAR",
-                    e.duration_sec() as f64 - p.duration_sec as f64,
-                );
-                let prev_bpp = safe_div(p.byte_count as f64, p.packet_count as f64);
-                r.push_field(
-                    "FLOW_BYTE_PER_PACKET_VAR",
-                    safe_div(e.byte_count as f64, e.packet_count as f64) - prev_bpp,
-                );
-            } else {
-                r.push_field("FLOW_PACKET_COUNT_VAR", e.packet_count as f64);
-                r.push_field("FLOW_BYTE_COUNT_VAR", e.byte_count as f64);
-                r.push_field("FLOW_DURATION_SEC_VAR", e.duration_sec() as f64);
-                r.push_field(
-                    "FLOW_BYTE_PER_PACKET_VAR",
-                    safe_div(e.byte_count as f64, e.packet_count as f64),
-                );
-            }
             total_packets += e.packet_count;
             total_bytes += e.byte_count;
-            total_duration += dur;
-            out.push(r);
+            total_duration += e.duration.as_secs_f64();
+            derived.push(FlowDerived {
+                app: app_of(e.cookie),
+                prev,
+                is_pair: ft.is_some_and(|t| tuples.contains(&t.reversed())),
+            });
         }
+
+        // Phase 2 (parallel for large snapshots): pure record
+        // construction from the frozen per-entry inputs.
+        let meta = self.meta(now, "FLOW_STATS", polled);
+        let mut out: Vec<FeatureRecord> =
+            if entries.len() >= PAR_THRESHOLD && athena_parallel::threads() > 1 {
+                let shared = Arc::new(entries.to_vec());
+                let derived = Arc::new(derived);
+                let meta = meta.clone();
+                athena_parallel::par_map_indexed(shared.len(), move |i| {
+                    build_flow_record(from, meta.clone(), pair_ratio, &shared[i], &derived[i])
+                })
+            } else {
+                entries
+                    .iter()
+                    .zip(&derived)
+                    .map(|(e, d)| build_flow_record(from, meta.clone(), pair_ratio, e, d))
+                    .collect()
+            };
+        out.reserve(2);
 
         // The per-switch stateful aggregate record.
         if !entries.is_empty() {
@@ -471,7 +434,9 @@ impl FeatureGenerator {
     }
 
     /// Per-host aggregates: fan-out/fan-in, byte/packet totals, and pair
-    /// ratio, keyed by host address.
+    /// ratio, keyed by host address. The aggregation pass is stateful
+    /// and sequential; record construction parallelizes for large host
+    /// sets (ordered, so output order matches the sequential run).
     fn host_features(
         &mut self,
         from: Dpid,
@@ -480,18 +445,6 @@ impl FeatureGenerator {
         now: SimTime,
         polled: bool,
     ) -> Vec<FeatureRecord> {
-        #[derive(Default)]
-        struct HostAgg {
-            out_flows: u64,
-            in_flows: u64,
-            tx_bytes: u64,
-            rx_bytes: u64,
-            tx_packets: u64,
-            rx_packets: u64,
-            fanout: HashSet<athena_types::Ipv4Addr>,
-            fanin: HashSet<athena_types::Ipv4Addr>,
-            paired: u64,
-        }
         let mut hosts: HashMap<athena_types::Ipv4Addr, HostAgg> = HashMap::new();
         for e in entries {
             let Some(ft) = e.match_fields.five_tuple() else {
@@ -515,29 +468,18 @@ impl FeatureGenerator {
         // records in the same order — crash-recovery diffs rely on it.
         let mut hosts: Vec<_> = hosts.into_iter().collect();
         hosts.sort_by_key(|(ip, _)| *ip);
-        hosts
-            .into_iter()
-            .map(|(ip, agg)| {
-                let mut index = FeatureIndex::switch(from);
-                index.host = Some(ip);
-                let mut r =
-                    FeatureRecord::new(index).with_meta(self.meta(now, "HOST_STATE", polled));
-                r.push_field("HOST_OUT_FLOW_COUNT", agg.out_flows as f64);
-                r.push_field("HOST_IN_FLOW_COUNT", agg.in_flows as f64);
-                r.push_field("HOST_TX_BYTES", agg.tx_bytes as f64);
-                r.push_field("HOST_RX_BYTES", agg.rx_bytes as f64);
-                r.push_field("HOST_TX_PACKETS", agg.tx_packets as f64);
-                r.push_field("HOST_RX_PACKETS", agg.rx_packets as f64);
-                r.push_field("HOST_FANOUT", agg.fanout.len() as f64);
-                r.push_field("HOST_FANIN", agg.fanin.len() as f64);
-                r.push_field(
-                    "HOST_PAIR_RATIO",
-                    safe_div(agg.paired as f64, agg.out_flows as f64),
-                );
-                self.records_generated += 1;
-                r
+        self.records_generated += hosts.len() as u64;
+        let meta = self.meta(now, "HOST_STATE", polled);
+        if hosts.len() >= PAR_THRESHOLD && athena_parallel::threads() > 1 {
+            athena_parallel::par_map(hosts, move |(ip, agg)| {
+                build_host_record(from, meta.clone(), *ip, agg)
             })
-            .collect()
+        } else {
+            hosts
+                .into_iter()
+                .map(|(ip, agg)| build_host_record(from, meta.clone(), ip, &agg))
+                .collect()
+        }
     }
 
     fn port_stats_features(
@@ -621,6 +563,144 @@ impl FeatureGenerator {
         self.records_generated += out.len() as u64;
         out
     }
+}
+
+/// Per-entry inputs frozen by the stateful phase so the record-building
+/// phase is a pure function fit for the parallel pool.
+#[derive(Debug, Clone, Copy)]
+struct FlowDerived {
+    app: AppId,
+    prev: Option<PrevFlowSample>,
+    is_pair: bool,
+}
+
+/// Per-host aggregate accumulated from one flow-stats snapshot.
+#[derive(Debug, Default)]
+struct HostAgg {
+    out_flows: u64,
+    in_flows: u64,
+    tx_bytes: u64,
+    rx_bytes: u64,
+    tx_packets: u64,
+    rx_packets: u64,
+    fanout: HashSet<athena_types::Ipv4Addr>,
+    fanin: HashSet<athena_types::Ipv4Addr>,
+    paired: u64,
+}
+
+/// Builds one `FLOW_STATS` record from an entry and its frozen derived
+/// inputs. Pure: safe to run on any pool worker.
+fn build_flow_record(
+    from: Dpid,
+    meta: MetaData,
+    pair_ratio: f64,
+    e: &FlowStatsEntry,
+    d: &FlowDerived,
+) -> FeatureRecord {
+    let ft = e.match_fields.five_tuple();
+    let mut index = FeatureIndex::switch(from);
+    index.five_tuple = ft;
+    index.app = Some(d.app);
+    let mut r = FeatureRecord::new(index).with_meta(meta);
+
+    let dur = e.duration.as_secs_f64();
+    r.push_field("FLOW_PACKET_COUNT", e.packet_count as f64);
+    r.push_field("FLOW_BYTE_COUNT", e.byte_count as f64);
+    r.push_field("FLOW_DURATION_SEC", e.duration_sec() as f64);
+    r.push_field("FLOW_DURATION_NSEC", e.duration_nsec() as f64);
+    r.push_field("FLOW_PRIORITY", f64::from(e.priority));
+    r.push_field("FLOW_IDLE_TIMEOUT", e.idle_timeout.as_secs_f64());
+    r.push_field("FLOW_HARD_TIMEOUT", e.hard_timeout.as_secs_f64());
+    r.push_field("FLOW_TABLE_ID", f64::from(e.table_id));
+    if let Some(ft) = ft {
+        r.push_field("FLOW_IP_PROTO", f64::from(ft.proto.number()));
+        r.push_field("FLOW_IP_SRC", f64::from(ft.src.raw()));
+        r.push_field("FLOW_IP_DST", f64::from(ft.dst.raw()));
+        r.push_field("FLOW_TP_SRC", f64::from(ft.src_port));
+        r.push_field("FLOW_TP_DST", f64::from(ft.dst_port));
+    }
+    if let Some(et) = e.match_fields.eth_type {
+        r.push_field("FLOW_ETH_TYPE", f64::from(et.number()));
+    }
+    if let Some(p) = athena_openflow::Action::first_output(&e.actions) {
+        r.push_field("FLOW_ACTION_OUTPUT_PORT", f64::from(p.raw()));
+    }
+    // Combination features.
+    r.push_field(
+        "FLOW_BYTE_PER_PACKET",
+        safe_div(e.byte_count as f64, e.packet_count as f64),
+    );
+    r.push_field(
+        "FLOW_PACKET_PER_DURATION",
+        safe_div(e.packet_count as f64, dur),
+    );
+    r.push_field("FLOW_BYTE_PER_DURATION", safe_div(e.byte_count as f64, dur));
+    r.push_field(
+        "FLOW_UTILIZATION",
+        safe_div(e.byte_count as f64 * 8.0, dur) / NOMINAL_CAPACITY_BPS,
+    );
+    // Stateful features (derived in the sequential phase).
+    r.push_field("PAIR_FLOW", f64::from(u8::from(d.is_pair)));
+    r.push_field("PAIR_FLOW_RATIO", pair_ratio);
+    r.push_field("FLOW_APP_ID", f64::from(d.app.raw()));
+    r.push_field(
+        "FLOW_ORIGIN_REACTIVE",
+        f64::from(u8::from(!e.idle_timeout.is_zero())),
+    );
+    // Variation features against the previous sample.
+    if let Some(p) = d.prev {
+        r.push_field(
+            "FLOW_PACKET_COUNT_VAR",
+            e.packet_count as f64 - p.packet_count as f64,
+        );
+        r.push_field(
+            "FLOW_BYTE_COUNT_VAR",
+            e.byte_count as f64 - p.byte_count as f64,
+        );
+        r.push_field(
+            "FLOW_DURATION_SEC_VAR",
+            e.duration_sec() as f64 - p.duration_sec as f64,
+        );
+        let prev_bpp = safe_div(p.byte_count as f64, p.packet_count as f64);
+        r.push_field(
+            "FLOW_BYTE_PER_PACKET_VAR",
+            safe_div(e.byte_count as f64, e.packet_count as f64) - prev_bpp,
+        );
+    } else {
+        r.push_field("FLOW_PACKET_COUNT_VAR", e.packet_count as f64);
+        r.push_field("FLOW_BYTE_COUNT_VAR", e.byte_count as f64);
+        r.push_field("FLOW_DURATION_SEC_VAR", e.duration_sec() as f64);
+        r.push_field(
+            "FLOW_BYTE_PER_PACKET_VAR",
+            safe_div(e.byte_count as f64, e.packet_count as f64),
+        );
+    }
+    r
+}
+
+/// Builds one `HOST_STATE` record. Pure: safe to run on any pool worker.
+fn build_host_record(
+    from: Dpid,
+    meta: MetaData,
+    ip: athena_types::Ipv4Addr,
+    agg: &HostAgg,
+) -> FeatureRecord {
+    let mut index = FeatureIndex::switch(from);
+    index.host = Some(ip);
+    let mut r = FeatureRecord::new(index).with_meta(meta);
+    r.push_field("HOST_OUT_FLOW_COUNT", agg.out_flows as f64);
+    r.push_field("HOST_IN_FLOW_COUNT", agg.in_flows as f64);
+    r.push_field("HOST_TX_BYTES", agg.tx_bytes as f64);
+    r.push_field("HOST_RX_BYTES", agg.rx_bytes as f64);
+    r.push_field("HOST_TX_PACKETS", agg.tx_packets as f64);
+    r.push_field("HOST_RX_PACKETS", agg.rx_packets as f64);
+    r.push_field("HOST_FANOUT", agg.fanout.len() as f64);
+    r.push_field("HOST_FANIN", agg.fanin.len() as f64);
+    r.push_field(
+        "HOST_PAIR_RATIO",
+        safe_div(agg.paired as f64, agg.out_flows as f64),
+    );
+    r
 }
 
 fn safe_div(num: f64, den: f64) -> f64 {

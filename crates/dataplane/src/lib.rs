@@ -55,5 +55,5 @@ pub use link::SimLink;
 pub use network::{
     ControllerLink, LearningControllerStub, Network, NetworkConfig, NetworkCounters,
 };
-pub use switch::SimSwitch;
+pub use switch::{FlowCacheStats, SimSwitch};
 pub use topology::{HostSpec, LinkSpec, SwitchSpec, Topology};

@@ -133,6 +133,9 @@ impl Network {
     /// Routes the simulator's counters, per-tick step latency, and
     /// per-switch flow-table lookup totals into `tel`.
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
+        for sw in self.switches.values_mut() {
+            sw.bind_telemetry(tel);
+        }
         let m = tel.metrics();
         self.tel = NetTelemetry {
             step_ns: m.histogram("dataplane", "step_ns"),
@@ -293,7 +296,11 @@ impl Network {
         self.now = t;
 
         // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
-        let dpids: Vec<Dpid> = self.switches.keys().copied().collect();
+        // Sorted: FLOW_REMOVED delivery order must not depend on hash
+        // iteration order, or controller-visible event order varies
+        // between otherwise identical runs.
+        let mut dpids: Vec<Dpid> = self.switches.keys().copied().collect();
+        dpids.sort();
         for dpid in &dpids {
             let removed = match self.switches.get_mut(dpid) {
                 Some(sw) => sw.expire(t),

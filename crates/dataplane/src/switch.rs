@@ -2,10 +2,143 @@
 
 use athena_openflow::stats::PortStatsEntry;
 use athena_openflow::{
-    Action, FlowMod, FlowRemoved, FlowTable, MatchFields, PacketHeader, StatsReply, StatsRequest,
+    Action, EntryPos, FlowMod, FlowRemoved, FlowTable, MatchFields, PacketHeader, StatsReply,
+    StatsRequest,
 };
+use athena_telemetry::{Counter, Telemetry};
 use athena_types::{Dpid, PortNo, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+/// Capacity of the per-switch exact-match lookup cache.
+const FLOW_CACHE_CAPACITY: usize = 1024;
+
+/// Snapshot of a switch's lookup-cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowCacheStats {
+    /// Lookups served from the cache (no table scan).
+    pub hits: u64,
+    /// Lookups that scanned the table (cold key or stale slot).
+    pub misses: u64,
+    /// Slots (re-)populated after a full lookup.
+    pub insertions: u64,
+    /// Whole-cache invalidations (flow-mods and expiries).
+    pub invalidations: u64,
+}
+
+/// One cached lookup result: where the winning entry for an exact-match
+/// key sat in the flow table, plus enough identity (the entry's own match
+/// and priority — the winner for an exact key may be a wildcard rule) for
+/// [`FlowTable::lookup_at`] to revalidate it.
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    pos: EntryPos,
+    stamp: u64,
+}
+
+/// An exact-match LRU cache over [`FlowTable`] lookups.
+///
+/// Keyed by the packet's exact header fields; a hit revalidates the
+/// recorded table position via [`FlowTable::lookup_at`] so counters move
+/// exactly as an uncached lookup would. Any structural table change
+/// (flow-mod, expiry) invalidates the whole cache — positions recorded
+/// before the change may be stale.
+///
+/// Recency is tracked with a lazy-deletion queue (stamped entries, stale
+/// ones skipped at eviction) so the cache never iterates its `HashMap` —
+/// iteration order must not leak into behaviour on the hot path.
+#[derive(Debug, Clone, Default)]
+struct FlowLookupCache {
+    map: HashMap<MatchFields, CacheSlot>,
+    order: VecDeque<(MatchFields, u64)>,
+    stamp: u64,
+    stats: FlowCacheStats,
+    tel: CacheTelemetry,
+}
+
+/// Registry handles for the cache counters (detached until
+/// [`SimSwitch::bind_telemetry`]; shared across switches — registration
+/// is idempotent, so every switch resolves the same instruments).
+#[derive(Debug, Clone, Default)]
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    insertions: Counter,
+    invalidations: Counter,
+}
+
+impl FlowLookupCache {
+    /// Looks up the cached slot for `key`, refreshing its recency.
+    fn get(&mut self, key: &MatchFields) -> Option<CacheSlot> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let slot = self.map.get_mut(key)?;
+        slot.stamp = stamp;
+        let out = *slot;
+        self.order.push_back((*key, stamp));
+        self.compact();
+        Some(out)
+    }
+
+    /// Records the winning entry for `key`, evicting the least recently
+    /// used keys beyond capacity.
+    fn insert(&mut self, key: MatchFields, pos: EntryPos) {
+        self.stamp += 1;
+        let slot = CacheSlot {
+            pos,
+            stamp: self.stamp,
+        };
+        self.map.insert(key, slot);
+        self.order.push_back((key, self.stamp));
+        while self.map.len() > FLOW_CACHE_CAPACITY {
+            match self.order.pop_front() {
+                // A queue entry is live only if it carries the key's
+                // current stamp; older duplicates are skipped.
+                Some((k, s)) => {
+                    if self.map.get(&k).is_some_and(|slot| slot.stamp == s) {
+                        self.map.remove(&k);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.compact();
+        self.stats.insertions += 1;
+        self.tel.insertions.inc();
+    }
+
+    /// Drops every cached position (called on any structural change to
+    /// the flow table).
+    fn invalidate(&mut self) {
+        if self.map.is_empty() {
+            return;
+        }
+        self.map.clear();
+        self.order.clear();
+        self.stats.invalidations += 1;
+        self.tel.invalidations.inc();
+    }
+
+    /// Rebuilds the recency queue once stale entries dominate, keeping
+    /// its length proportional to the live map.
+    fn compact(&mut self) {
+        if self.order.len() < self.map.len().saturating_mul(4).max(64) {
+            return;
+        }
+        let map = &self.map;
+        self.order
+            .retain(|(k, s)| map.get(k).is_some_and(|slot| slot.stamp == *s));
+    }
+
+    fn hit(&mut self) {
+        self.stats.hits += 1;
+        self.tel.hits.inc();
+    }
+
+    fn miss(&mut self) {
+        self.stats.misses += 1;
+        self.tel.misses.inc();
+    }
+}
 
 /// A simulated OpenFlow switch: one flow table plus per-port counters.
 ///
@@ -30,6 +163,7 @@ pub struct SimSwitch {
     dpid: Dpid,
     table: FlowTable,
     ports: HashMap<PortNo, PortStatsEntry>,
+    cache: FlowLookupCache,
 }
 
 impl SimSwitch {
@@ -50,7 +184,25 @@ impl SimSwitch {
             dpid,
             table: FlowTable::new(0),
             ports,
+            cache: FlowLookupCache::default(),
         }
+    }
+
+    /// Routes the lookup-cache counters into `tel` (aggregated across
+    /// switches as `dataplane/cache/*`).
+    pub fn bind_telemetry(&mut self, tel: &Telemetry) {
+        let m = tel.metrics();
+        self.cache.tel = CacheTelemetry {
+            hits: m.counter("dataplane", "cache/hits"),
+            misses: m.counter("dataplane", "cache/misses"),
+            insertions: m.counter("dataplane", "cache/insertions"),
+            invalidations: m.counter("dataplane", "cache/invalidations"),
+        };
+    }
+
+    /// Snapshot of this switch's lookup-cache counters.
+    pub fn cache_stats(&self) -> FlowCacheStats {
+        self.cache.stats
     }
 
     /// The switch's datapath id.
@@ -73,6 +225,9 @@ impl SimSwitch {
     /// Applies a flow-mod, returning any flow-removed notifications (from
     /// delete commands).
     pub fn apply_flow_mod(&mut self, fm: &FlowMod, now: SimTime) -> Vec<FlowRemoved> {
+        // Any flow-mod may reorder or remove entries: cached positions
+        // are stale, so drop them all.
+        self.cache.invalidate();
         // OpenFlow switches silently ignore modify/delete misses.
         self.table.apply(fm, now).unwrap_or_default()
     }
@@ -93,10 +248,38 @@ impl SimSwitch {
             port.rx_packets += packets;
             port.rx_bytes += bytes;
         }
-        let actions = self
-            .table
-            .lookup(pkt, now, packets, bytes)
-            .map(|e| e.actions.clone());
+        let key = MatchFields::exact_from_packet(pkt);
+        let cached = self.cache.get(&key).and_then(|slot| {
+            self.table
+                .lookup_at(&slot.pos, pkt, now, packets, bytes)
+                .map(|e| e.actions.clone())
+        });
+        let actions = match cached {
+            Some(acts) => {
+                self.cache.hit();
+                Some(acts)
+            }
+            None => {
+                // Cold key or stale slot: full lookup, then (re)cache the
+                // winning position. Counters moved only here — a failed
+                // `lookup_at` moves nothing, so totals match an uncached
+                // switch exactly.
+                self.cache.miss();
+                match self.table.lookup_indexed(pkt, now, packets, bytes) {
+                    Some((idx, e)) => {
+                        let pos = EntryPos {
+                            idx,
+                            priority: e.priority,
+                            match_fields: e.match_fields,
+                        };
+                        let acts = e.actions.clone();
+                        self.cache.insert(key, pos);
+                        Some(acts)
+                    }
+                    None => None,
+                }
+            }
+        };
         match &actions {
             Some(acts) => {
                 for a in acts {
@@ -138,7 +321,15 @@ impl SimSwitch {
 
     /// Expires timed-out flow entries.
     pub fn expire(&mut self, now: SimTime) -> Vec<FlowRemoved> {
-        self.table.expire(now)
+        let before = self.table.len();
+        let removed = self.table.expire(now);
+        // `removed` only holds entries that asked for FLOW_REMOVED, so
+        // detect structural change by length: any removal shifts the
+        // positions the cache recorded.
+        if self.table.len() != before {
+            self.cache.invalidate();
+        }
+        removed
     }
 
     /// Serves a statistics request.
@@ -296,6 +487,106 @@ mod tests {
         let removed = sw.clear_flows(SimTime::from_secs(1));
         assert_eq!(removed.len(), 2);
         assert_eq!(sw.flow_count(), 0);
+    }
+
+    #[test]
+    fn cache_serves_repeat_lookups_with_identical_counters() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        sw.apply_flow_mod(
+            &FlowMod::add(
+                MatchFields::exact_from_packet(&pkt(1)),
+                10,
+                vec![Action::Output(PortNo::new(2))],
+            ),
+            SimTime::ZERO,
+        );
+        for i in 0..5 {
+            let out = sw.process(&pkt(1), SimTime::from_secs(i), 2, 100).unwrap();
+            assert_eq!(Action::first_output(&out), Some(PortNo::new(2)));
+        }
+        let stats = sw.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 4, "{stats:?}");
+        assert_eq!(stats.insertions, 1, "{stats:?}");
+        // Table counters match what 5 uncached lookups would produce.
+        assert_eq!(sw.table().lookup_count(), 5);
+        assert_eq!(sw.table().matched_count(), 5);
+        let entry = sw.table().iter().next().unwrap();
+        assert_eq!(entry.packet_count, 10);
+        assert_eq!(entry.byte_count, 500);
+        assert_eq!(entry.last_matched_at, SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn flow_mod_invalidates_cached_positions() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        sw.apply_flow_mod(
+            &FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(2))]),
+            SimTime::ZERO,
+        );
+        sw.process(&pkt(1), SimTime::ZERO, 1, 64); // warm the cache
+        assert_eq!(sw.cache_stats().hits + sw.cache_stats().misses, 1);
+        // A higher-priority rule for the same packet must win immediately.
+        sw.apply_flow_mod(
+            &FlowMod::add(
+                MatchFields::exact_from_packet(&pkt(1)),
+                50,
+                vec![Action::Output(PortNo::new(3))],
+            ),
+            SimTime::ZERO,
+        );
+        let out = sw.process(&pkt(1), SimTime::ZERO, 1, 64).unwrap();
+        assert_eq!(Action::first_output(&out), Some(PortNo::new(3)));
+        assert_eq!(sw.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn expiry_invalidates_cache_even_without_notifications() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        // No FLOW_REMOVED requested: `expire` returns nothing, but the
+        // cache must still notice the structural change.
+        let mut fm = FlowMod::add(
+            MatchFields::exact_from_packet(&pkt(1)),
+            10,
+            vec![Action::Output(PortNo::new(2))],
+        )
+        .with_idle_timeout(athena_types::SimDuration::from_secs(2));
+        fm.send_flow_removed = false;
+        sw.apply_flow_mod(&fm, SimTime::ZERO);
+        assert!(sw.process(&pkt(1), SimTime::from_secs(1), 1, 64).is_some());
+        let removed = sw.expire(SimTime::from_secs(10));
+        assert!(removed.is_empty());
+        assert_eq!(sw.flow_count(), 0);
+        assert_eq!(sw.cache_stats().invalidations, 1);
+        // The stale position must not resurrect the entry.
+        assert_eq!(sw.process(&pkt(1), SimTime::from_secs(10), 1, 64), None);
+    }
+
+    #[test]
+    fn cache_evicts_beyond_capacity_without_wrong_answers() {
+        let mut sw = SimSwitch::new(Dpid::new(1), 4);
+        sw.apply_flow_mod(
+            &FlowMod::add(MatchFields::new(), 1, vec![Action::Output(PortNo::new(2))]),
+            SimTime::ZERO,
+        );
+        // Far more distinct exact keys than the cache holds.
+        for i in 0..(super::FLOW_CACHE_CAPACITY as u16 + 500) {
+            let p = PacketHeader::tcp_syn(
+                PortNo::new(1),
+                Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+                1000 + i,
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+            );
+            let out = sw.process(&p, SimTime::ZERO, 1, 64).unwrap();
+            assert_eq!(Action::first_output(&out), Some(PortNo::new(2)));
+        }
+        let stats = sw.cache_stats();
+        assert_eq!(
+            stats.misses as usize,
+            super::FLOW_CACHE_CAPACITY + 500,
+            "distinct keys never hit"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Static-analysis gate for the Athena workspace.
 //!
-//! `athena-lint` enforces six invariants over the workspace's production
-//! sources without any external parser dependency:
+//! `athena-lint` enforces seven invariants over the workspace's
+//! production sources without any external parser dependency:
 //!
 //! - **no-panic-in-hot-path** — `unwrap`/`expect`, `panic!`-family
 //!   macros, and panicking `[]` indexing are banned in the decode/forward
@@ -19,6 +19,10 @@
 //!   banned outside the `wallclock_exempt` paths (telemetry timers, bench
 //!   harnesses): everything else runs on virtual `SimTime`, which is what
 //!   keeps runs and crash-recovery replays deterministic.
+//! - **no-unordered-iter-in-hot-path** — direct `HashMap`/`HashSet`
+//!   iteration is banned in the hot-path files: hash order varies by
+//!   seed and insertion history, and behaviour derived from it breaks
+//!   the byte-identical determinism guarantee.
 //!
 //! Grandfathered sites live in `lint.toml` under `[[allow]]`, each with a
 //! mandatory one-line justification. The `athena-lint` binary prints

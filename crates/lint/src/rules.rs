@@ -82,6 +82,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(ErrorHygiene),
         Box::new(NoPrintlnInLib),
         Box::new(NoWallclockInLib),
+        Box::new(NoUnorderedIterInHotPath),
     ]
 }
 
@@ -296,6 +297,157 @@ impl Rule for NoWallclockInLib {
                     "Instant::now() reads the wall clock; use virtual SimTime".to_string(),
                 ));
             }
+        }
+    }
+}
+
+/// Methods whose iteration order over a hash container is
+/// nondeterministic.
+const UNORDERED_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+];
+
+/// Flags direct iteration over `HashMap`/`HashSet` variables in the
+/// configured hot-path files.
+///
+/// Hash iteration order varies with the hasher seed and insertion
+/// history, so any hot-path behaviour derived from it (emission order,
+/// first-match wins, accumulated floats) silently breaks the
+/// byte-identical determinism guarantee. Sites that sort afterwards or
+/// are provably order-independent are grandfathered in `lint.toml` under
+/// `[[allow]]`, each with a reason.
+///
+/// Detection is two-pass: first collect identifiers declared with a
+/// `HashMap`/`HashSet` type annotation or initialized from
+/// `HashMap::new`-style constructors, then flag `.iter()`-family calls on
+/// those identifiers and bare `for … in map` loops over them.
+pub struct NoUnorderedIterInHotPath;
+
+impl Rule for NoUnorderedIterInHotPath {
+    fn name(&self) -> &'static str {
+        "no-unordered-iter-in-hot-path"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
+        if !config.hot_paths.iter().any(|p| p == &file.rel_path) {
+            return;
+        }
+        let tokens = &file.tokens;
+        let declared = hash_container_names(tokens);
+        if declared.is_empty() {
+            return;
+        }
+
+        for (i, t) in tokens.iter().enumerate() {
+            if t.in_test || t.kind != TokenKind::Ident {
+                continue;
+            }
+            // `name.iter()` / `.keys()` / `.values_mut()` …
+            if declared.contains(&t.text)
+                && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                && tokens.get(i + 2).is_some_and(|n| {
+                    n.kind == TokenKind::Ident && UNORDERED_ITER_METHODS.contains(&n.text.as_str())
+                })
+                && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+            {
+                out.push(Violation::at(
+                    &tokens[i + 2],
+                    format!(
+                        "iterating hash container `{}` in a hot path is order-nondeterministic; \
+                         sort the results or use an ordered structure",
+                        t.text
+                    ),
+                ));
+            }
+            // `for … in [&[mut]] path.to.name {`
+            if t.text == "in" {
+                if let Some(name) = bare_loop_target(tokens, i + 1) {
+                    if declared.contains(&name) {
+                        out.push(Violation::at(
+                            t,
+                            format!(
+                                "for-loop over hash container `{name}` in a hot path is \
+                                 order-nondeterministic; sort the results or use an ordered \
+                                 structure"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers declared in this file with a `HashMap`/`HashSet` type
+/// (field/let annotations, possibly `&`-qualified or path-qualified) or
+/// bound from a `HashMap::…` constructor call.
+fn hash_container_names(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a `std::collections::` style path prefix.
+        let mut j = i;
+        while j >= 2
+            && tokens[j - 1].kind == TokenKind::PathSep
+            && tokens[j - 2].kind == TokenKind::Ident
+        {
+            j -= 2;
+        }
+        // Skip reference/mutability qualifiers in the type position.
+        let mut k = j;
+        while k > 0 && (tokens[k - 1].is_punct('&') || tokens[k - 1].is_ident("mut")) {
+            k -= 1;
+        }
+        let name = match (
+            k.checked_sub(2).map(|p| &tokens[p]),
+            k.checked_sub(1).map(|p| &tokens[p]),
+        ) {
+            // `name: HashMap<…>` (field, param, or annotated let).
+            (Some(n), Some(c)) if c.is_punct(':') && n.kind == TokenKind::Ident => Some(&n.text),
+            // `name = HashMap::new()` style bindings.
+            (Some(n), Some(eq)) if eq.is_punct('=') && n.kind == TokenKind::Ident => Some(&n.text),
+            _ => None,
+        };
+        if let Some(name) = name {
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
+        }
+    }
+    out
+}
+
+/// For a `for … in <expr> {` loop, returns the final identifier of the
+/// iterated expression when it is a plain (possibly `&`/`mut`-prefixed)
+/// field or variable path — `None` for anything with calls, ranges, or
+/// other operators, which either iterate deterministically or are flagged
+/// at their method-call site instead.
+fn bare_loop_target(tokens: &[Token], mut j: usize) -> Option<String> {
+    while tokens
+        .get(j)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    let mut last: Option<String> = None;
+    loop {
+        let t = tokens.get(j)?;
+        match t.kind {
+            TokenKind::Ident => {
+                last = Some(t.text.clone());
+                j += 1;
+            }
+            TokenKind::Punct('.') | TokenKind::PathSep => j += 1,
+            TokenKind::Punct('{') => return last,
+            _ => return None,
         }
     }
 }

@@ -3,7 +3,7 @@
 //! tokens the rules could flag — and real violations must.
 
 use athena_lint::config::Config;
-use athena_lint::rules::{NoPanicInHotPath, Rule, SourceFile};
+use athena_lint::rules::{NoPanicInHotPath, NoUnorderedIterInHotPath, Rule, SourceFile};
 use athena_lint::tokenizer::{tokenize, TokenKind};
 
 fn idents(source: &str) -> Vec<String> {
@@ -139,5 +139,49 @@ struct S { data: [u8; 6] }
 fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }
 ";
     let msgs = hot_path_violations(src);
+    assert!(msgs.is_empty(), "{msgs:?}");
+}
+
+/// Runs the unordered-iteration rule over a snippet registered as a hot
+/// file.
+fn unordered_iter_violations(source: &str) -> Vec<String> {
+    let file = SourceFile::new("hot.rs".to_string(), source.to_string());
+    let config = Config::parse("[lint]\nhot_paths = [\"hot.rs\"]\n").expect("valid config");
+    let mut out = Vec::new();
+    NoUnorderedIterInHotPath.check(&file, &config, &mut out);
+    out.into_iter().map(|v| v.message).collect()
+}
+
+#[test]
+fn unordered_iter_flags_hash_map_methods_and_bare_loops() {
+    let src = "\
+struct S { flows: std::collections::HashMap<u64, u8>, seen: HashSet<u64> }
+fn f(s: &mut S) {
+    for (k, v) in &s.flows { drop((k, v)); }
+    let n = s.seen.iter().count();
+    for v in s.flows.values_mut() { *v += 1; }
+    let _ = n;
+}
+";
+    let msgs = unordered_iter_violations(src);
+    assert_eq!(msgs.len(), 3, "{msgs:?}");
+    assert!(msgs.iter().all(|m| m.contains("order-nondeterministic")));
+}
+
+#[test]
+fn unordered_iter_ignores_vecs_ordered_maps_and_test_code() {
+    let src = "\
+struct S { flows: Vec<u8>, sorted: std::collections::BTreeMap<u64, u8> }
+fn f(s: &S) -> usize {
+    let mut n = 0;
+    for v in &s.flows { n += *v as usize; }
+    n + s.sorted.values().count()
+}
+#[cfg(test)]
+mod tests {
+    fn t(m: &std::collections::HashMap<u64, u8>) -> usize { m.values().count() }
+}
+";
+    let msgs = unordered_iter_violations(src);
     assert!(msgs.is_empty(), "{msgs:?}");
 }

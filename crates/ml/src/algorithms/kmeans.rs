@@ -113,7 +113,7 @@ impl KMeansModel {
         for _ in 0..params.max_iterations {
             let centroids_snapshot = centroids.clone();
             // One distributed job per Lloyd iteration.
-            let partials = data.map_partitions(|part| {
+            let partials = data.map_partitions(move |part| {
                 let points: Vec<&[f64]> = part.iter().map(|p| p.features.as_slice()).collect();
                 let (sums, counts, c) = assign_and_sum(&points, &centroids_snapshot, dim);
                 vec![(sums, counts, c)]

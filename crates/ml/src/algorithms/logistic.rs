@@ -112,7 +112,7 @@ impl LogisticModel {
         for _ in 0..params.iterations {
             let w_snapshot = w.clone();
             let b_snapshot = b;
-            let partials = data.map_partitions(|part| {
+            let partials = data.map_partitions(move |part| {
                 let mut gw = DenseVector::zeros(dim);
                 let mut gb = 0.0;
                 for p in part {

@@ -1,0 +1,168 @@
+//! The parallel Table-IV sweep: per-algorithm and per-fold fitting on
+//! the `athena-parallel` pool.
+//!
+//! The paper trains 11 algorithm types (Table IV) over the same feature
+//! set; each fit is independent, so the sweep is embarrassingly parallel
+//! — as is k-fold cross-validation of a single algorithm. Both helpers
+//! return results **in submission order** (the pool's ordered
+//! reduction), so a sweep report is byte-identical at any
+//! `ATHENA_THREADS` setting.
+
+use crate::algorithms::forest::ForestParams;
+use crate::algorithms::gbt::GbtParams;
+use crate::algorithms::gmm::GmmParams;
+use crate::algorithms::linear::LinearParams;
+use crate::algorithms::logistic::LogisticParams;
+use crate::algorithms::svm::SvmParams;
+use crate::data::LabeledPoint;
+use crate::metrics::ConfusionMatrix;
+use crate::model::{Algorithm, TrainedModel};
+use athena_types::Result;
+use std::sync::Arc;
+
+/// One fitted entry of a sweep, in roster order.
+#[derive(Debug, Clone)]
+pub struct AlgoFit {
+    /// The algorithm that was fitted.
+    pub algorithm: Algorithm,
+    /// The fit outcome (training errors are per-entry, not sweep-fatal).
+    pub result: Result<TrainedModel>,
+}
+
+/// One fold's held-out evaluation, in fold order.
+#[derive(Debug, Clone)]
+pub struct FoldReport {
+    /// Fold index in `0..folds`.
+    pub fold: usize,
+    /// Confusion matrix over the held-out fold (or the training error).
+    pub result: Result<ConfusionMatrix>,
+}
+
+/// The paper's Table-IV roster: the 11 trainable algorithms with their
+/// default hyperparameters (clusterers default to `k = 2`, benign vs
+/// anomalous).
+pub fn table_iv_roster() -> Vec<Algorithm> {
+    vec![
+        Algorithm::GradientBoostedTrees(GbtParams::default()),
+        Algorithm::DecisionTree(crate::algorithms::tree::TreeParams::default()),
+        Algorithm::LogisticRegression(LogisticParams::default()),
+        Algorithm::NaiveBayes,
+        Algorithm::RandomForest(ForestParams::default()),
+        Algorithm::Svm(SvmParams::default()),
+        Algorithm::GaussianMixture(GmmParams::default()),
+        Algorithm::kmeans(2),
+        Algorithm::Lasso {
+            params: LinearParams::default(),
+            lambda: 0.1,
+        },
+        Algorithm::Linear(LinearParams::default()),
+        Algorithm::Ridge {
+            params: LinearParams::default(),
+            lambda: 0.1,
+        },
+    ]
+}
+
+/// Fits every algorithm in `algorithms` over `data`, one pool task per
+/// algorithm. Results come back in roster order regardless of which
+/// worker finished first.
+pub fn fit_all(algorithms: Vec<Algorithm>, data: &[LabeledPoint]) -> Vec<AlgoFit> {
+    let data = Arc::new(data.to_vec());
+    athena_parallel::par_map(algorithms, move |a| AlgoFit {
+        algorithm: a.clone(),
+        result: a.fit(&data),
+    })
+}
+
+/// Deterministic k-fold cross-validation, one pool task per fold: point
+/// `i` belongs to fold `i % folds`, each fold trains on the rest and is
+/// evaluated on its held-out points via [`TrainedModel::verdict_and_cluster`].
+pub fn cross_validate(
+    algorithm: &Algorithm,
+    data: &[LabeledPoint],
+    folds: usize,
+) -> Vec<FoldReport> {
+    let folds = folds.clamp(2, data.len().max(2));
+    let data = Arc::new(data.to_vec());
+    let algo = algorithm.clone();
+    athena_parallel::par_map_indexed(folds, move |fold| {
+        let train: Vec<LabeledPoint> = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % folds != fold)
+            .map(|(_, p)| p.clone())
+            .collect();
+        let result = algo.fit(&train).map(|model| {
+            let mut cm = ConfusionMatrix::default();
+            for (_, p) in data.iter().enumerate().filter(|(i, _)| i % folds == fold) {
+                let (predicted, _) = model.verdict_and_cluster(&p.features);
+                cm.record(p.is_malicious(), predicted);
+            }
+            cm
+        });
+        FoldReport { fold, result }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize) -> Vec<LabeledPoint> {
+        let mut data = Vec::new();
+        for i in 0..n {
+            let x = (i % 10) as f64 * 0.01;
+            data.push(LabeledPoint::new(vec![x, x], 0.0));
+            data.push(LabeledPoint::new(vec![5.0 + x, 5.0 + x], 1.0));
+        }
+        data
+    }
+
+    #[test]
+    fn sweep_fits_whole_roster_in_order() {
+        let roster = table_iv_roster();
+        let names: Vec<&str> = roster.iter().map(Algorithm::name).collect();
+        let fits = fit_all(roster, &blobs(60));
+        assert_eq!(fits.len(), 11);
+        let got: Vec<&str> = fits.iter().map(|f| f.algorithm.name()).collect();
+        assert_eq!(got, names, "results must come back in roster order");
+        for f in &fits {
+            assert!(f.result.is_ok(), "{} failed to fit", f.algorithm.name());
+        }
+    }
+
+    #[test]
+    fn cross_validation_covers_every_point_once() {
+        let data = blobs(40);
+        let reports = cross_validate(&Algorithm::decision_tree(), &data, 5);
+        assert_eq!(reports.len(), 5);
+        let total: u64 = reports
+            .iter()
+            .map(|r| r.result.as_ref().map(ConfusionMatrix::total).unwrap_or(0))
+            .sum();
+        assert_eq!(total, data.len() as u64);
+        for r in &reports {
+            let cm = r.result.as_ref().expect("fold fits");
+            assert!(cm.detection_rate() > 0.9, "fold {}: {cm:?}", r.fold);
+        }
+    }
+
+    #[test]
+    fn sweep_results_are_identical_across_widths() {
+        let data = blobs(50);
+        let summarize = |fits: &[AlgoFit]| -> Vec<String> {
+            fits.iter()
+                .map(|f| match &f.result {
+                    Ok(m) => format!("{} {:?}", f.algorithm.name(), m),
+                    Err(e) => format!("{} err {e}", f.algorithm.name()),
+                })
+                .collect()
+        };
+        std::env::set_var("ATHENA_THREADS", "1");
+        let seq = summarize(&fit_all(table_iv_roster(), &data));
+        std::env::set_var("ATHENA_THREADS", "8");
+        let par = summarize(&fit_all(table_iv_roster(), &data));
+        std::env::remove_var("ATHENA_THREADS");
+        assert_eq!(seq, par);
+    }
+}

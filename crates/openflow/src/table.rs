@@ -116,6 +116,16 @@ impl FlowEntry {
 /// assert_eq!(table.len(), 1);
 /// # Ok::<(), athena_types::AthenaError>(())
 /// ```
+/// A previously-returned entry's table position plus enough of its
+/// identity (own match and priority) for [`FlowTable::lookup_at`] to
+/// detect a stale position and refuse the shortcut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryPos {
+    pub idx: usize,
+    pub priority: u16,
+    pub match_fields: MatchFields,
+}
+
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FlowTable {
     table_id: u8,
@@ -262,6 +272,20 @@ impl FlowTable {
         packets: u64,
         bytes: u64,
     ) -> Option<&FlowEntry> {
+        self.lookup_indexed(pkt, now, packets, bytes)
+            .map(|(_, e)| e)
+    }
+
+    /// [`FlowTable::lookup`], but also returns the winning entry's table
+    /// position so exact-match lookup caches can revalidate it later with
+    /// [`FlowTable::lookup_at`].
+    pub fn lookup_indexed(
+        &mut self,
+        pkt: &PacketHeader,
+        now: SimTime,
+        packets: u64,
+        bytes: u64,
+    ) -> Option<(usize, &FlowEntry)> {
         self.lookup_count += 1;
         let idx = self
             .entries
@@ -272,7 +296,48 @@ impl FlowTable {
         e.packet_count += packets;
         e.byte_count += bytes;
         e.last_matched_at = now;
-        Some(&self.entries[idx])
+        Some((idx, &self.entries[idx]))
+    }
+
+    /// Credits a lookup against the entry at `pos.idx` if it is still
+    /// the entry a cache recorded — same match and priority — and it
+    /// still matches `pkt` unexpired at `now`. Counters (table-level and
+    /// per-entry) move exactly as in [`FlowTable::lookup`].
+    ///
+    /// Returns `None` **without moving any counter** when the validation
+    /// fails; the caller must then fall back to a full
+    /// [`FlowTable::lookup`]. The position stays authoritative between
+    /// structural changes ([`FlowTable::apply`] / [`FlowTable::expire`])
+    /// because entries never move otherwise: expired entries keep their
+    /// slot (and can never match again — expiry is monotonic), and
+    /// earlier entries' match fields are immutable, so the first live
+    /// match for an exact packet cannot shift to a different position.
+    pub fn lookup_at(
+        &mut self,
+        pos: &EntryPos,
+        pkt: &PacketHeader,
+        now: SimTime,
+        packets: u64,
+        bytes: u64,
+    ) -> Option<&FlowEntry> {
+        let idx = pos.idx;
+        let valid = self.entries.get(idx).is_some_and(|e| {
+            e.priority == pos.priority
+                && e.match_fields == pos.match_fields
+                && e.expiry_reason(now).is_none()
+                && e.match_fields.matches(pkt)
+        });
+        if !valid {
+            return None;
+        }
+        self.lookup_count += 1;
+        self.matched_count += 1;
+        if let Some(e) = self.entries.get_mut(idx) {
+            e.packet_count += packets;
+            e.byte_count += bytes;
+            e.last_matched_at = now;
+        }
+        self.entries.get(idx)
     }
 
     /// Looks up the packet without mutating any counters (used by the

@@ -1,0 +1,83 @@
+//! Per-job cost accounting and the modeled-makespan speedup figure.
+//!
+//! The reproduction host may have a single CPU core (the seed repo's
+//! compute crate was built around exactly that constraint), so wall-clock
+//! speedup cannot demonstrate scaling there. Instead — mirroring the
+//! Figure-10 methodology in `athena-compute` — every chunk a job executes
+//! is timed for real, and the job's makespan at width *W* is *modeled* by
+//! placing the measured chunk costs on *W* workers
+//! longest-processing-time first. On a multi-core host the modeled and
+//! measured wall times converge; on a single-core host the model is the
+//! reported scalability figure. `bench/src/bin/table_parallel.rs`
+//! consumes this via [`take_jobs`].
+//!
+//! Accounting is off by default ([`set_accounting`]); when off, jobs skip
+//! the log entirely.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::lock;
+
+/// Measured cost profile of one parallel job.
+#[derive(Debug, Clone)]
+pub struct JobStats {
+    /// Number of items mapped.
+    pub items: usize,
+    /// Effective width the job ran at (1 = sequential fast path).
+    pub width: usize,
+    /// Measured wall cost of each executed chunk, in submission order.
+    pub chunk_costs_ns: Vec<u64>,
+}
+
+impl JobStats {
+    /// Total serial work: the sum of all chunk costs.
+    pub fn serial_ns(&self) -> u64 {
+        self.chunk_costs_ns.iter().sum()
+    }
+
+    /// Modeled makespan of this job's measured chunks on `width`
+    /// workers (longest-processing-time placement).
+    pub fn makespan_ns(&self, width: usize) -> u64 {
+        makespan_ns(&self.chunk_costs_ns, width)
+    }
+}
+
+/// Places `costs` on `width` workers longest-first and returns the
+/// maximum worker load — the classic LPT makespan bound, and the same
+/// shape `athena_compute::VirtualScheduler` models for Figure 10.
+pub fn makespan_ns(costs: &[u64], width: usize) -> u64 {
+    let width = width.max(1);
+    let mut sorted: Vec<u64> = costs.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; width];
+    for c in sorted {
+        if let Some(min) = loads.iter_mut().min() {
+            *min += c;
+        }
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static JOBS: Mutex<Vec<JobStats>> = Mutex::new(Vec::new());
+
+/// Turns job-cost accounting on or off (off by default). Turning it on
+/// clears any previously recorded jobs.
+pub fn set_accounting(on: bool) {
+    lock(&JOBS).clear();
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Drains and returns the jobs recorded since accounting was enabled.
+pub fn take_jobs() -> Vec<JobStats> {
+    std::mem::take(&mut *lock(&JOBS))
+}
+
+pub(crate) fn accounting_enabled() -> bool {
+    ENABLED.load(Ordering::SeqCst)
+}
+
+pub(crate) fn record_job(stats: JobStats) {
+    lock(&JOBS).push(stats);
+}

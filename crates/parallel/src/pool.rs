@@ -1,0 +1,211 @@
+//! The work-stealing pool: per-worker deques, a global injector, and
+//! parked idle workers.
+//!
+//! Workers are spawned lazily on the first parallel job and live for the
+//! process lifetime. Each worker owns a deque; tasks spawned *from* a
+//! worker land on its own deque (LIFO pop for locality), tasks spawned
+//! from outside the pool land on the shared injector (FIFO). An idle
+//! worker drains its own deque, then the injector, then steals from the
+//! front of sibling deques; when everything is empty it parks on a
+//! condvar and is woken by the next spawn.
+//!
+//! The pool itself is *unordered* — determinism is the job layer's
+//! problem ([`crate::run_ordered`] writes results into per-index slots),
+//! which is exactly why stealing order, park timing, and worker count
+//! never show up in observable output.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::telemetry::Instruments;
+
+/// A unit of pool work. Tasks are `'static`: jobs share state with their
+/// runners through `Arc`, never through borrows.
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Lock helper that survives a poisoned mutex: pool state stays valid
+/// even if a task panicked while a guard was held elsewhere.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Which pool worker the current thread is, if any. Lets nested
+    /// spawns go to the local deque (stealable by siblings) instead of
+    /// the injector.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The minimum number of workers the pool starts, regardless of host
+/// core count. Parked workers cost nothing, and a pool wider than the
+/// host lets `ATHENA_THREADS=8` exercise real cross-thread stealing (and
+/// the determinism gate) even on a single-core machine.
+const MIN_WORKERS: usize = 8;
+
+pub(crate) struct Pool {
+    /// FIFO queue for tasks spawned from outside the pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// One deque per worker: owner pushes/pops the back, thieves pop the
+    /// front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Mutex + condvar pair idle workers park on.
+    park: Mutex<()>,
+    wake: Condvar,
+    /// Number of workers currently parked (or about to park); spawns
+    /// skip the park lock entirely when it is zero.
+    idle: AtomicUsize,
+    /// Telemetry instruments, swapped in by [`crate::bind_telemetry`].
+    pub(crate) tel: std::sync::RwLock<Instruments>,
+}
+
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
+
+/// The process-wide pool, spawning its workers on first use.
+pub(crate) fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = cores.max(MIN_WORKERS);
+        let pool = Arc::new(Pool {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            idle: AtomicUsize::new(0),
+            tel: std::sync::RwLock::new(Instruments::detached()),
+        });
+        for id in 0..workers {
+            let p = Arc::clone(&pool);
+            // A failed spawn degrades capacity but never correctness:
+            // the missing worker's deque only receives work from the
+            // worker itself, and callers always run their own job.
+            let _ = std::thread::Builder::new()
+                .name(format!("athena-par-{id}"))
+                .spawn(move || p.worker_loop(id));
+        }
+        pool
+    })
+}
+
+impl Pool {
+    /// Number of worker threads (the max useful job width is one more:
+    /// the caller participates in its own job).
+    pub(crate) fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Enqueues a task and wakes a parked worker if there is one.
+    pub(crate) fn spawn_task(&self, task: Task) {
+        let depth = match WORKER_ID.with(Cell::get) {
+            Some(id) => {
+                let mut d = lock(&self.deques[id]);
+                d.push_back(task);
+                d.len()
+            }
+            None => {
+                let mut q = lock(&self.injector);
+                q.push_back(task);
+                q.len()
+            }
+        };
+        self.with_tel(|t| {
+            t.tasks_spawned.inc();
+            t.queue_depth.record(depth as u64);
+        });
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.park);
+            self.wake.notify_one();
+        }
+    }
+
+    /// Runs `f` against the bound instruments without holding the read
+    /// guard across anything that can block.
+    pub(crate) fn with_tel(&self, f: impl FnOnce(&Instruments)) {
+        let guard = self
+            .tel
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&guard);
+    }
+
+    fn worker_loop(&self, id: usize) {
+        WORKER_ID.with(|w| w.set(Some(id)));
+        loop {
+            match self.find_task(id) {
+                Some(task) => {
+                    self.with_tel(|t| t.task_executed(id));
+                    // Keep the worker alive across panicking tasks; the
+                    // job layer records and re-raises the panic on the
+                    // calling thread.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                }
+                None => self.park(),
+            }
+        }
+    }
+
+    /// Own deque (LIFO), then injector (FIFO), then steal from siblings
+    /// (front, FIFO) starting just past our own slot.
+    fn find_task(&self, id: usize) -> Option<Task> {
+        if let Some(t) = lock(&self.deques[id]).pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = lock(&self.injector).pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (id + off) % n;
+            if let Some(t) = lock(&self.deques[victim]).pop_front() {
+                self.with_tel(|t| t.steals.inc());
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Steal-only scan for threads that are not pool workers (a caller
+    /// helping its own job along while it waits on a [`crate::scope`]).
+    pub(crate) fn find_task_external(&self) -> Option<Task> {
+        if let Some(t) = lock(&self.injector).pop_front() {
+            return Some(t);
+        }
+        for victim in &self.deques {
+            if let Some(t) = lock(victim).pop_front() {
+                self.with_tel(|t| t.steals.inc());
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn park(&self) {
+        let guard = lock(&self.park);
+        self.idle.fetch_add(1, Ordering::SeqCst);
+        // Advertise idleness *before* the final emptiness check: a
+        // spawner that pushed before seeing `idle > 0` must have pushed
+        // before this check, so the task is visible here.
+        if self.has_queued() {
+            self.idle.fetch_sub(1, Ordering::SeqCst);
+            return;
+        }
+        self.with_tel(|t| t.parks.inc());
+        // The timeout is a safety net against the residual lost-wakeup
+        // window (cross-variable atomics vs. mutex ordering); it bounds
+        // any stall without affecting results.
+        let _ = self
+            .wake
+            .wait_timeout(guard, Duration::from_millis(2))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.idle.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn has_queued(&self) -> bool {
+        if !lock(&self.injector).is_empty() {
+            return true;
+        }
+        self.deques.iter().any(|d| !lock(d).is_empty())
+    }
+}

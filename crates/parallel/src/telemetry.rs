@@ -1,0 +1,73 @@
+//! `parallel/*` instruments: spawned tasks, steals, parks, queue depth,
+//! and a per-worker execution counter (the utilization signal).
+//!
+//! Instruments start detached (recording is a relaxed atomic no-op) and
+//! are swapped for registry-backed handles by [`crate::bind_telemetry`].
+//! Only *metrics* are emitted — never trace events — so the trace event
+//! stream stays byte-identical across `ATHENA_THREADS` settings, which
+//! `tests/e2e_determinism.rs` asserts.
+
+use athena_telemetry::{Counter, Gauge, Histogram, Telemetry};
+
+pub(crate) struct Instruments {
+    /// Runner tasks pushed into the pool (`parallel/tasks_spawned`).
+    pub tasks_spawned: Counter,
+    /// Items mapped across all jobs (`parallel/items`).
+    pub items: Counter,
+    /// Parallel jobs executed, including sequential fast-path runs
+    /// (`parallel/jobs`).
+    pub jobs: Counter,
+    /// Tasks taken from a sibling worker's deque (`parallel/steals`).
+    pub steals: Counter,
+    /// Times a worker parked on the condvar (`parallel/parks`).
+    pub parks: Counter,
+    /// Queue length observed at each spawn (`parallel/queue_depth`).
+    pub queue_depth: Histogram,
+    /// Pool width (`parallel/workers`).
+    pub workers: Gauge,
+    /// Per-worker executed-task counters
+    /// (`parallel/worker_tasks[w0..]`): relative counts show how evenly
+    /// work spread — the utilization signal.
+    pub worker_tasks: Vec<Counter>,
+}
+
+impl Instruments {
+    pub(crate) fn detached() -> Self {
+        Instruments {
+            tasks_spawned: Counter::detached(),
+            items: Counter::detached(),
+            jobs: Counter::detached(),
+            steals: Counter::detached(),
+            parks: Counter::detached(),
+            queue_depth: Histogram::detached(),
+            workers: Gauge::detached(),
+            worker_tasks: Vec::new(),
+        }
+    }
+
+    pub(crate) fn bound(tel: &Telemetry, workers: usize) -> Self {
+        let m = tel.metrics();
+        let instruments = Instruments {
+            tasks_spawned: m.counter("parallel", "tasks_spawned"),
+            items: m.counter("parallel", "items"),
+            jobs: m.counter("parallel", "jobs"),
+            steals: m.counter("parallel", "steals"),
+            parks: m.counter("parallel", "parks"),
+            queue_depth: m.histogram("parallel", "queue_depth"),
+            workers: m.gauge("parallel", "workers"),
+            worker_tasks: (0..workers)
+                .map(|i| m.counter_with("parallel", "worker_tasks", &format!("w{i}")))
+                .collect(),
+        };
+        instruments.workers.set(workers as i64);
+        instruments
+    }
+
+    /// Credits one executed task to worker `id` (no-op when detached:
+    /// the per-worker vector is empty then).
+    pub(crate) fn task_executed(&self, id: usize) {
+        if let Some(c) = self.worker_tasks.get(id) {
+            c.inc();
+        }
+    }
+}

@@ -640,13 +640,34 @@ impl CollectionHandle {
     fn find_primaries(&self, filter: &Filter) -> Vec<Document> {
         if self.cluster.nodes.iter().all(StoreNode::is_up) {
             // Healthy path: each shard answers from its primary copy only,
-            // so replicated documents are not duplicated.
-            let mut out = Vec::new();
-            for (node_idx, node) in self.cluster.nodes.iter().enumerate() {
-                let mut hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
-                hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
-                out.append(&mut hits);
-            }
+            // so replicated documents are not duplicated. With more than
+            // one node and `ATHENA_THREADS > 1` the per-node scans fan out
+            // over the work-stealing pool; the ordered reduction merges
+            // them back in node-index order, and the final id sort makes
+            // the result byte-identical to the sequential walk anyway.
+            let n = self.cluster.nodes.len();
+            let mut out: Vec<Document> = if n > 1 && athena_parallel::threads() > 1 {
+                let cluster = self.cluster.clone();
+                let name = self.name.clone();
+                let filter = filter.clone();
+                athena_parallel::par_map_indexed(n, move |node_idx| {
+                    let mut hits = cluster.nodes[node_idx]
+                        .read_collection(&name, |c| c.find_unordered(&filter));
+                    hits.retain(|d| cluster.primary_for(d.id) == node_idx);
+                    hits
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                let mut out = Vec::new();
+                for (node_idx, node) in self.cluster.nodes.iter().enumerate() {
+                    let mut hits = node.read_collection(&self.name, |c| c.find_unordered(filter));
+                    hits.retain(|d| self.cluster.primary_for(d.id) == node_idx);
+                    out.append(&mut hits);
+                }
+                out
+            };
             out.sort_by_key(|d| d.id);
             return out;
         }

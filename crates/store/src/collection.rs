@@ -6,6 +6,7 @@ use crate::index::SecondaryIndex;
 use crate::query::FindOptions;
 use serde_json::Value;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One shard of a collection, living on one store node.
 ///
@@ -30,8 +31,10 @@ pub struct Collection {
     name: String,
     docs: HashMap<DocId, Document>,
     indexes: HashMap<String, SecondaryIndex>,
-    scans: u64,
-    index_hits: u64,
+    // Atomics: read paths take `&self` behind shared locks (and now run
+    // concurrently on the parallel cluster-scan path).
+    scans: AtomicU64,
+    index_hits: AtomicU64,
 }
 
 impl Collection {
@@ -100,17 +103,15 @@ impl Collection {
     /// Finds matching documents without sort/limit, using an index for
     /// point lookups when one exists.
     pub fn find_unordered(&self, filter: &Filter) -> Vec<Document> {
-        if let Some((field, value)) = filter.point_lookup() {
-            if let Some(idx) = self.indexes.get(field) {
-                return idx
-                    .lookup(value)
-                    .into_iter()
-                    .filter_map(|id| self.docs.get(&id))
-                    .filter(|d| filter.matches(d))
-                    .cloned()
-                    .collect();
-            }
+        if let Some(ids) = self.index_candidates(filter) {
+            return ids
+                .into_iter()
+                .filter_map(|id| self.docs.get(&id))
+                .filter(|d| filter.matches(d))
+                .cloned()
+                .collect();
         }
+        self.scans.fetch_add(1, Ordering::Relaxed);
         self.docs
             .values()
             .filter(|d| filter.matches(d))
@@ -118,22 +119,50 @@ impl Collection {
             .collect()
     }
 
-    /// Counts matching documents.
+    /// Candidate ids from a secondary index, when `filter` is a
+    /// single-field equality predicate over an indexed field. `None`
+    /// means the caller must fall back to a full scan.
+    fn index_candidates(&self, filter: &Filter) -> Option<Vec<DocId>> {
+        let (field, value) = filter.point_lookup()?;
+        let idx = self.indexes.get(field)?;
+        self.index_hits.fetch_add(1, Ordering::Relaxed);
+        Some(idx.lookup(value))
+    }
+
+    /// Ids of matching documents, index-served when possible.
+    fn matching_ids(&self, filter: &Filter) -> Vec<DocId> {
+        if let Some(ids) = self.index_candidates(filter) {
+            return ids
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .collect();
+        }
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.docs
+            .values()
+            .filter(|d| filter.matches(d))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Counts matching documents (index-served for equality predicates).
     pub fn count(&self, filter: &Filter) -> usize {
         if matches!(filter, Filter::All) {
             return self.docs.len();
         }
+        if let Some(ids) = self.index_candidates(filter) {
+            return ids
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .count();
+        }
+        self.scans.fetch_add(1, Ordering::Relaxed);
         self.docs.values().filter(|d| filter.matches(d)).count()
     }
 
     /// Sets fields on every matching document. Returns how many changed.
     pub fn update(&mut self, filter: &Filter, changes: &[(String, Value)]) -> usize {
-        let ids: Vec<DocId> = self
-            .docs
-            .values()
-            .filter(|d| filter.matches(d))
-            .map(|d| d.id)
-            .collect();
+        let ids: Vec<DocId> = self.matching_ids(filter);
         for id in &ids {
             // Maintain indexes: remove old values, apply, insert new.
             let Some(doc) = self.docs.get_mut(id) else {
@@ -187,12 +216,7 @@ impl Collection {
 
     /// Deletes matching documents. Returns how many were removed.
     pub fn delete(&mut self, filter: &Filter) -> usize {
-        let ids: Vec<DocId> = self
-            .docs
-            .values()
-            .filter(|d| filter.matches(d))
-            .map(|d| d.id)
-            .collect();
+        let ids: Vec<DocId> = self.matching_ids(filter);
         for id in &ids {
             if let Some(doc) = self.docs.remove(id) {
                 for (field, idx) in &mut self.indexes {
@@ -228,7 +252,10 @@ impl Collection {
 
     /// `(full scans, index-served lookups)` since creation.
     pub fn scan_stats(&self) -> (u64, u64) {
-        (self.scans, self.index_hits)
+        (
+            self.scans.load(Ordering::Relaxed),
+            self.index_hits.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -312,6 +339,26 @@ mod tests {
         let c = filled();
         assert_eq!(c.count(&Filter::All), 10);
         assert_eq!(c.count(&Filter::gt("i", 7)), 2);
+    }
+
+    #[test]
+    fn indexed_equality_queries_never_scan() {
+        let mut c = filled();
+        c.create_index("parity");
+        let (scans_before, _) = c.scan_stats();
+        assert_eq!(c.find_unordered(&Filter::eq("parity", 0)).len(), 5);
+        assert_eq!(c.count(&Filter::eq("parity", 1)), 5);
+        assert_eq!(
+            c.update(&Filter::eq("parity", 1), &[("seen".into(), 1.into())]),
+            5
+        );
+        assert_eq!(c.delete(&Filter::eq("parity", 0)), 5);
+        let (scans, hits) = c.scan_stats();
+        assert_eq!(scans, scans_before, "indexed equality must not scan");
+        assert_eq!(hits, 4, "all four operations were index-served");
+        // Un-indexed predicates still scan — and are counted.
+        assert_eq!(c.count(&Filter::gt("i", 100)), 0);
+        assert_eq!(c.scan_stats().0, scans_before + 1);
     }
 
     #[test]

@@ -34,6 +34,29 @@ pub fn env_flag(name: &str) -> bool {
     }
 }
 
+/// Reads an environment variable as a positive integer, falling back to
+/// `default` when the variable is unset, empty, or not a positive
+/// number. `ATHENA_THREADS=0` therefore means "use the default", never
+/// "no workers".
+///
+/// # Examples
+///
+/// ```
+/// use athena_types::env_usize;
+///
+/// std::env::remove_var("ATHENA_DOC_USIZE");
+/// assert_eq!(env_usize("ATHENA_DOC_USIZE", 4), 4);
+/// std::env::set_var("ATHENA_DOC_USIZE", "7");
+/// assert_eq!(env_usize("ATHENA_DOC_USIZE", 4), 7);
+/// std::env::remove_var("ATHENA_DOC_USIZE");
+/// ```
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n > 0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

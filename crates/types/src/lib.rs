@@ -34,7 +34,7 @@ pub mod id;
 pub mod net;
 pub mod time;
 
-pub use env::env_flag;
+pub use env::{env_flag, env_usize};
 pub use error::{AthenaError, Result};
 pub use id::{AppId, ControllerId, Dpid, FlowId, HostId, LinkId, PortNo, Xid};
 pub use net::{EtherType, FiveTuple, IpProto, Ipv4Addr, MacAddr};

@@ -48,4 +48,17 @@ ATHENA_TELEMETRY_REPORT=target/telemetry-report.json \
     results_are_invariant_to_cluster_size_and_time_decreases
 test -s target/telemetry-report.json
 
+echo "==> parallel smoke gate (worker-count determinism + speedup table, < 60 s)"
+# Build the bench binary outside the timer: the gate bounds runtime, not
+# compile time.
+cargo build -q --release --offline -p athena-bench --bin table_parallel
+parallel_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 cargo test -q --offline --test e2e_determinism
+ATHENA_BENCH_SMOKE=1 ATHENA_PARALLEL_JSON=target/BENCH_parallel.json \
+    ./target/release/table_parallel
+parallel_elapsed=$(( $(date +%s) - parallel_start ))
+echo "    parallel gate finished in ${parallel_elapsed}s (bound: 60 s)"
+[ "$parallel_elapsed" -lt 60 ]
+test -s target/BENCH_parallel.json
+
 echo "CI gate passed."

@@ -12,6 +12,7 @@
 //! | [`controller`] | `athena-controller` | distributed ONOS-like controller cluster |
 //! | [`store`] | `athena-store` | sharded/replicated document store (MongoDB substitute) |
 //! | [`compute`] | `athena-compute` | Spark-like compute cluster in virtual time |
+//! | [`parallel`] | `athena-parallel` | deterministic work-stealing thread pool (ordered reduction) |
 //! | [`ml`] | `athena-ml` | the 11 Athena ML algorithms + preprocessors + metrics |
 //! | [`core`] | `athena-core` | **the framework**: features, SB/NB elements, the 8 NB APIs |
 //! | [`apps`] | `athena-apps` | DDoS / LFA / NAE applications + Table VIII baselines |
@@ -63,6 +64,7 @@ pub use athena_dataplane as dataplane;
 pub use athena_faults as faults;
 pub use athena_ml as ml;
 pub use athena_openflow as openflow;
+pub use athena_parallel as parallel;
 pub use athena_persist as persist;
 pub use athena_store as store;
 pub use athena_telemetry as telemetry;

@@ -1,0 +1,260 @@
+//! Worker-count determinism e2e: the same seeded scenario run at
+//! `ATHENA_THREADS=1` and `ATHENA_THREADS=8` must produce byte-identical
+//! store contents, detection verdicts, and telemetry streams. The
+//! parallel pool may only change *how fast* answers arrive, never the
+//! answers — ordered reduction in `athena-parallel` plus the
+//! no-unordered-iter lint rule are what make this hold.
+//!
+//! Canonicalization: wall-clock stamps (`wall_start_ns`/`wall_dur_ns`)
+//! are excluded from trace comparison — they measure host CPU time, not
+//! simulation behaviour. `compute/job` events are additionally stamped at
+//! the cluster's cumulative *measured* virtual time (derived from wall
+//! task costs), so their sim stamps are zeroed too; their order, labels,
+//! and task counts still must match. Metric counters are compared except
+//! the `parallel/*` family, whose values legitimately scale with the
+//! worker count (chunk and task counts depend on the pool width).
+//!
+//! Set `ATHENA_CHAOS_SMOKE=1` for the lighter CI workload (same
+//! assertions).
+
+use athena::apps::{DdosDetector, DdosDetectorConfig, ScanDetector, ScanDetectorConfig};
+use athena::controller::ControllerCluster;
+use athena::core::{Athena, AthenaConfig};
+use athena::dataplane::{workload, Network, Topology};
+use athena::faults::{run_with_faults, ChaosChannel, FaultInjector, Scenario};
+use athena::telemetry::Telemetry;
+use athena::types::{SimDuration, SimTime};
+use std::sync::Mutex;
+
+/// Same seed family as the chaos matrix and recovery e2e.
+const SEED: u64 = 7;
+const INJECT_AT: SimTime = SimTime::from_secs(10);
+const RECOVER_AT: SimTime = SimTime::from_secs(20);
+const END: SimTime = SimTime::from_secs(35);
+
+fn smoke() -> bool {
+    athena::types::env_flag("ATHENA_CHAOS_SMOKE")
+}
+
+fn scaled(n: usize) -> usize {
+    if smoke() {
+        n / 2
+    } else {
+        n
+    }
+}
+
+/// Serializes runs: `ATHENA_THREADS` is process-global, and so is the
+/// worker pool's telemetry binding.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    std::env::set_var("ATHENA_THREADS", threads.to_string());
+    let out = f();
+    std::env::remove_var("ATHENA_THREADS");
+    out
+}
+
+/// Everything a run observably produced, rendered to comparable strings.
+#[derive(Debug, PartialEq, Eq)]
+struct Snapshot {
+    store: String,
+    verdict: String,
+    trace: Vec<String>,
+    counters: Vec<String>,
+}
+
+/// The trace stream minus wall stamps; `compute` sim stamps zeroed (they
+/// carry measured task costs), everything else byte-for-byte.
+fn canonical_trace(tel: &Telemetry) -> Vec<String> {
+    tel.tracer()
+        .entries()
+        .into_iter()
+        .map(|e| {
+            let (start, end) = if e.subsystem == "compute" {
+                (SimTime::ZERO, SimTime::ZERO)
+            } else {
+                (e.sim_start, e.sim_end)
+            };
+            format!(
+                "{} {:?} {}/{} {:?}..{:?} {}",
+                e.seq, e.kind, e.subsystem, e.name, start, end, e.detail
+            )
+        })
+        .collect()
+}
+
+/// Counter values except the `parallel/*` family (pool-width dependent).
+fn canonical_counters(tel: &Telemetry) -> Vec<String> {
+    tel.report()
+        .counters
+        .into_iter()
+        .filter(|c| c.key.subsystem != "parallel")
+        .map(|c| format!("{}={}", c.key.label(), c.value))
+        .collect()
+}
+
+/// `expect_trace` is false for the fault-injected run: `run_with_faults`
+/// drives `Network::step` directly and never opens the `run_until` span,
+/// so its trace stream is legitimately empty.
+fn assert_identical(what: &str, one: Snapshot, eight: Snapshot, expect_trace: bool) {
+    assert!(!one.store.is_empty(), "{what}: empty store snapshot");
+    assert!(
+        !expect_trace || !one.trace.is_empty(),
+        "{what}: empty trace stream"
+    );
+    assert_eq!(one.store, eight.store, "{what}: store contents diverge");
+    assert_eq!(one.verdict, eight.verdict, "{what}: verdicts diverge");
+    assert_eq!(one.trace, eight.trace, "{what}: trace streams diverge");
+    assert_eq!(one.counters, eight.counters, "{what}: counters diverge");
+}
+
+/// One full Athena deployment over the enterprise topology, telemetry
+/// bound into the dataplane, the core stack, and the worker pool.
+struct Rig {
+    topo: Topology,
+    tel: Telemetry,
+    net: Network,
+    athena: Athena,
+    cluster: ControllerCluster,
+}
+
+fn rig() -> Rig {
+    let topo = Topology::enterprise();
+    let tel = Telemetry::new();
+    athena::parallel::bind_telemetry(&tel);
+    let mut net = Network::new(topo.clone());
+    net.bind_telemetry(&tel);
+    let mut cluster = ControllerCluster::new(&topo);
+    let athena = Athena::with_telemetry(AthenaConfig::default(), tel.clone());
+    athena.attach(&mut cluster);
+    Rig {
+        topo,
+        tel,
+        net,
+        athena,
+        cluster,
+    }
+}
+
+/// The chaos-matrix DDoS load (benign mix + flood at the first host).
+fn inject_ddos(r: &mut Rig) -> athena::types::Ipv4Addr {
+    let victim = r.topo.hosts[0].ip;
+    r.net.inject_flows(workload::benign_mix_on(
+        &r.topo,
+        scaled(120),
+        SimDuration::from_secs(30),
+        101,
+    ));
+    r.net.inject_flows(workload::ddos_flood(
+        &r.topo,
+        victim,
+        workload::DdosParams {
+            start: SimTime::from_secs(8),
+            duration: SimDuration::from_secs(22),
+            n_flows: scaled(250),
+            ..workload::DdosParams::default()
+        },
+        102,
+    ));
+    victim
+}
+
+fn ddos_snapshot() -> Snapshot {
+    let mut r = rig();
+    let victim = inject_ddos(&mut r);
+    r.net.run_until(END, &mut r.cluster);
+    let det = DdosDetector::new(DdosDetectorConfig {
+        victim,
+        ..DdosDetectorConfig::default()
+    });
+    let model = det.train(&r.athena).expect("training");
+    let confusion = det.test(&r.athena, &model).confusion;
+    Snapshot {
+        store: r.athena.runtime().store.contents(),
+        verdict: format!("{confusion:?}"),
+        trace: canonical_trace(&r.tel),
+        counters: canonical_counters(&r.tel),
+    }
+}
+
+fn port_scan_snapshot() -> Snapshot {
+    let mut r = rig();
+    let scanner = r.topo.hosts[0].ip;
+    let target = r.topo.hosts[30].ip;
+    let mut det = ScanDetector::new(ScanDetectorConfig::default());
+    det.deploy(&r.athena);
+    r.net.inject_flows(workload::benign_mix_on(
+        &r.topo,
+        scaled(80),
+        SimDuration::from_secs(20),
+        401,
+    ));
+    r.net.inject_flows(workload::port_scan(
+        scanner,
+        target,
+        scaled(40) as u16,
+        SimTime::from_secs(5),
+        402,
+    ));
+    r.net.run_until(SimTime::from_secs(25), &mut r.cluster);
+    let flagged = det.detect(&r.athena);
+    let mitigated = r.athena.mitigated_hosts();
+    Snapshot {
+        store: r.athena.runtime().store.contents(),
+        verdict: format!("flagged={flagged:?} mitigated={mitigated:?}"),
+        trace: canonical_trace(&r.tel),
+        counters: canonical_counters(&r.tel),
+    }
+}
+
+/// A chaos-matrix controller-crash run: faults strike mid-attack, heal,
+/// and the run completes — all under fault injection.
+fn chaos_snapshot() -> Snapshot {
+    let mut r = rig();
+    let victim = inject_ddos(&mut r);
+    let store_nodes = r.athena.runtime().store.node_count();
+    let plan = Scenario::ControllerCrash.plan(&r.topo, store_nodes, SEED, INJECT_AT, RECOVER_AT);
+    assert!(!plan.is_empty(), "empty fault plan");
+    let mut injector = FaultInjector::new(plan).with_store(r.athena.runtime().store.clone());
+    let mut chaos = ChaosChannel::new(r.cluster, SEED);
+    while r.net.now() < END {
+        let next = (r.net.now() + SimDuration::from_secs(1)).min(END);
+        run_with_faults(&mut r.net, next, &mut chaos, &mut injector);
+    }
+    assert!(injector.finished(), "fault events left unapplied");
+    let det = DdosDetector::new(DdosDetectorConfig {
+        victim,
+        ..DdosDetectorConfig::default()
+    });
+    let model = det.train(&r.athena).expect("training");
+    let confusion = det.test(&r.athena, &model).confusion;
+    Snapshot {
+        store: r.athena.runtime().store.contents(),
+        verdict: format!("{confusion:?}"),
+        trace: canonical_trace(&r.tel),
+        counters: canonical_counters(&r.tel),
+    }
+}
+
+#[test]
+fn ddos_run_is_byte_identical_across_worker_counts() {
+    let one = with_threads(1, ddos_snapshot);
+    let eight = with_threads(8, ddos_snapshot);
+    assert_identical("ddos", one, eight, true);
+}
+
+#[test]
+fn port_scan_run_is_byte_identical_across_worker_counts() {
+    let one = with_threads(1, port_scan_snapshot);
+    let eight = with_threads(8, port_scan_snapshot);
+    assert_identical("port-scan", one, eight, true);
+}
+
+#[test]
+fn chaos_controller_crash_is_byte_identical_across_worker_counts() {
+    let one = with_threads(1, chaos_snapshot);
+    let eight = with_threads(8, chaos_snapshot);
+    assert_identical("chaos/controller-crash", one, eight, false);
+}
