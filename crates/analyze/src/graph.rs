@@ -1,0 +1,469 @@
+//! Call-site extraction and name resolution.
+//!
+//! Resolution is deliberately conservative: a call edge is only created
+//! when the callee name plausibly refers to workspace functions, and
+//! method names that collide with the standard library (`insert`, `get`,
+//! `iter`, …) are never resolved — a false edge would propagate held-lock
+//! sets and hot-path reachability into unrelated code. The runtime
+//! lock-order sentinel compensates for edges this under-approximation
+//! misses (closures, stoplisted methods).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use athena_lint::rules::SourceFile;
+use athena_lint::tokenizer::TokenKind;
+
+use crate::model::{self, Func, CALL_KEYWORDS};
+
+/// Method names never resolved to workspace functions: each collides
+/// with a std/container method, and a wrong edge poisons every
+/// propagation pass downstream.
+const METHOD_STOPLIST: &[&str] = &[
+    "abs",
+    "add",
+    "all",
+    "and_then",
+    "any",
+    "append",
+    "as_bytes",
+    "as_micros",
+    "as_millis",
+    "as_mut",
+    "as_nanos",
+    "as_ref",
+    "as_secs",
+    "as_secs_f64",
+    "as_slice",
+    "as_str",
+    "binary_search",
+    "binary_search_by",
+    "binary_search_by_key",
+    "bytes",
+    "ceil",
+    "chain",
+    "chars",
+    "checked_add",
+    "checked_div",
+    "checked_mul",
+    "checked_sub",
+    "chunks",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "compare_exchange",
+    "concat",
+    "contains",
+    "contains_key",
+    "copied",
+    "copy_from_slice",
+    "count",
+    "cycle",
+    "dedup",
+    "default",
+    "div",
+    "div_ceil",
+    "drain",
+    "elapsed",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "extend",
+    "extend_from_slice",
+    "fetch_add",
+    "fetch_sub",
+    "filter",
+    "filter_map",
+    "find",
+    "find_map",
+    "finish",
+    "first",
+    "flat_map",
+    "flatten",
+    "floor",
+    "fmt",
+    "fold",
+    "from",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "hash",
+    "insert",
+    "insert_str",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_err",
+    "is_none",
+    "is_ok",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "keys",
+    "last",
+    "len",
+    "lines",
+    "ln",
+    "load",
+    "lock",
+    "log2",
+    "map",
+    "map_err",
+    "map_or",
+    "map_or_else",
+    "max",
+    "max_by",
+    "max_by_key",
+    "min",
+    "min_by",
+    "min_by_key",
+    "mul",
+    "ne",
+    "next",
+    "notify_all",
+    "notify_one",
+    "ok",
+    "ok_or",
+    "ok_or_else",
+    "or_default",
+    "or_else",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "peek",
+    "peekable",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "position",
+    "pow",
+    "powf",
+    "powi",
+    "push",
+    "push_back",
+    "push_front",
+    "push_str",
+    "read",
+    "recv",
+    "rem_euclid",
+    "remove",
+    "replace",
+    "reserve",
+    "resize",
+    "retain",
+    "rev",
+    "round",
+    "saturating_add",
+    "saturating_mul",
+    "saturating_sub",
+    "send",
+    "skip",
+    "skip_while",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "split",
+    "split_once",
+    "split_whitespace",
+    "splitn",
+    "sqrt",
+    "starts_with",
+    "step_by",
+    "store",
+    "strip_prefix",
+    "strip_suffix",
+    "sub",
+    "sum",
+    "swap",
+    "take",
+    "take_while",
+    "to_be_bytes",
+    "to_le_bytes",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "truncate",
+    "try_lock",
+    "try_read",
+    "try_send",
+    "try_write",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "values",
+    "values_mut",
+    "wait",
+    "wait_timeout",
+    "window",
+    "windows",
+    "with",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Path qualifiers naming std (or shimmed third-party) modules; a call
+/// qualified by one of these never targets workspace code.
+const STD_QUALIFIERS: &[&str] = &[
+    "alloc",
+    "array",
+    "atomic",
+    "char",
+    "cmp",
+    "collections",
+    "convert",
+    "core",
+    "env",
+    "f32",
+    "f64",
+    "fmt",
+    "fs",
+    "i128",
+    "i16",
+    "i32",
+    "i64",
+    "i8",
+    "isize",
+    "iter",
+    "mem",
+    "num",
+    "option",
+    "process",
+    "proptest",
+    "ptr",
+    "rand",
+    "result",
+    "serde",
+    "serde_json",
+    "slice",
+    "std",
+    "str",
+    "sync",
+    "thread",
+    "time",
+    "u128",
+    "u16",
+    "u32",
+    "u64",
+    "u8",
+    "usize",
+];
+
+/// One resolved (or unresolvable) call site inside a function body.
+#[derive(Debug)]
+pub struct Call {
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source line of the callee name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Callee name as written.
+    pub name: String,
+    /// Workspace functions this call may target (empty = external /
+    /// stoplisted / unresolvable). Multiple targets over-approximate.
+    pub targets: Vec<usize>,
+}
+
+/// Extracts and resolves every call site, grouped by caller function id.
+pub fn build_calls(files: &[SourceFile], funcs: &[Func]) -> Vec<Vec<Call>> {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for f in funcs {
+        by_name.entry(&f.name).or_default().push(f.id);
+    }
+    let crate_of_file: Vec<&str> = files.iter().map(|f| model::crate_of(&f.rel_path)).collect();
+
+    let mut calls: Vec<Vec<Call>> = funcs.iter().map(|_| Vec::new()).collect();
+    for (file_idx, file) in files.iter().enumerate() {
+        let tokens = &file.tokens;
+        let file_funcs: Vec<&Func> = funcs.iter().filter(|f| f.file == file_idx).collect();
+        for k in 0..tokens.len() {
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident || t.in_test {
+                continue;
+            }
+            if CALL_KEYWORDS.contains(&t.text.as_str()) || t.text == "self" || t.text == "Self" {
+                continue;
+            }
+            // The callee name must be directly followed by `(`, allowing
+            // one turbofish (`name::<T>(…)`).
+            let mut p = k + 1;
+            if tokens.get(p).is_some_and(|n| n.kind == TokenKind::PathSep)
+                && tokens.get(p + 1).is_some_and(|n| n.is_punct('<'))
+            {
+                match model::skip_angles(tokens, p + 1) {
+                    Some(after) => p = after,
+                    None => continue,
+                }
+            }
+            if !tokens.get(p).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            let Some(fid) = model::innermost_fn(&file_funcs, k) else {
+                continue;
+            };
+            let prev = k.checked_sub(1).map(|i| &tokens[i]);
+            let callee = match prev {
+                Some(pv) if pv.is_punct('.') => Callee::Method,
+                Some(pv) if pv.kind == TokenKind::PathSep => {
+                    match k.checked_sub(2).map(|i| &tokens[i]) {
+                        Some(q) if q.kind == TokenKind::Ident => Callee::Qualified(q.text.clone()),
+                        _ => continue, // `<T as Trait>::f` — unresolvable
+                    }
+                }
+                Some(pv) if pv.is_ident("fn") => continue, // definition
+                _ => {
+                    // Free call; uppercase names are tuple-struct or enum
+                    // constructors, never workspace functions.
+                    if t.text.chars().next().is_some_and(|c| c.is_uppercase()) {
+                        continue;
+                    }
+                    Callee::Free
+                }
+            };
+            let targets = resolve(
+                &callee,
+                &t.text,
+                funcs,
+                &by_name,
+                &crate_of_file,
+                file_idx,
+                funcs[fid].impl_type.as_deref(),
+                fid,
+            );
+            calls[fid].push(Call {
+                tok: k,
+                line: t.line,
+                col: t.col,
+                name: t.text.clone(),
+                targets,
+            });
+        }
+    }
+    calls
+}
+
+enum Callee {
+    Method,
+    Free,
+    Qualified(String),
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    callee: &Callee,
+    name: &str,
+    funcs: &[Func],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    crate_of_file: &[&str],
+    caller_file: usize,
+    caller_impl: Option<&str>,
+    caller: usize,
+) -> Vec<usize> {
+    let candidates = |keep: &dyn Fn(&Func) -> bool| -> Vec<usize> {
+        by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| keep(&funcs[id]))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default()
+    };
+    let raw = match callee {
+        Callee::Method => {
+            if METHOD_STOPLIST.binary_search(&name).is_ok() {
+                return Vec::new();
+            }
+            // A same-named method call inside a function never resolves
+            // back to that function: `self.detector.lock().total_alerts()`
+            // inside `fn total_alerts` is the wrapper-delegation pattern,
+            // and a self-target would fabricate a lock self-cycle.
+            candidates(&|f| f.has_self && f.id != caller)
+        }
+        Callee::Free => {
+            if name == "drop" {
+                return Vec::new();
+            }
+            candidates(&|f| !f.has_self && f.impl_type.is_none())
+        }
+        Callee::Qualified(q) => {
+            if STD_QUALIFIERS.contains(&q.as_str()) {
+                return Vec::new();
+            }
+            if q == "Self" {
+                match caller_impl {
+                    Some(ty) => candidates(&|f| f.impl_type.as_deref() == Some(ty)),
+                    None => Vec::new(),
+                }
+            } else if q == "crate" {
+                let cr = crate_of_file[caller_file];
+                candidates(&|f| f.impl_type.is_none() && !f.has_self && crate_of_file[f.file] == cr)
+            } else if let Some(cr) = q.strip_prefix("athena_") {
+                candidates(&|f| f.impl_type.is_none() && !f.has_self && crate_of_file[f.file] == cr)
+            } else if q.chars().next().is_some_and(|c| c.is_uppercase()) {
+                // `Type::method(…)` — associated call on a workspace type.
+                candidates(&|f| f.impl_type.as_deref() == Some(q.as_str()))
+            } else {
+                // `module::function(…)`.
+                candidates(&|f| f.impl_type.is_none() && !f.has_self)
+            }
+        }
+    };
+    // Prefer the nearest tier: same file, then same crate, then anywhere.
+    let cr = crate_of_file[caller_file];
+    let same_file: Vec<usize> = raw
+        .iter()
+        .copied()
+        .filter(|&id| funcs[id].file == caller_file)
+        .collect();
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate: Vec<usize> = raw
+        .iter()
+        .copied()
+        .filter(|&id| crate_of_file[funcs[id].file] == cr)
+        .collect();
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    // Workspace tier, method calls only: candidates scattered across
+    // crates mean the name is generic (`checkpoint`, `bind_telemetry`);
+    // resolving to all of them stitches unrelated subsystems together.
+    if matches!(callee, Callee::Method) {
+        let crates: BTreeSet<&str> = raw
+            .iter()
+            .map(|&id| crate_of_file[funcs[id].file])
+            .collect();
+        if crates.len() > 1 {
+            return Vec::new();
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::METHOD_STOPLIST;
+
+    #[test]
+    fn stoplist_is_sorted_for_binary_search() {
+        let mut sorted = METHOD_STOPLIST.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, METHOD_STOPLIST);
+    }
+}

@@ -1,0 +1,190 @@
+//! Whole-workspace static analysis for Athena.
+//!
+//! `athena-lint` (the crate) owns the tokenizer, `lint.toml`, and the
+//! file-local rules; this crate adds the passes that need to see *all*
+//! files at once:
+//!
+//! - **function summaries + call graph** ([`model`], [`graph`]) — every
+//!   production `fn`, its `impl` context, and conservatively resolved
+//!   call edges between workspace functions;
+//! - **derived lock-acquisition graph** ([`locks`]) — held-lock sets
+//!   propagate through the call graph; the resulting acquisition-order
+//!   edges must be cycle-free and consistent with `[analyze] lock_order`
+//!   (`lock-cycle`, `lock-order-violation`), and calls made under a guard
+//!   must not transitively reach a send/bus call
+//!   (`bus-call-under-guard`);
+//! - **hot-path propagation** ([`hot`]) — `no-panic-in-hot-path` and
+//!   `no-unordered-iter-in-hot-path` obligations spread from the
+//!   `[analyze] hot_entries` seeds to everything they reach, with the
+//!   call chain attached to each finding.
+//!
+//! [`check_workspace`] is the one-call entry point used by the
+//! `athena-lint` binary, `scripts/ci.sh`, and `tests/static_analysis.rs`;
+//! [`analyze_sources`] is the same engine over in-memory sources, which
+//! is how the violation corpus under `tests/` exercises each rule.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+pub mod graph;
+pub mod hot;
+pub mod json;
+pub mod locks;
+pub mod model;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use athena_lint::rules::SourceFile;
+use athena_lint::{collect_sources, load_config, Config, Diagnostic, LintError, Report, Severity};
+
+pub use locks::LockEdge;
+
+/// A finding before severity and allowlist resolution.
+#[derive(Debug)]
+pub(crate) struct RawDiag {
+    rule: &'static str,
+    file: String,
+    line: u32,
+    col: u32,
+    message: String,
+    witness: Vec<String>,
+}
+
+/// The derived lock graph, for `--lock-graph` and the JSON report.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    /// Every crate-qualified lock with an acquisition site, sorted.
+    pub locks: Vec<String>,
+    /// Derived acquisition-order edges, sorted by (from, to).
+    pub edges: Vec<LockEdge>,
+    /// A topological order consistent with the edges (cycle members
+    /// last) — paste into `[analyze] lock_order` to regenerate.
+    pub suggested_order: Vec<String>,
+}
+
+/// Full analysis output: the gate report plus the derived artifacts.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Diagnostics, scan counts, and stale-allow findings.
+    pub report: Report,
+    /// The derived lock-acquisition graph.
+    pub lock_graph: LockGraph,
+    /// Qualified names (`file::fn`) of every hot-reachable function.
+    pub hot_functions: Vec<String>,
+}
+
+/// Runs every pass over the given sources with the given configuration.
+pub fn analyze_sources(config: &Config, files: &[SourceFile]) -> Analysis {
+    let funcs = model::extract_functions(files);
+    let calls = graph::build_calls(files, &funcs);
+
+    let mut raw: Vec<RawDiag> = Vec::new();
+
+    // File-local rules from athena-lint.
+    for file in files {
+        for rule in athena_lint::rules::registry() {
+            let mut violations = Vec::new();
+            rule.check(file, config, &mut violations);
+            for v in violations {
+                raw.push(RawDiag {
+                    rule: rule.name(),
+                    file: file.rel_path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    message: v.message,
+                    witness: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Whole-graph passes.
+    let lock_out = locks::analyze_locks(config, files, &funcs, &calls);
+    raw.extend(lock_out.diags);
+    let (hot_diags, hot_functions) = hot::analyze_hot(config, files, &funcs, &calls);
+    raw.extend(hot_diags);
+
+    // Severity + allowlist resolution, with stale-allow accounting.
+    let by_path: BTreeMap<&str, &SourceFile> =
+        files.iter().map(|f| (f.rel_path.as_str(), f)).collect();
+    let mut matched = vec![false; config.allow.len()];
+    let mut diagnostics = Vec::new();
+    for d in raw {
+        let severity = config.severity_for(d.rule, default_severity(d.rule));
+        if severity == Severity::Off {
+            continue;
+        }
+        let line_text = by_path
+            .get(d.file.as_str())
+            .map(|f| f.line_text(d.line))
+            .unwrap_or("");
+        let mut allowed = false;
+        for (i, a) in config.allow.iter().enumerate() {
+            if a.rule == d.rule && a.file == d.file && line_text.contains(&a.pattern) {
+                matched[i] = true;
+                allowed = true;
+            }
+        }
+        if allowed {
+            continue;
+        }
+        diagnostics.push(Diagnostic {
+            rule: d.rule,
+            severity,
+            file: d.file,
+            line: d.line,
+            col: d.col,
+            message: d.message,
+            witness: d.witness,
+        });
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+
+    let stale_allows = config
+        .allow
+        .iter()
+        .zip(&matched)
+        .filter(|(_, &m)| !m)
+        .map(|(a, _)| {
+            format!(
+                "lint.toml:{}: stale [[allow]] — {} in {} (pattern {:?}) matched nothing; \
+                 delete the entry",
+                a.line, a.rule, a.file, a.pattern
+            )
+        })
+        .collect();
+
+    Analysis {
+        report: Report {
+            diagnostics,
+            files_scanned: files.len(),
+            stale_allows,
+        },
+        lock_graph: LockGraph {
+            locks: lock_out.locks,
+            edges: lock_out.edges,
+            suggested_order: lock_out.suggested_order,
+        },
+        hot_functions,
+    }
+}
+
+/// Loads `lint.toml`, collects the workspace sources, and runs every
+/// pass.
+///
+/// # Errors
+///
+/// Returns [`LintError`] when the configuration is missing/malformed or
+/// sources cannot be read.
+pub fn check_workspace(root: &Path) -> Result<Analysis, LintError> {
+    let config = load_config(root)?;
+    let files = collect_sources(root)?;
+    Ok(analyze_sources(&config, &files))
+}
+
+fn default_severity(_rule: &str) -> Severity {
+    Severity::Error
+}

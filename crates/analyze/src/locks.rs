@@ -1,0 +1,637 @@
+//! Derived lock-acquisition-graph analysis.
+//!
+//! Every acquisition site (`.lock()` / `.read()` / `.write()` / helper
+//! calls) is given a crate-qualified name. Held-lock sets propagate
+//! through the call graph to a fixpoint; an edge `A → B` means "B was
+//! acquired somewhere while A was held". The gate then demands the edge
+//! set be cycle-free and consistent with the single global order declared
+//! in `[analyze] lock_order` — which turns `lint.toml` from a trusted
+//! assertion into a verified one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use athena_lint::rules::SourceFile;
+use athena_lint::sites;
+use athena_lint::tokenizer::TokenKind;
+use athena_lint::Config;
+
+use crate::graph::Call;
+use crate::model::{self, Func};
+use crate::RawDiag;
+
+/// Function names whose bodies are opaque to acquisition extraction: the
+/// lock *wrappers* themselves (configured helpers plus the conventional
+/// guard methods). Their internal `.lock()` is the implementation of the
+/// acquisition already attributed at their call sites.
+const OPAQUE_WRAPPERS: &[&str] = &["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// One derived acquisition-order edge with its code witness.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock held at the time.
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// File of the inner acquisition.
+    pub file: String,
+    /// 1-based line of the inner acquisition.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// How `from` came to be held at that point (call-chain hops).
+    pub witness: Vec<String>,
+}
+
+/// Result of the lock analysis.
+pub(crate) struct LockOutcome {
+    /// Every crate-qualified lock name with at least one acquisition
+    /// site, sorted.
+    pub locks: Vec<String>,
+    /// Derived edges, sorted by (from, to).
+    pub edges: Vec<LockEdge>,
+    /// A valid total order for `lock_order` (topological; cycle members
+    /// appended last), as printed by `--lock-graph`.
+    pub suggested_order: Vec<String>,
+    /// Cycle, order, and graph-aware bus findings.
+    pub diags: Vec<RawDiag>,
+}
+
+/// A held-guard window inside one function (token half-open range).
+struct Window {
+    lock: String,
+    start: usize,
+    end: usize,
+    acq_tok: usize,
+    acq_line: u32,
+}
+
+/// Runs the full lock-graph pass.
+pub(crate) fn analyze_locks(
+    config: &Config,
+    files: &[SourceFile],
+    funcs: &[Func],
+    calls: &[Vec<Call>],
+) -> LockOutcome {
+    let windows = collect_windows(config, files, funcs);
+
+    // Fixpoint: locks held on entry to each function, with the call edge
+    // that first propagated them (for witness reconstruction).
+    let mut entry_held: Vec<BTreeMap<String, (usize, u32)>> =
+        funcs.iter().map(|_| BTreeMap::new()).collect();
+    loop {
+        let mut changed = false;
+        for f in 0..funcs.len() {
+            for call in &calls[f] {
+                if call.targets.is_empty() {
+                    continue;
+                }
+                let mut held: BTreeSet<String> = entry_held[f].keys().cloned().collect();
+                for w in &windows[f] {
+                    if w.start <= call.tok && call.tok < w.end {
+                        held.insert(w.lock.clone());
+                    }
+                }
+                for &t in &call.targets {
+                    for h in &held {
+                        if !entry_held[t].contains_key(h) {
+                            entry_held[t].insert(h.clone(), (f, call.line));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Derive edges: one deterministic pass, first witness wins.
+    let mut edge_map: BTreeMap<(String, String), LockEdge> = BTreeMap::new();
+    for f in 0..funcs.len() {
+        let file = &files[funcs[f].file];
+        for w_to in &windows[f] {
+            let anchor = &file.tokens[anchor_tok(file, w_to.acq_tok)];
+            let mut add = |from: String, witness: Vec<String>| {
+                edge_map
+                    .entry((from.clone(), w_to.lock.clone()))
+                    .or_insert_with(|| LockEdge {
+                        from,
+                        to: w_to.lock.clone(),
+                        file: file.rel_path.clone(),
+                        line: anchor.line,
+                        col: anchor.col,
+                        witness,
+                    });
+            };
+            for w_held in &windows[f] {
+                if w_held.acq_tok != w_to.acq_tok
+                    && w_held.start <= w_to.acq_tok
+                    && w_to.acq_tok < w_held.end
+                    && w_held.lock != w_to.lock
+                {
+                    add(
+                        w_held.lock.clone(),
+                        vec![format!(
+                            "`{}` acquired in {} ({}:{})",
+                            w_held.lock,
+                            funcs[f].qualified(files),
+                            file.rel_path,
+                            w_held.acq_line
+                        )],
+                    );
+                }
+            }
+            for h in entry_held[f].keys() {
+                // Same-lock here means re-entrant acquisition through a
+                // call chain: a self-edge, reported as a cycle below.
+                add(
+                    h.clone(),
+                    chain_for(f, h, &entry_held, &windows, funcs, files),
+                );
+            }
+        }
+    }
+    let edges: Vec<LockEdge> = edge_map.into_values().collect();
+
+    let locks: Vec<String> = {
+        let mut set: BTreeSet<String> = BTreeSet::new();
+        for ws in &windows {
+            for w in ws {
+                set.insert(w.lock.clone());
+            }
+        }
+        set.into_iter().collect()
+    };
+
+    let mut diags = Vec::new();
+    let cycle_edges = cycle_diags(&edges, &mut diags);
+    order_diags(config, &locks, &edges, &cycle_edges, &mut diags);
+    bus_diags(
+        config,
+        files,
+        funcs,
+        calls,
+        &windows,
+        &entry_held,
+        &mut diags,
+    );
+
+    LockOutcome {
+        suggested_order: suggest_order(&locks, &edges),
+        locks,
+        edges,
+        diags,
+    }
+}
+
+/// The display token for an acquisition (`.lock()` anchors on `lock`,
+/// helper calls on the helper name).
+fn anchor_tok(file: &SourceFile, acq_tok: usize) -> usize {
+    if file.tokens[acq_tok].is_punct('.') {
+        acq_tok + 1
+    } else {
+        acq_tok
+    }
+}
+
+/// Collects held-guard windows per function, skipping opaque wrapper
+/// bodies, test code, and receivers that cannot be named.
+fn collect_windows(config: &Config, files: &[SourceFile], funcs: &[Func]) -> Vec<Vec<Window>> {
+    let mut opaque: BTreeSet<&str> = OPAQUE_WRAPPERS.iter().copied().collect();
+    for h in &config.lock_helpers {
+        opaque.insert(h);
+    }
+
+    let mut windows: Vec<Vec<Window>> = funcs.iter().map(|_| Vec::new()).collect();
+    for (file_idx, file) in files.iter().enumerate() {
+        let tokens = &file.tokens;
+        let file_funcs: Vec<&Func> = funcs.iter().filter(|f| f.file == file_idx).collect();
+        if file_funcs.is_empty() {
+            continue;
+        }
+        let krate = model::crate_of(&file.rel_path);
+        for acq in sites::find_acquisitions(tokens, &config.lock_helpers) {
+            if tokens[acq.at].in_test || acq.name == "<expr>" {
+                continue;
+            }
+            let Some(fid) = model::innermost_fn(&file_funcs, acq.at) else {
+                continue;
+            };
+            if opaque.contains(funcs[fid].name.as_str()) {
+                continue;
+            }
+            let mut end = sites::guard_extent(tokens, &acq).min(funcs[fid].body_end);
+            if let Some(var) = sites::guard_variable(tokens, &acq) {
+                for k in acq.end..end {
+                    if sites::drop_releases(tokens, k, &var) {
+                        end = k;
+                        break;
+                    }
+                }
+            }
+            windows[fid].push(Window {
+                lock: format!("{krate}/{}", acq.name),
+                start: acq.end,
+                end,
+                acq_tok: acq.at,
+                acq_line: tokens[anchor_tok(file, acq.at)].line,
+            });
+        }
+    }
+    windows
+}
+
+/// Reconstructs how `lock` came to be held on entry to `fid`.
+fn chain_for(
+    fid: usize,
+    lock: &str,
+    entry_held: &[BTreeMap<String, (usize, u32)>],
+    windows: &[Vec<Window>],
+    funcs: &[Func],
+    files: &[SourceFile],
+) -> Vec<String> {
+    let mut hops_rev = Vec::new();
+    let mut cur = fid;
+    let mut seen = BTreeSet::new();
+    while let Some(&(e, line)) = entry_held[cur].get(lock) {
+        if !seen.insert(cur) || hops_rev.len() >= 20 {
+            break;
+        }
+        hops_rev.push(format!(
+            "held across call from {} ({}:{})",
+            funcs[e].qualified(files),
+            files[funcs[e].file].rel_path,
+            line
+        ));
+        cur = e;
+    }
+    if let Some(w) = windows[cur].iter().find(|w| w.lock == lock) {
+        hops_rev.push(format!(
+            "`{lock}` acquired in {} ({}:{})",
+            funcs[cur].qualified(files),
+            files[funcs[cur].file].rel_path,
+            w.acq_line
+        ));
+    }
+    hops_rev.reverse();
+    hops_rev
+}
+
+/// Finds strongly-connected components with a cycle and reports each as
+/// one `lock-cycle` diagnostic. Returns the set of intra-cycle edges so
+/// the order check does not double-report them.
+fn cycle_diags(edges: &[LockEdge], diags: &mut Vec<RawDiag>) -> BTreeSet<(String, String)> {
+    let nodes: Vec<&str> = {
+        let mut s: BTreeSet<&str> = BTreeSet::new();
+        for e in edges {
+            s.insert(&e.from);
+            s.insert(&e.to);
+        }
+        s.into_iter().collect()
+    };
+    let index: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for e in edges {
+        adj[index[e.from.as_str()]].push(index[e.to.as_str()]);
+    }
+    let scc = tarjan(&adj);
+
+    let mut cycle_edges = BTreeSet::new();
+    let mut reported: BTreeSet<usize> = BTreeSet::new();
+    for e in edges {
+        let (a, b) = (index[e.from.as_str()], index[e.to.as_str()]);
+        let cyclic = scc[a] == scc[b] && (a != b || e.from == e.to);
+        if !cyclic {
+            continue;
+        }
+        cycle_edges.insert((e.from.clone(), e.to.clone()));
+        if !reported.insert(scc[a]) {
+            continue;
+        }
+        let members: Vec<String> = edges
+            .iter()
+            .filter(|x| {
+                scc[index[x.from.as_str()]] == scc[a] && scc[index[x.to.as_str()]] == scc[a]
+            })
+            .map(|x| format!("`{}` → `{}` ({}:{})", x.from, x.to, x.file, x.line))
+            .collect();
+        diags.push(RawDiag {
+            rule: "lock-cycle",
+            file: e.file.clone(),
+            line: e.line,
+            col: e.col,
+            message: format!(
+                "derived lock-acquisition cycle: {}; a concurrent interleaving of these \
+                 chains deadlocks",
+                members.join(", ")
+            ),
+            witness: e.witness.clone(),
+        });
+    }
+    cycle_edges
+}
+
+/// Iterative Tarjan SCC; returns the component id of each node.
+fn tarjan(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut comp = vec![usize::MAX; n];
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    low[p] = low[p].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().unwrap_or(v);
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Verifies the declared `lock_order` against the derived (acyclic part
+/// of the) edge set.
+fn order_diags(
+    config: &Config,
+    site_locks: &[String],
+    edges: &[LockEdge],
+    cycle_edges: &BTreeSet<(String, String)>,
+    diags: &mut Vec<RawDiag>,
+) {
+    let mut pos: BTreeMap<&str, usize> = BTreeMap::new();
+    for (i, name) in config.lock_order.iter().enumerate() {
+        if pos.insert(name, i).is_some() {
+            diags.push(RawDiag {
+                rule: "lock-order-violation",
+                file: "lint.toml".to_string(),
+                line: config.lock_order_line as u32,
+                col: 1,
+                message: format!("lock `{name}` listed twice in [analyze] lock_order"),
+                witness: Vec::new(),
+            });
+        }
+    }
+
+    let mut unlisted: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        if cycle_edges.contains(&(e.from.clone(), e.to.clone())) {
+            continue;
+        }
+        match (pos.get(e.from.as_str()), pos.get(e.to.as_str())) {
+            (Some(a), Some(b)) if a > b => diags.push(RawDiag {
+                rule: "lock-order-violation",
+                file: e.file.clone(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "derived acquisition `{}` → `{}` contradicts [analyze] lock_order, \
+                     which lists `{}` before `{}`",
+                    e.from, e.to, e.to, e.from
+                ),
+                witness: e.witness.clone(),
+            }),
+            (Some(_), Some(_)) => {}
+            (a, b) => {
+                for (p, name) in [(a, &e.from), (b, &e.to)] {
+                    if p.is_none() && unlisted.insert(name.as_str()) {
+                        diags.push(RawDiag {
+                            rule: "lock-order-violation",
+                            file: e.file.clone(),
+                            line: e.line,
+                            col: e.col,
+                            message: format!(
+                                "lock `{name}` participates in derived acquisition edge \
+                                 `{}` → `{}` but is not listed in [analyze] lock_order; \
+                                 regenerate with `cargo run -p athena-analyze --bin \
+                                 athena-lint -- --lock-graph`",
+                                e.from, e.to
+                            ),
+                            witness: e.witness.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    for name in &config.lock_order {
+        if !site_locks.contains(name) {
+            diags.push(RawDiag {
+                rule: "lock-order-violation",
+                file: "lint.toml".to_string(),
+                line: config.lock_order_line as u32,
+                col: 1,
+                message: format!(
+                    "declared lock `{name}` matched no acquisition site; delete it or \
+                     regenerate with `--lock-graph`"
+                ),
+                witness: Vec::new(),
+            });
+        }
+    }
+}
+
+/// A topological order of the derived graph, suitable for pasting into
+/// `lock_order`. Cycle members (if any) come last, sorted.
+fn suggest_order(locks: &[String], edges: &[LockEdge]) -> Vec<String> {
+    let index: BTreeMap<&str, usize> = locks
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut indegree = vec![0usize; locks.len()];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); locks.len()];
+    for e in edges {
+        let (Some(&a), Some(&b)) = (index.get(e.from.as_str()), index.get(e.to.as_str())) else {
+            continue;
+        };
+        if a != b && !adj[a].contains(&b) {
+            adj[a].push(b);
+            indegree[b] += 1;
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..locks.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut out = Vec::with_capacity(locks.len());
+    let mut emitted = vec![false; locks.len()];
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        emitted[i] = true;
+        out.push(locks[i].clone());
+        for &j in &adj[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 && !emitted[j] {
+                ready.insert(j);
+            }
+        }
+    }
+    for (i, name) in locks.iter().enumerate() {
+        if !emitted[i] {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+/// Graph-aware bus-call check: flags calls made under a held guard whose
+/// *callee* transitively performs a send/event-bus call. Direct bus calls
+/// under a guard are the file-local lock-discipline rule's job.
+#[allow(clippy::too_many_arguments)]
+fn bus_diags(
+    config: &Config,
+    files: &[SourceFile],
+    funcs: &[Func],
+    calls: &[Vec<Call>],
+    windows: &[Vec<Window>],
+    entry_held: &[BTreeMap<String, (usize, u32)>],
+    diags: &mut Vec<RawDiag>,
+) {
+    // Which functions *directly* contain a bus call.
+    #[derive(Clone)]
+    enum Reach {
+        Direct { line: u32, name: String },
+        Via { callee: usize, line: u32 },
+    }
+    let mut reach: Vec<Option<Reach>> = funcs
+        .iter()
+        .map(|f| {
+            let tokens = &files[f.file].tokens;
+            for k in f.body_start + 1..f.body_end {
+                if tokens[k].is_punct('.')
+                    && tokens.get(k + 1).is_some_and(|n| {
+                        n.kind == TokenKind::Ident
+                            && !n.in_test
+                            && config.bus_calls.contains(&n.text)
+                    })
+                    && tokens.get(k + 2).is_some_and(|n| n.is_punct('('))
+                {
+                    return Some(Reach::Direct {
+                        line: tokens[k + 1].line,
+                        name: tokens[k + 1].text.clone(),
+                    });
+                }
+            }
+            None
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in 0..funcs.len() {
+            if reach[f].is_some() {
+                continue;
+            }
+            for call in &calls[f] {
+                if let Some(&t) = call.targets.iter().find(|&&t| reach[t].is_some()) {
+                    reach[f] = Some(Reach::Via {
+                        callee: t,
+                        line: call.line,
+                    });
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for f in 0..funcs.len() {
+        for call in &calls[f] {
+            if call.targets.is_empty() || config.bus_calls.contains(&call.name) {
+                continue;
+            }
+            let mut held: BTreeSet<&str> = entry_held[f].keys().map(|s| s.as_str()).collect();
+            for w in &windows[f] {
+                if w.start <= call.tok && call.tok < w.end {
+                    held.insert(&w.lock);
+                }
+            }
+            let Some(&held_name) = held.iter().next() else {
+                continue;
+            };
+            let Some(&t) = call.targets.iter().find(|&&t| reach[t].is_some()) else {
+                continue;
+            };
+            // Walk the reach chain down to the concrete bus call site.
+            let mut witness = Vec::new();
+            let mut cur = t;
+            for _ in 0..20 {
+                match reach[cur].clone() {
+                    Some(Reach::Via { callee, line }) => {
+                        witness.push(format!(
+                            "{} calls {} ({}:{})",
+                            funcs[cur].qualified(files),
+                            funcs[callee].qualified(files),
+                            files[funcs[cur].file].rel_path,
+                            line
+                        ));
+                        cur = callee;
+                    }
+                    Some(Reach::Direct { line, name }) => {
+                        witness.push(format!(
+                            "{} calls .{name}(…) ({}:{})",
+                            funcs[cur].qualified(files),
+                            files[funcs[cur].file].rel_path,
+                            line
+                        ));
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            diags.push(RawDiag {
+                rule: "bus-call-under-guard",
+                file: files[funcs[f].file].rel_path.clone(),
+                line: call.line,
+                col: call.col,
+                message: format!(
+                    "`{}(…)` transitively reaches a send/bus call while lock \
+                     `{held_name}` is held; release the guard first",
+                    call.name
+                ),
+                witness,
+            });
+        }
+    }
+}

@@ -3,8 +3,8 @@
 use crate::dataset::Dataset;
 use crate::scheduler::{SchedulerConfig, VirtualScheduler};
 use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_types::sentinel::{TrackedMutex, TrackedRwLock};
 use athena_types::{SimDuration, SimTime};
-use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,8 +29,8 @@ pub(crate) struct ClusterInner {
     pub(crate) scheduler: VirtualScheduler,
     job_counter: AtomicU64,
     virtual_micros: AtomicU64,
-    jobs: Mutex<Vec<JobMetrics>>,
-    tel: RwLock<ComputeTelemetry>,
+    jobs: TrackedMutex<Vec<JobMetrics>>,
+    tel: TrackedRwLock<ComputeTelemetry>,
 }
 
 /// The cluster's telemetry instruments (detached until
@@ -78,8 +78,8 @@ impl ComputeCluster {
                 scheduler: VirtualScheduler::new(workers, config),
                 job_counter: AtomicU64::new(0),
                 virtual_micros: AtomicU64::new(0),
-                jobs: Mutex::new(Vec::new()),
-                tel: RwLock::new(ComputeTelemetry::default()),
+                jobs: TrackedMutex::new("compute/jobs", Vec::new()),
+                tel: TrackedRwLock::new("compute/tel", ComputeTelemetry::default()),
             }),
         }
     }

@@ -16,8 +16,8 @@ use athena_controller::ControllerCluster;
 use athena_ml::{Algorithm, Preprocessor, ValidationSummary};
 use athena_store::StoreCluster;
 use athena_telemetry::Telemetry;
+use athena_types::sentinel::TrackedMutex;
 use athena_types::{ControllerId, Dpid, Result, SimDuration};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Deployment configuration for an Athena instance.
@@ -59,13 +59,13 @@ pub struct AthenaRuntime {
     /// The distributed feature store.
     pub store: StoreCluster,
     /// The feature manager (store access + event-delivery table).
-    pub feature_manager: Mutex<FeatureManager>,
+    pub feature_manager: TrackedMutex<FeatureManager>,
     /// The live-mode attack detector.
-    pub detector: Mutex<AttackDetector>,
+    pub detector: TrackedMutex<AttackDetector>,
     /// The attack reactor (mitigation queue).
-    pub reactor: Mutex<AttackReactor>,
+    pub reactor: TrackedMutex<AttackReactor>,
     /// The resource manager (monitoring fidelity).
-    pub resource: Mutex<ResourceManager>,
+    pub resource: TrackedMutex<ResourceManager>,
     /// Retry policy for Athena's marked statistics polls.
     pub poll_retry: athena_controller::RetryPolicy,
     /// The deployment's telemetry domain (disabled unless the instance
@@ -104,10 +104,10 @@ impl Athena {
         resource.poll_interval = config.poll_interval;
         let runtime = Arc::new(AthenaRuntime {
             store,
-            feature_manager: Mutex::new(feature_manager),
-            detector: Mutex::new(AttackDetector::new()),
-            reactor: Mutex::new(AttackReactor::new()),
-            resource: Mutex::new(resource),
+            feature_manager: TrackedMutex::new("core/feature_manager", feature_manager),
+            detector: TrackedMutex::new("core/detector", AttackDetector::new()),
+            reactor: TrackedMutex::new("core/reactor", AttackReactor::new()),
+            resource: TrackedMutex::new("core/resource", resource),
             poll_retry: config.poll_retry,
             telemetry: tel.clone(),
         });

@@ -43,15 +43,32 @@ pub struct AllowEntry {
     pub pattern: String,
     /// Why the site is allowed (required; shown in `--list-allowed`).
     pub reason: String,
+    /// 1-based `lint.toml` line of the `[[allow]]` header — reported when
+    /// the entry goes stale so the line to delete is one click away.
+    pub line: usize,
 }
 
 /// Parsed `lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
-    /// Files subject to the panic-freedom rule.
-    pub hot_paths: Vec<String>,
-    /// Coarse lock names in required acquisition order.
+    /// Hot-path seed entries for the call-graph analysis, as
+    /// `"<file>::<function>"` (or `"<file>::*"` for every function in the
+    /// file). Panic-freedom and iteration-order rules propagate from
+    /// these transitively through the workspace call graph.
+    pub hot_entries: Vec<String>,
+    /// Crate-qualified lock names (`"<crate>/<field>"`) in the one global
+    /// acquisition order. The call-graph analysis *derives* the real
+    /// acquisition graph and verifies this list against it: every derived
+    /// edge must be consistent with this order, every name here must
+    /// match a real acquisition site, and every lock participating in a
+    /// derived edge must be listed.
     pub lock_order: Vec<String>,
+    /// 1-based `lint.toml` line of the `lock_order` key (0 when absent) —
+    /// reported when a declared name matches no acquisition site.
+    pub lock_order_line: usize,
+    /// Function names that acquire the lock passed as their argument
+    /// (poison-recovering `lock(&mutex)` helpers around `std::sync`).
+    pub lock_helpers: Vec<String>,
     /// Method names treated as send/event-bus calls by lock-discipline.
     pub bus_calls: Vec<String>,
     /// Path prefixes exempt from `no-println-in-lib` (binary-only code
@@ -123,12 +140,13 @@ impl Config {
                     file: String::new(),
                     pattern: String::new(),
                     reason: String::new(),
+                    line: line_no,
                 });
                 continue;
             }
             if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 match header {
-                    "lint" | "severity" => section = header.to_string(),
+                    "lint" | "severity" | "analyze" => section = header.to_string(),
                     other => {
                         return Err(ConfigError::at(line_no, format!("unknown table [{other}]")))
                     }
@@ -153,8 +171,33 @@ impl Config {
             }
 
             match (section.as_str(), key.as_str()) {
-                ("lint", "hot_paths") => config.hot_paths = parse_string_array(&value, line_no)?,
-                ("lint", "lock_order") => config.lock_order = parse_string_array(&value, line_no)?,
+                ("lint", "hot_paths") => {
+                    return Err(ConfigError::at(
+                        line_no,
+                        "hot_paths moved: the call-graph pass seeds from \
+                         [analyze] hot_entries (\"<file>::<fn>\" or \"<file>::*\")"
+                            .to_string(),
+                    ))
+                }
+                ("lint", "lock_order") => {
+                    return Err(ConfigError::at(
+                        line_no,
+                        "lock_order moved to [analyze] and now uses crate-qualified \
+                         names (\"<crate>/<field>\"); regenerate with \
+                         `cargo run -p athena-analyze --bin athena-lint -- --lock-graph`"
+                            .to_string(),
+                    ))
+                }
+                ("analyze", "hot_entries") => {
+                    config.hot_entries = parse_string_array(&value, line_no)?;
+                }
+                ("analyze", "lock_order") => {
+                    config.lock_order = parse_string_array(&value, line_no)?;
+                    config.lock_order_line = line_no;
+                }
+                ("analyze", "lock_helpers") => {
+                    config.lock_helpers = parse_string_array(&value, line_no)?;
+                }
                 ("lint", "bus_calls") => config.bus_calls = parse_string_array(&value, line_no)?,
                 ("lint", "println_exempt") => {
                     config.println_exempt = parse_string_array(&value, line_no)?;

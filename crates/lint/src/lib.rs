@@ -1,40 +1,41 @@
-//! Static-analysis gate for the Athena workspace.
+//! Tokenizer, configuration, and file-local rules for the Athena
+//! static-analysis gate.
 //!
-//! `athena-lint` enforces seven invariants over the workspace's
-//! production sources without any external parser dependency:
+//! This crate owns the parsing layer — the hand-rolled [`tokenizer`],
+//! the `lint.toml` [`config`] schema, the shared site matchers in
+//! [`sites`], and the file-local [`rules`]:
 //!
-//! - **no-panic-in-hot-path** — `unwrap`/`expect`, `panic!`-family
-//!   macros, and panicking `[]` indexing are banned in the decode/forward
-//!   hot paths listed in `lint.toml`.
 //! - **forbid-unsafe** — no `unsafe` anywhere.
-//! - **lock-discipline** — while a guard is held, nested acquisitions
-//!   must follow the declared `lock_order`, the same lock may not be
-//!   re-acquired, and no send/event-bus call may run under the guard.
+//! - **lock-discipline** — while a guard is held, the same lock may not
+//!   be re-acquired and no send/event-bus call may run under the guard.
 //! - **error-hygiene** — `Box<dyn Error>` must not cross crate APIs;
 //!   fallible paths use `athena_types::error::AthenaError`.
 //! - **no-println-in-lib** — library crates never write to the console;
-//!   output goes through telemetry events or return values. Only the
-//!   binary paths listed under `println_exempt` own stdout.
+//!   only the binary paths listed under `println_exempt` own stdout.
 //! - **no-wallclock-in-lib** — `Instant::now()` and `SystemTime` are
-//!   banned outside the `wallclock_exempt` paths (telemetry timers, bench
-//!   harnesses): everything else runs on virtual `SimTime`, which is what
-//!   keeps runs and crash-recovery replays deterministic.
-//! - **no-unordered-iter-in-hot-path** — direct `HashMap`/`HashSet`
-//!   iteration is banned in the hot-path files: hash order varies by
-//!   seed and insertion history, and behaviour derived from it breaks
-//!   the byte-identical determinism guarantee.
+//!   banned outside the `wallclock_exempt` paths: everything else runs
+//!   on virtual `SimTime`, which is what keeps runs and crash-recovery
+//!   replays deterministic.
+//!
+//! The whole-workspace analyses — hot-path propagation of
+//! `no-panic-in-hot-path` / `no-unordered-iter-in-hot-path`, derived
+//! lock-acquisition-graph checks (`lock-cycle`, `lock-order-violation`),
+//! and graph-aware `bus-call-under-guard` — live in `athena-analyze`,
+//! which drives these file rules *and* its call-graph passes over the
+//! sources collected by [`collect_sources`]. The `athena-lint` binary
+//! ships from that crate; the root integration test
+//! `tests/static_analysis.rs` runs the same engine under `cargo test`.
 //!
 //! Grandfathered sites live in `lint.toml` under `[[allow]]`, each with a
-//! mandatory one-line justification. The `athena-lint` binary prints
-//! `file:line:col` diagnostics and exits non-zero on violations; the root
-//! integration test `tests/static_analysis.rs` runs the same check under
-//! `cargo test`.
+//! mandatory one-line justification; entries that stop matching fail the
+//! gate with a pointer to the `lint.toml` line to delete.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 
 pub mod config;
 pub mod rules;
+pub mod sites;
 pub mod tokenizer;
 
 use std::fmt;
@@ -59,6 +60,10 @@ pub struct Diagnostic {
     pub col: u32,
     /// Description.
     pub message: String,
+    /// For propagated findings: the call chain from the entry point to
+    /// the flagged site, one `file::function (file:line)` hop per entry.
+    /// Empty for file-local findings.
+    pub witness: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -72,18 +77,23 @@ impl fmt::Display for Diagnostic {
             f,
             "{}:{}:{}: {level}[{}]: {}",
             self.file, self.line, self.col, self.rule, self.message
-        )
+        )?;
+        for hop in &self.witness {
+            write!(f, "\n    via {hop}")?;
+        }
+        Ok(())
     }
 }
 
-/// Outcome of a lint run.
+/// Outcome of an analysis run.
 #[derive(Debug, Default)]
 pub struct Report {
     /// All diagnostics, sorted by file and position.
     pub diagnostics: Vec<Diagnostic>,
     /// Number of files scanned.
     pub files_scanned: usize,
-    /// `[[allow]]` entries that matched nothing (stale grandfathering).
+    /// `[[allow]]` entries that matched nothing (stale grandfathering),
+    /// each pointing at the `lint.toml` line to delete.
     pub stale_allows: Vec<String>,
 }
 
@@ -104,7 +114,8 @@ pub struct LintError {
 }
 
 impl LintError {
-    fn new(message: String) -> Self {
+    /// Wraps a message.
+    pub fn new(message: String) -> Self {
         LintError { message }
     }
 }
@@ -129,16 +140,17 @@ pub fn load_config(root: &Path) -> Result<Config, LintError> {
     Config::parse(&text).map_err(|e| LintError::new(e.to_string()))
 }
 
-/// Runs every rule over the workspace's production sources.
+/// Collects and tokenizes the workspace's production sources.
 ///
-/// Scans `src/` and `crates/*/src/` under `root`. Test directories
-/// (`tests/`, `benches/`, `examples/`) and the vendored dependency shims
-/// are out of scope: the gate protects shipped code.
+/// Scans `src/` and `crates/*/src/` under `root`, sorted so results are
+/// deterministic. Test directories (`tests/`, `benches/`, `examples/`)
+/// and the vendored dependency shims are out of scope: the gate protects
+/// shipped code.
 ///
 /// # Errors
 ///
 /// Returns [`LintError`] on I/O failures while walking the tree.
-pub fn run_lint(root: &Path, config: &Config) -> Result<Report, LintError> {
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, LintError> {
     let mut files = Vec::new();
     let src = root.join("src");
     if src.is_dir() {
@@ -160,78 +172,13 @@ pub fn run_lint(root: &Path, config: &Config) -> Result<Report, LintError> {
     }
     files.sort();
 
-    let registry = rules::registry();
-    let mut report = Report {
-        files_scanned: files.len(),
-        ..Report::default()
-    };
-    let mut allow_hits = vec![0usize; config.allow.len()];
-
+    let mut out = Vec::with_capacity(files.len());
     for path in &files {
         let text = fs::read_to_string(path)
             .map_err(|e| LintError::new(format!("cannot read {}: {e}", path.display())))?;
-        let rel = relative_path(root, path);
-        let file = SourceFile::new(rel, text);
-
-        for rule in &registry {
-            let severity = config.severity_for(rule.name(), rule.default_severity());
-            if severity == Severity::Off {
-                continue;
-            }
-            let mut violations = Vec::new();
-            rule.check(&file, config, &mut violations);
-            for v in violations {
-                let line_text = file.line_text(v.line);
-                let allowed = config
-                    .allow
-                    .iter()
-                    .enumerate()
-                    .find(|(_, a)| {
-                        a.rule == rule.name()
-                            && a.file == file.rel_path
-                            && line_text.contains(&a.pattern)
-                    })
-                    .map(|(idx, _)| idx);
-                if let Some(idx) = allowed {
-                    allow_hits[idx] += 1;
-                    continue;
-                }
-                report.diagnostics.push(Diagnostic {
-                    rule: rule.name(),
-                    severity,
-                    file: file.rel_path.clone(),
-                    line: v.line,
-                    col: v.col,
-                    message: v.message,
-                });
-            }
-        }
+        out.push(SourceFile::new(relative_path(root, path), text));
     }
-
-    for (idx, hits) in allow_hits.iter().enumerate() {
-        if *hits == 0 {
-            let a = &config.allow[idx];
-            report.stale_allows.push(format!(
-                "[[allow]] entry for {} in {} (pattern {:?}) matched nothing — remove it",
-                a.rule, a.file, a.pattern
-            ));
-        }
-    }
-
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(report)
-}
-
-/// Loads the configuration and lints the workspace in one call.
-///
-/// # Errors
-///
-/// Returns [`LintError`] on configuration or I/O failures.
-pub fn check_workspace(root: &Path) -> Result<Report, LintError> {
-    let config = load_config(root)?;
-    run_lint(root, &config)
+    Ok(out)
 }
 
 fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {

@@ -1,10 +1,18 @@
-//! Lint rules.
+//! File-local lint rules.
 //!
 //! Each rule scans one tokenized file and reports violations. Rules never
 //! see comment or literal contents (the tokenizer drops them) and skip
 //! tokens marked as test-only unless stated otherwise.
+//!
+//! The reachability-based rules (`no-panic-in-hot-path`,
+//! `no-unordered-iter-in-hot-path`) and the whole-graph lock analyses
+//! (`lock-cycle`, `lock-order-violation`, graph-aware
+//! `bus-call-under-guard`) live in `athena-analyze`: they need the
+//! workspace call graph, which a single file cannot provide. Their
+//! site-level pattern matchers are shared through [`crate::sites`].
 
 use crate::config::{Config, Severity};
+use crate::sites;
 use crate::tokenizer::{Token, TokenKind};
 
 /// One source file prepared for linting.
@@ -73,84 +81,15 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>);
 }
 
-/// All rules, in reporting order.
+/// All file-local rules, in reporting order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
-        Box::new(NoPanicInHotPath),
         Box::new(ForbidUnsafe),
         Box::new(LockDiscipline),
         Box::new(ErrorHygiene),
         Box::new(NoPrintlnInLib),
         Box::new(NoWallclockInLib),
-        Box::new(NoUnorderedIterInHotPath),
     ]
-}
-
-/// Keywords that may directly precede a `[` without it being indexing
-/// (array literals, types, and expression starts).
-const NON_INDEX_KEYWORDS: &[&str] = &[
-    "as", "box", "break", "const", "dyn", "else", "enum", "fn", "for", "if", "impl", "in", "let",
-    "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "static", "struct", "trait",
-    "type", "unsafe", "use", "where", "while", "yield",
-];
-
-/// Bans panicking constructs and slice indexing in the configured
-/// hot-path files: `unwrap`/`expect` method calls, `panic!`/`todo!`/
-/// `unimplemented!`, and `expr[…]` indexing (which panics out of bounds).
-pub struct NoPanicInHotPath;
-
-impl Rule for NoPanicInHotPath {
-    fn name(&self) -> &'static str {
-        "no-panic-in-hot-path"
-    }
-
-    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
-        if !config.hot_paths.iter().any(|p| p == &file.rel_path) {
-            return;
-        }
-        let tokens = &file.tokens;
-        for (i, t) in tokens.iter().enumerate() {
-            if t.in_test {
-                continue;
-            }
-            match t.kind {
-                TokenKind::Ident => {
-                    let prev_dot = i > 0 && tokens[i - 1].is_punct('.');
-                    let next_open = tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
-                    let next_bang = tokens.get(i + 1).is_some_and(|n| n.is_punct('!'));
-                    if prev_dot && next_open && (t.text == "unwrap" || t.text == "expect") {
-                        out.push(Violation::at(
-                            t,
-                            format!(".{}() can panic; return a typed error instead", t.text),
-                        ));
-                    } else if next_bang
-                        && matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
-                    {
-                        out.push(Violation::at(
-                            t,
-                            format!("{}! is banned in hot-path code", t.text),
-                        ));
-                    }
-                }
-                TokenKind::Punct('[') => {
-                    if let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) {
-                        let indexes_expr = match prev.kind {
-                            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
-                            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
-                            _ => false,
-                        };
-                        if indexes_expr {
-                            out.push(Violation::at(
-                                t,
-                                "slice/map indexing panics out of bounds; use .get()".to_string(),
-                            ));
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
 }
 
 /// Bans `unsafe` everywhere, including test code: the workspace is a
@@ -288,9 +227,9 @@ impl Rule for NoWallclockInLib {
                     "SystemTime reads the wall clock; use virtual SimTime".to_string(),
                 ));
             } else if t.text == "Instant"
-                && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
-                && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
-                && tokens.get(i + 3).is_some_and(|n| n.is_ident("now"))
+                // `::` is one PathSep token, not two `:` puncts.
+                && tokens.get(i + 1).is_some_and(|n| n.kind == TokenKind::PathSep)
+                && tokens.get(i + 2).is_some_and(|n| n.is_ident("now"))
             {
                 out.push(Violation::at(
                     t,
@@ -301,171 +240,14 @@ impl Rule for NoWallclockInLib {
     }
 }
 
-/// Methods whose iteration order over a hash container is
-/// nondeterministic.
-const UNORDERED_ITER_METHODS: &[&str] = &[
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-];
-
-/// Flags direct iteration over `HashMap`/`HashSet` variables in the
-/// configured hot-path files.
+/// Enforces the file-local half of lock discipline: while a guard is
+/// held, the same lock may not be re-acquired (self-deadlock), and no
+/// send/event-bus call may run under the guard.
 ///
-/// Hash iteration order varies with the hasher seed and insertion
-/// history, so any hot-path behaviour derived from it (emission order,
-/// first-match wins, accumulated floats) silently breaks the
-/// byte-identical determinism guarantee. Sites that sort afterwards or
-/// are provably order-independent are grandfathered in `lint.toml` under
-/// `[[allow]]`, each with a reason.
-///
-/// Detection is two-pass: first collect identifiers declared with a
-/// `HashMap`/`HashSet` type annotation or initialized from
-/// `HashMap::new`-style constructors, then flag `.iter()`-family calls on
-/// those identifiers and bare `for … in map` loops over them.
-pub struct NoUnorderedIterInHotPath;
-
-impl Rule for NoUnorderedIterInHotPath {
-    fn name(&self) -> &'static str {
-        "no-unordered-iter-in-hot-path"
-    }
-
-    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
-        if !config.hot_paths.iter().any(|p| p == &file.rel_path) {
-            return;
-        }
-        let tokens = &file.tokens;
-        let declared = hash_container_names(tokens);
-        if declared.is_empty() {
-            return;
-        }
-
-        for (i, t) in tokens.iter().enumerate() {
-            if t.in_test || t.kind != TokenKind::Ident {
-                continue;
-            }
-            // `name.iter()` / `.keys()` / `.values_mut()` …
-            if declared.contains(&t.text)
-                && tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
-                && tokens.get(i + 2).is_some_and(|n| {
-                    n.kind == TokenKind::Ident && UNORDERED_ITER_METHODS.contains(&n.text.as_str())
-                })
-                && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
-            {
-                out.push(Violation::at(
-                    &tokens[i + 2],
-                    format!(
-                        "iterating hash container `{}` in a hot path is order-nondeterministic; \
-                         sort the results or use an ordered structure",
-                        t.text
-                    ),
-                ));
-            }
-            // `for … in [&[mut]] path.to.name {`
-            if t.text == "in" {
-                if let Some(name) = bare_loop_target(tokens, i + 1) {
-                    if declared.contains(&name) {
-                        out.push(Violation::at(
-                            t,
-                            format!(
-                                "for-loop over hash container `{name}` in a hot path is \
-                                 order-nondeterministic; sort the results or use an ordered \
-                                 structure"
-                            ),
-                        ));
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Identifiers declared in this file with a `HashMap`/`HashSet` type
-/// (field/let annotations, possibly `&`-qualified or path-qualified) or
-/// bound from a `HashMap::…` constructor call.
-fn hash_container_names(tokens: &[Token]) -> Vec<String> {
-    let mut out = Vec::new();
-    for (i, t) in tokens.iter().enumerate() {
-        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
-            continue;
-        }
-        // Walk back over a `std::collections::` style path prefix.
-        let mut j = i;
-        while j >= 2
-            && tokens[j - 1].kind == TokenKind::PathSep
-            && tokens[j - 2].kind == TokenKind::Ident
-        {
-            j -= 2;
-        }
-        // Skip reference/mutability qualifiers in the type position.
-        let mut k = j;
-        while k > 0 && (tokens[k - 1].is_punct('&') || tokens[k - 1].is_ident("mut")) {
-            k -= 1;
-        }
-        let name = match (
-            k.checked_sub(2).map(|p| &tokens[p]),
-            k.checked_sub(1).map(|p| &tokens[p]),
-        ) {
-            // `name: HashMap<…>` (field, param, or annotated let).
-            (Some(n), Some(c)) if c.is_punct(':') && n.kind == TokenKind::Ident => Some(&n.text),
-            // `name = HashMap::new()` style bindings.
-            (Some(n), Some(eq)) if eq.is_punct('=') && n.kind == TokenKind::Ident => Some(&n.text),
-            _ => None,
-        };
-        if let Some(name) = name {
-            if !out.contains(name) {
-                out.push(name.clone());
-            }
-        }
-    }
-    out
-}
-
-/// For a `for … in <expr> {` loop, returns the final identifier of the
-/// iterated expression when it is a plain (possibly `&`/`mut`-prefixed)
-/// field or variable path — `None` for anything with calls, ranges, or
-/// other operators, which either iterate deterministically or are flagged
-/// at their method-call site instead.
-fn bare_loop_target(tokens: &[Token], mut j: usize) -> Option<String> {
-    while tokens
-        .get(j)
-        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
-    {
-        j += 1;
-    }
-    let mut last: Option<String> = None;
-    loop {
-        let t = tokens.get(j)?;
-        match t.kind {
-            TokenKind::Ident => {
-                last = Some(t.text.clone());
-                j += 1;
-            }
-            TokenKind::Punct('.') | TokenKind::PathSep => j += 1,
-            TokenKind::Punct('{') => return last,
-            _ => return None,
-        }
-    }
-}
-
-/// One lock acquisition found in the token stream.
-struct Acquisition {
-    /// Index of the `.` starting `.lock()`/`.read()`/`.write()`.
-    dot: usize,
-    /// Index just past the closing `)`.
-    end: usize,
-    /// Coarse lock name: the receiver's final field/variable identifier.
-    name: String,
-}
-
-/// Enforces lock discipline: while a guard is held, no other lock may be
-/// acquired unless both locks appear in `lint.toml`'s `lock_order` table
-/// in acquisition order, the same lock may not be re-acquired (it would
-/// self-deadlock), and no send/event-bus call may run under the guard.
+/// Acquisition *ordering* between different locks is checked by
+/// `athena-analyze` against the derived whole-workspace acquisition
+/// graph — a per-file positional check cannot see cross-function
+/// nesting, which is where real inversions live.
 pub struct LockDiscipline;
 
 impl Rule for LockDiscipline {
@@ -475,33 +257,28 @@ impl Rule for LockDiscipline {
 
     fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Violation>) {
         let tokens = &file.tokens;
-        let acquisitions = find_acquisitions(tokens);
+        let acquisitions = sites::find_acquisitions(tokens, &config.lock_helpers);
 
         for acq in &acquisitions {
-            let t = &tokens[acq.dot];
+            let t = &tokens[acq.at];
             if t.in_test {
                 continue;
             }
-            let held_until = guard_extent(tokens, acq);
-            let guard_var = guard_variable(tokens, acq);
+            let held_until = sites::guard_extent(tokens, acq);
+            let guard_var = sites::guard_variable(tokens, acq);
 
             for k in acq.end..held_until.min(tokens.len()) {
-                let tk = &tokens[k];
-                // Guard dropped explicitly: drop(guard) ends the window.
-                if tk.is_ident("drop")
-                    && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
-                    && tokens
-                        .get(k + 2)
-                        .zip(guard_var.as_deref())
-                        .is_some_and(|(n, var)| n.is_ident(var))
-                    && tokens.get(k + 3).is_some_and(|n| n.is_punct(')'))
-                {
-                    break;
+                // Guard dropped explicitly: drop(guard) — or a tuple
+                // drop containing it — ends the window.
+                if let Some(var) = guard_var.as_deref() {
+                    if sites::drop_releases(tokens, k, var) {
+                        break;
+                    }
                 }
 
-                // Nested acquisition.
-                if let Some(inner) = acquisitions.iter().find(|a| a.dot == k) {
-                    if inner.name == acq.name {
+                // Same-lock re-acquisition would self-deadlock.
+                if let Some(inner) = acquisitions.iter().find(|a| a.at == k) {
+                    if inner.name == acq.name && acq.name != "<expr>" {
                         out.push(Violation::at(
                             &tokens[k],
                             format!(
@@ -509,25 +286,11 @@ impl Rule for LockDiscipline {
                                 acq.name
                             ),
                         ));
-                    } else {
-                        let outer_pos = config.lock_order.iter().position(|n| *n == acq.name);
-                        let inner_pos = config.lock_order.iter().position(|n| *n == inner.name);
-                        match (outer_pos, inner_pos) {
-                            (Some(o), Some(i)) if o < i => {}
-                            _ => out.push(Violation::at(
-                                &tokens[k],
-                                format!(
-                                    "lock `{}` acquired while `{}` is held, but lint.toml's \
-                                     lock_order does not declare this order",
-                                    inner.name, acq.name
-                                ),
-                            )),
-                        }
                     }
                 }
 
                 // Send/event-bus call under the guard.
-                if tk.is_punct('.')
+                if tokens[k].is_punct('.')
                     && tokens.get(k + 1).is_some_and(|n| {
                         n.kind == TokenKind::Ident && config.bus_calls.contains(&n.text)
                     })
@@ -545,109 +308,4 @@ impl Rule for LockDiscipline {
             }
         }
     }
-}
-
-/// Finds `.lock()` / `.read()` / `.write()` call sites.
-fn find_acquisitions(tokens: &[Token]) -> Vec<Acquisition> {
-    let mut out = Vec::new();
-    for i in 0..tokens.len() {
-        if !tokens[i].is_punct('.') {
-            continue;
-        }
-        let is_acquire = tokens
-            .get(i + 1)
-            .is_some_and(|t| matches!(t.text.as_str(), "lock" | "read" | "write"));
-        if !(is_acquire
-            && tokens.get(i + 2).is_some_and(|t| t.is_punct('('))
-            && tokens.get(i + 3).is_some_and(|t| t.is_punct(')')))
-        {
-            continue;
-        }
-        out.push(Acquisition {
-            dot: i,
-            end: i + 4,
-            name: receiver_name(tokens, i),
-        });
-    }
-    out
-}
-
-/// The identifier naming the lock: the last field/variable in the
-/// receiver chain (`self.runtime.reactor.lock()` → `reactor`).
-fn receiver_name(tokens: &[Token], dot: usize) -> String {
-    let mut j = dot;
-    while j > 0 {
-        j -= 1;
-        match tokens[j].kind {
-            TokenKind::Ident => return tokens[j].text.clone(),
-            // Skip a call's argument list: find its opening paren.
-            TokenKind::Punct(')') => {
-                let mut depth = 1i32;
-                while j > 0 && depth > 0 {
-                    j -= 1;
-                    if tokens[j].is_punct(')') {
-                        depth += 1;
-                    } else if tokens[j].is_punct('(') {
-                        depth -= 1;
-                    }
-                }
-            }
-            _ => return "<expr>".to_string(),
-        }
-    }
-    "<expr>".to_string()
-}
-
-/// Token index (exclusive) until which the acquisition's guard is held.
-fn guard_extent(tokens: &[Token], acq: &Acquisition) -> usize {
-    let depth = tokens[acq.dot].depth;
-    let stmt_start = statement_start(tokens, acq.dot);
-
-    if tokens.get(stmt_start).is_some_and(|t| t.is_ident("let")) {
-        // Named guard: lives to the end of the enclosing block.
-        for (off, t) in tokens[acq.end..].iter().enumerate() {
-            if t.is_punct('}') && t.depth == depth {
-                return acq.end + off;
-            }
-        }
-        tokens.len()
-    } else {
-        // Temporary guard: dies at the end of the statement.
-        for (off, t) in tokens[acq.end..].iter().enumerate() {
-            if (t.is_punct(';') || t.is_punct('}')) && t.depth == depth {
-                return acq.end + off;
-            }
-        }
-        tokens.len()
-    }
-}
-
-/// The variable a `let` guard is bound to, when the acquisition's
-/// statement is a `let` binding of a plain identifier.
-fn guard_variable(tokens: &[Token], acq: &Acquisition) -> Option<String> {
-    let stmt_start = statement_start(tokens, acq.dot);
-    if !tokens.get(stmt_start)?.is_ident("let") {
-        return None;
-    }
-    let mut j = stmt_start + 1;
-    while tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
-        j += 1;
-    }
-    tokens
-        .get(j)
-        .filter(|t| t.kind == TokenKind::Ident)
-        .map(|t| t.text.clone())
-}
-
-/// Index of the first token of the statement containing `at`.
-fn statement_start(tokens: &[Token], at: usize) -> usize {
-    let mut j = at;
-    while j > 0 {
-        let t = &tokens[j - 1];
-        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
-            return j;
-        }
-        j -= 1;
-    }
-    0
 }

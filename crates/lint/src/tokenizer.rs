@@ -10,12 +10,17 @@
 /// Kinds of tokens the lint rules care about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
-    /// Identifier or keyword.
+    /// Identifier or keyword (including raw identifiers: `r#type` is one
+    /// `Ident` token with text `type`).
     Ident,
     /// A numeric literal (value not retained precisely).
     Number,
     /// A string/char/raw-string literal (contents dropped).
     Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`), text without
+    /// the quote. Kept distinct from `Ident` so generic-parameter and
+    /// reference positions parse unambiguously.
+    Lifetime,
     /// Any single punctuation character (`.`, `!`, `[`, `{`, …).
     Punct(char),
     /// `::` (kept distinct so paths are easy to match).
@@ -160,6 +165,22 @@ fn raw_tokens(source: &str) -> Vec<Token> {
             continue;
         }
 
+        // Byte char literal: b'x' / b'\n'.
+        if b == b'b' && rest.len() > 1 && rest.as_bytes()[1] == b'\'' {
+            if let Some(len) = char_literal_len(&rest[1..]) {
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: String::new(),
+                    line,
+                    col,
+                    depth,
+                    in_test: false,
+                });
+                advance!(len + 1);
+                continue;
+            }
+        }
+
         // Char literal — only when it cannot be a lifetime. A char literal
         // is 'x' or an escape; a lifetime is 'ident not followed by '.
         if b == b'\'' {
@@ -175,8 +196,45 @@ fn raw_tokens(source: &str) -> Vec<Token> {
                 advance!(len);
                 continue;
             }
-            // Lifetime: skip the quote; the identifier tokenizes next.
-            advance!(1);
+            // Lifetime or loop label: one token, text without the quote.
+            let len = rest[1..]
+                .bytes()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                .count();
+            tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: rest[1..1 + len].to_string(),
+                line,
+                col,
+                depth,
+                in_test: false,
+            });
+            advance!(1 + len);
+            continue;
+        }
+
+        // Raw identifier: r#type → one Ident token with text `type`.
+        // (Raw *strings* were consumed above, so a `r#` here is always an
+        // identifier escape.)
+        if rest.starts_with("r#")
+            && rest
+                .as_bytes()
+                .get(2)
+                .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+        {
+            let len = rest[2..]
+                .bytes()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                .count();
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: rest[2..2 + len].to_string(),
+                line,
+                col,
+                depth,
+                in_test: false,
+            });
+            advance!(2 + len);
             continue;
         }
 

@@ -1,9 +1,10 @@
 //! Tokenizer unit tests: panicking constructs mentioned in comments,
 //! string literals, raw strings, or test-only code must never surface as
-//! tokens the rules could flag — and real violations must.
+//! tokens the rules could flag — and real violations must. The site
+//! scanners (`athena_lint::sites`) are exercised directly; transitive
+//! hot-path propagation over these sites lives in `crates/analyze`.
 
-use athena_lint::config::Config;
-use athena_lint::rules::{NoPanicInHotPath, NoUnorderedIterInHotPath, Rule, SourceFile};
+use athena_lint::sites;
 use athena_lint::tokenizer::{tokenize, TokenKind};
 
 fn idents(source: &str) -> Vec<String> {
@@ -43,6 +44,22 @@ fn unwrap_in_raw_string_is_not_a_token() {
 }
 
 #[test]
+fn multi_hash_raw_string_terminates_at_matching_hashes() {
+    let src = "fn f() { let s = r##\"one \"# not the end .unwrap()\"##; let t = 1; }";
+    let toks = idents(src);
+    assert!(!toks.contains(&"unwrap".to_string()), "{toks:?}");
+    assert!(toks.contains(&"t".to_string()), "{toks:?}");
+}
+
+#[test]
+fn raw_byte_string_contents_are_dropped() {
+    let src = r##"fn f() { let s = br#"bytes .unwrap() here"#; let u = 3; }"##;
+    let toks = idents(src);
+    assert!(!toks.contains(&"unwrap".to_string()), "{toks:?}");
+    assert!(toks.contains(&"u".to_string()), "{toks:?}");
+}
+
+#[test]
 fn escaped_quotes_do_not_end_strings_early() {
     let src = r#"fn f() { let s = "escaped \" quote .unwrap()"; let t = 2; }"#;
     let toks = idents(src);
@@ -51,12 +68,45 @@ fn escaped_quotes_do_not_end_strings_early() {
 }
 
 #[test]
-fn char_literal_contents_are_dropped_but_lifetimes_tokenize() {
-    let src = "fn f<'a>(x: &'a str) { let q = '\"'; let esc = '\\''; }";
+fn char_and_byte_char_literals_are_dropped() {
+    let src = "fn f() { let q = '\"'; let esc = '\\''; let b = b'\\''; let z = 1; }";
     let toks = idents(src);
-    // The lifetime's identifier still appears; char contents do not.
-    assert!(toks.contains(&"a".to_string()));
     assert!(toks.contains(&"esc".to_string()));
+    assert!(toks.contains(&"z".to_string()));
+}
+
+#[test]
+fn lifetimes_and_loop_labels_tokenize_as_lifetimes_not_idents() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { 'outer: loop { break 'outer; } x }";
+    let toks = tokenize(src);
+    let lifetimes: Vec<_> = toks
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert!(lifetimes.contains(&"a"), "{lifetimes:?}");
+    assert!(lifetimes.contains(&"outer"), "{lifetimes:?}");
+    // The lifetime names never leak into the Ident stream where they
+    // could collide with variable heuristics.
+    assert!(!idents(src).contains(&"a".to_string()));
+}
+
+#[test]
+fn raw_identifiers_tokenize_as_idents() {
+    let src = "fn f() { let r#type = 1; let _ = r#type; }";
+    assert!(idents(src).contains(&"type".to_string()));
+}
+
+#[test]
+fn nested_turbofish_generics_tokenize_into_puncts() {
+    let src = "fn f() { let v = Vec::<Vec<u8>>::new(); g::<HashMap<String, Vec<u8>>>(v); }";
+    let toks = tokenize(src);
+    // `>>` must split into two closing angles, not a shift operator that
+    // swallows the second one.
+    let closes = toks.iter().filter(|t| t.is_punct('>')).count();
+    let opens = toks.iter().filter(|t| t.is_punct('<')).count();
+    assert_eq!(opens, closes, "angles stay balanced");
+    assert!(idents(src).contains(&"g".to_string()));
 }
 
 #[test]
@@ -98,74 +148,93 @@ fn depth_tracks_brace_nesting() {
     assert_eq!(opens[1].depth, closes[0].depth);
 }
 
-/// Runs the hot-path rule over a snippet registered as a hot file.
-fn hot_path_violations(source: &str) -> Vec<String> {
-    let file = SourceFile::new("hot.rs".to_string(), source.to_string());
-    let config = Config::parse("[lint]\nhot_paths = [\"hot.rs\"]\n").expect("valid config");
-    let mut out = Vec::new();
-    NoPanicInHotPath.check(&file, &config, &mut out);
-    out.into_iter().map(|v| v.message).collect()
+/// Messages from the panic-site scanner over a snippet.
+fn panic_messages(source: &str) -> Vec<String> {
+    sites::panic_sites(&tokenize(source))
+        .into_iter()
+        .map(|s| s.message)
+        .collect()
 }
 
 #[test]
-fn rule_flags_live_unwrap_but_not_commented_or_test_ones() {
+fn scanner_finds_live_unwrap_but_not_commented_ones() {
     let src = "\
 fn prod(v: Option<u8>) -> u8 {
     // v.unwrap() would be wrong here
     v.unwrap()
 }
-#[cfg(test)]
-mod tests {
-    fn t() { Some(1).unwrap(); }
-}
 ";
-    let msgs = hot_path_violations(src);
+    let msgs = panic_messages(src);
     assert_eq!(msgs.len(), 1, "{msgs:?}");
     assert!(msgs[0].contains("unwrap"));
 }
 
 #[test]
-fn rule_flags_panic_macros_and_indexing() {
+fn scanner_finds_panic_macros_and_indexing() {
     let src = "fn f(v: &[u8]) -> u8 { if v.is_empty() { panic!(\"empty\") } v[0] }";
-    let msgs = hot_path_violations(src);
+    let msgs = panic_messages(src);
     assert_eq!(msgs.len(), 2, "{msgs:?}");
 }
 
 #[test]
-fn rule_ignores_array_types_attributes_and_unwrap_or() {
+fn scanner_ignores_array_types_attributes_and_unwrap_or() {
     let src = "\
 #[derive(Debug)]
 struct S { data: [u8; 6] }
 fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }
 ";
-    let msgs = hot_path_violations(src);
+    let msgs = panic_messages(src);
     assert!(msgs.is_empty(), "{msgs:?}");
 }
 
-/// Runs the unordered-iteration rule over a snippet registered as a hot
-/// file.
-fn unordered_iter_violations(source: &str) -> Vec<String> {
-    let file = SourceFile::new("hot.rs".to_string(), source.to_string());
-    let config = Config::parse("[lint]\nhot_paths = [\"hot.rs\"]\n").expect("valid config");
-    let mut out = Vec::new();
-    NoUnorderedIterInHotPath.check(&file, &config, &mut out);
-    out.into_iter().map(|v| v.message).collect()
+#[test]
+fn scanner_ignores_turbofish_generic_indexing_lookalikes() {
+    // `Vec<u8>` followed by `[...]` in a type position must not read as
+    // a panicking index expression.
+    let src = "fn f() -> [u8; 2] { let v = Vec::<Vec<u8>>::new(); let _ = v; [0, 1] }";
+    let msgs = panic_messages(src);
+    assert!(msgs.is_empty(), "{msgs:?}");
+}
+
+/// Messages from the unordered-iteration scanner over a snippet.
+fn unordered_messages(source: &str) -> Vec<String> {
+    sites::unordered_iter_sites(&tokenize(source))
+        .into_iter()
+        .map(|s| s.message)
+        .collect()
 }
 
 #[test]
 fn unordered_iter_flags_hash_map_methods_and_bare_loops() {
     let src = "\
 struct S { flows: std::collections::HashMap<u64, u8>, seen: HashSet<u64> }
-fn f(s: &mut S) {
-    for (k, v) in &s.flows { drop((k, v)); }
-    let n = s.seen.iter().count();
-    for v in s.flows.values_mut() { *v += 1; }
-    let _ = n;
+impl S {
+    fn f(&mut self) {
+        for (k, v) in &self.flows { drop((k, v)); }
+        let n = self.seen.iter().count();
+        for v in self.flows.values_mut() { *v += 1; }
+        let _ = n;
+    }
 }
 ";
-    let msgs = unordered_iter_violations(src);
+    let msgs = unordered_messages(src);
     assert_eq!(msgs.len(), 3, "{msgs:?}");
     assert!(msgs.iter().all(|m| m.contains("order-nondeterministic")));
+}
+
+#[test]
+fn unordered_iter_ignores_foreign_receivers() {
+    // `other.flows` is someone else's field: flagging it here would
+    // double-report every call site of an accessor that the declaring
+    // file already owns (and allows or fixes).
+    let src = "\
+struct S { flows: std::collections::HashMap<u64, u8> }
+fn f(other: &S) -> usize {
+    other.flows.values().count()
+}
+";
+    let msgs = unordered_messages(src);
+    assert!(msgs.is_empty(), "{msgs:?}");
 }
 
 #[test]
@@ -182,6 +251,6 @@ mod tests {
     fn t(m: &std::collections::HashMap<u64, u8>) -> usize { m.values().count() }
 }
 ";
-    let msgs = unordered_iter_violations(src);
+    let msgs = unordered_messages(src);
     assert!(msgs.is_empty(), "{msgs:?}");
 }

@@ -65,13 +65,13 @@ static JOBS: Mutex<Vec<JobStats>> = Mutex::new(Vec::new());
 /// Turns job-cost accounting on or off (off by default). Turning it on
 /// clears any previously recorded jobs.
 pub fn set_accounting(on: bool) {
-    lock(&JOBS).clear();
+    lock(&JOBS, "parallel/JOBS").clear();
     ENABLED.store(on, Ordering::SeqCst);
 }
 
 /// Drains and returns the jobs recorded since accounting was enabled.
 pub fn take_jobs() -> Vec<JobStats> {
-    std::mem::take(&mut *lock(&JOBS))
+    std::mem::take(&mut *lock(&JOBS, "parallel/JOBS"))
 }
 
 pub(crate) fn accounting_enabled() -> bool {
@@ -79,5 +79,5 @@ pub(crate) fn accounting_enabled() -> bool {
 }
 
 pub(crate) fn record_job(stats: JobStats) {
-    lock(&JOBS).push(stats);
+    lock(&JOBS, "parallel/JOBS").push(stats);
 }

@@ -120,15 +120,15 @@ impl<R: Send + 'static> JobState<R> {
             let t0 = Instant::now();
             for i in start..end {
                 match catch_unwind(AssertUnwindSafe(|| f(i))) {
-                    Ok(r) => *lock(&self.slots[i]) = Some(r),
+                    Ok(r) => *lock(&self.slots[i], "parallel/slots") = Some(r),
                     Err(_) => self.panicked.store(true, Ordering::SeqCst),
                 }
             }
             if account {
                 let ns = t0.elapsed().as_nanos() as u64;
-                lock(&self.costs).push((start, ns));
+                lock(&self.costs, "parallel/costs").push((start, ns));
             }
-            let mut d = lock(&self.done);
+            let mut d = lock(&self.done, "parallel/done");
             *d += end - start;
             if *d >= self.n {
                 self.all_done.notify_all();
@@ -140,7 +140,7 @@ impl<R: Send + 'static> JobState<R> {
         if !accounting::accounting_enabled() {
             return;
         }
-        let mut costs = lock(&self.costs).clone();
+        let mut costs = lock(&self.costs, "parallel/costs").clone();
         costs.sort_unstable_by_key(|&(start, _)| start);
         accounting::record_job(JobStats {
             items: self.n,
@@ -180,23 +180,18 @@ where
     // The caller is the last runner: the job progresses even if no pool
     // worker ever picks up a task.
     state.run(&*f);
-    let mut finished = lock(&state.done);
+    let mut finished = lock(&state.done, "parallel/done");
     while *finished < n {
-        finished = state
-            .all_done
-            .wait(finished)
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        finished = finished.wait(&state.all_done);
     }
     drop(finished);
     if state.panicked.load(Ordering::SeqCst) {
         panic!("athena-parallel: a parallel task panicked");
     }
     state.record_accounting(width);
-    state
-        .slots
-        .iter()
+    (0..state.slots.len())
         .map(|s| {
-            lock(s)
+            lock(&state.slots[s], "parallel/slots")
                 .take()
                 .expect("all slots filled before wait returned")
         })
@@ -278,14 +273,14 @@ impl Scope {
     /// Spawns a task into the pool. The task must be `'static`; share
     /// data with the caller through `Arc`.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        *lock(&self.pending.0) += 1;
+        *lock(&self.pending.0, "parallel/pending") += 1;
         let pending = Arc::clone(&self.pending);
         let panicked = Arc::clone(&self.panicked);
         pool().spawn_task(Box::new(move || {
             if catch_unwind(AssertUnwindSafe(task)).is_err() {
                 panicked.store(true, Ordering::SeqCst);
             }
-            let mut p = lock(&pending.0);
+            let mut p = lock(&pending.0, "parallel/pending");
             *p -= 1;
             if *p == 0 {
                 pending.1.notify_all();
@@ -306,7 +301,7 @@ pub fn scope(f: impl FnOnce(&Scope)) {
     f(&s);
     let p = pool();
     loop {
-        if *lock(&s.pending.0) == 0 {
+        if *lock(&s.pending.0, "parallel/pending") == 0 {
             break;
         }
         // Help: run queued tasks (ours or anyone's) instead of blocking.
@@ -314,15 +309,11 @@ pub fn scope(f: impl FnOnce(&Scope)) {
             let _ = catch_unwind(AssertUnwindSafe(task));
             continue;
         }
-        let guard = lock(&s.pending.0);
+        let guard = lock(&s.pending.0, "parallel/pending");
         if *guard == 0 {
             break;
         }
-        let _ = s
-            .pending
-            .1
-            .wait_timeout(guard, std::time::Duration::from_millis(1))
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = guard.wait_timeout(&s.pending.1, std::time::Duration::from_millis(1));
     }
     if s.panicked.load(Ordering::SeqCst) {
         panic!("athena-parallel: a scoped task panicked");
@@ -337,7 +328,7 @@ mod tests {
     fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
         // Env vars are process-global; serialize the tests that set one.
         static ENV: Mutex<()> = Mutex::new(());
-        let _guard = lock(&ENV);
+        let _guard = lock(&ENV, "parallel/ENV");
         std::env::set_var("ATHENA_THREADS", n.to_string());
         let out = f();
         std::env::remove_var("ATHENA_THREADS");

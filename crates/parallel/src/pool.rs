@@ -27,9 +27,14 @@ use crate::telemetry::Instruments;
 pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
 
 /// Lock helper that survives a poisoned mutex: pool state stays valid
-/// even if a task panicked while a guard was held elsewhere.
-pub(crate) fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// even if a task panicked while a guard was held elsewhere. `name` is
+/// the lock's crate-qualified sentinel name (`"parallel/<field>"`),
+/// reported to the runtime lock-order sentinel.
+pub(crate) fn lock<'a, T>(
+    m: &'a Mutex<T>,
+    name: &'static str,
+) -> athena_types::sentinel::StdMutexGuard<'a, T> {
+    athena_types::sentinel::lock_std(m, name)
 }
 
 thread_local! {
@@ -100,12 +105,12 @@ impl Pool {
     pub(crate) fn spawn_task(&self, task: Task) {
         let depth = match WORKER_ID.with(Cell::get) {
             Some(id) => {
-                let mut d = lock(&self.deques[id]);
+                let mut d = lock(&self.deques[id], "parallel/deques");
                 d.push_back(task);
                 d.len()
             }
             None => {
-                let mut q = lock(&self.injector);
+                let mut q = lock(&self.injector, "parallel/injector");
                 q.push_back(task);
                 q.len()
             }
@@ -115,7 +120,7 @@ impl Pool {
             t.queue_depth.record(depth as u64);
         });
         if self.idle.load(Ordering::SeqCst) > 0 {
-            let _guard = lock(&self.park);
+            let _guard = lock(&self.park, "parallel/park");
             self.wake.notify_one();
         }
     }
@@ -123,10 +128,7 @@ impl Pool {
     /// Runs `f` against the bound instruments without holding the read
     /// guard across anything that can block.
     pub(crate) fn with_tel(&self, f: impl FnOnce(&Instruments)) {
-        let guard = self
-            .tel
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guard = athena_types::sentinel::read_std(&self.tel, "parallel/tel");
         f(&guard);
     }
 
@@ -149,16 +151,16 @@ impl Pool {
     /// Own deque (LIFO), then injector (FIFO), then steal from siblings
     /// (front, FIFO) starting just past our own slot.
     fn find_task(&self, id: usize) -> Option<Task> {
-        if let Some(t) = lock(&self.deques[id]).pop_back() {
+        if let Some(t) = lock(&self.deques[id], "parallel/deques").pop_back() {
             return Some(t);
         }
-        if let Some(t) = lock(&self.injector).pop_front() {
+        if let Some(t) = lock(&self.injector, "parallel/injector").pop_front() {
             return Some(t);
         }
         let n = self.deques.len();
         for off in 1..n {
             let victim = (id + off) % n;
-            if let Some(t) = lock(&self.deques[victim]).pop_front() {
+            if let Some(t) = lock(&self.deques[victim], "parallel/deques").pop_front() {
                 self.with_tel(|t| t.steals.inc());
                 return Some(t);
             }
@@ -169,11 +171,11 @@ impl Pool {
     /// Steal-only scan for threads that are not pool workers (a caller
     /// helping its own job along while it waits on a [`crate::scope`]).
     pub(crate) fn find_task_external(&self) -> Option<Task> {
-        if let Some(t) = lock(&self.injector).pop_front() {
+        if let Some(t) = lock(&self.injector, "parallel/injector").pop_front() {
             return Some(t);
         }
-        for victim in &self.deques {
-            if let Some(t) = lock(victim).pop_front() {
+        for victim in 0..self.deques.len() {
+            if let Some(t) = lock(&self.deques[victim], "parallel/deques").pop_front() {
                 self.with_tel(|t| t.steals.inc());
                 return Some(t);
             }
@@ -182,7 +184,7 @@ impl Pool {
     }
 
     fn park(&self) {
-        let guard = lock(&self.park);
+        let guard = lock(&self.park, "parallel/park");
         self.idle.fetch_add(1, Ordering::SeqCst);
         // Advertise idleness *before* the final emptiness check: a
         // spawner that pushed before seeing `idle > 0` must have pushed
@@ -195,17 +197,14 @@ impl Pool {
         // The timeout is a safety net against the residual lost-wakeup
         // window (cross-variable atomics vs. mutex ordering); it bounds
         // any stall without affecting results.
-        let _ = self
-            .wake
-            .wait_timeout(guard, Duration::from_millis(2))
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = guard.wait_timeout(&self.wake, Duration::from_millis(2));
         self.idle.fetch_sub(1, Ordering::SeqCst);
     }
 
     fn has_queued(&self) -> bool {
-        if !lock(&self.injector).is_empty() {
+        if !lock(&self.injector, "parallel/injector").is_empty() {
             return true;
         }
-        self.deques.iter().any(|d| !lock(d).is_empty())
+        (0..self.deques.len()).any(|d| !lock(&self.deques[d], "parallel/deques").is_empty())
     }
 }

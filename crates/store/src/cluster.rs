@@ -12,8 +12,8 @@ use crate::filter::Filter;
 use crate::persist::{ops, StorePersist};
 use crate::query::{Aggregation, FindOptions};
 use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_types::sentinel::{TrackedMutex, TrackedRwLock};
 use athena_types::{AthenaError, Result};
-use parking_lot::{Mutex, RwLock};
 use serde_json::Value;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,7 +22,7 @@ use std::sync::Arc;
 /// A single store node: the shards it hosts plus its write journal.
 #[derive(Debug)]
 pub struct StoreNode {
-    collections: RwLock<HashMap<String, RwLock<Collection>>>,
+    collections: TrackedRwLock<HashMap<String, TrackedRwLock<Collection>>>,
     journal_bytes: AtomicU64,
     journal_records: AtomicU64,
     up: AtomicBool,
@@ -31,7 +31,7 @@ pub struct StoreNode {
 impl Default for StoreNode {
     fn default() -> Self {
         StoreNode {
-            collections: RwLock::new(HashMap::new()),
+            collections: TrackedRwLock::new("store/collections", HashMap::new()),
             journal_bytes: AtomicU64::new(0),
             journal_records: AtomicU64::new(0),
             up: AtomicBool::new(true),
@@ -59,7 +59,7 @@ impl StoreNode {
         let mut map = self.collections.write();
         let coll = map
             .entry(name.to_owned())
-            .or_insert_with(|| RwLock::new(Collection::new(name)));
+            .or_insert_with(|| TrackedRwLock::new("store/coll", Collection::new(name)));
         let result = f(&mut coll.write());
         result
     }
@@ -171,9 +171,9 @@ pub struct StoreCluster {
     replication: usize,
     pub(crate) next_id: Arc<AtomicU64>,
     pub(crate) metrics: Arc<MetricsInner>,
-    pub(crate) index_requests: Arc<Mutex<HashMap<String, Vec<String>>>>,
-    tel: Arc<RwLock<StoreTelemetry>>,
-    pub(crate) persist: Arc<Mutex<Option<StorePersist>>>,
+    pub(crate) index_requests: Arc<TrackedMutex<HashMap<String, Vec<String>>>>,
+    tel: Arc<TrackedRwLock<StoreTelemetry>>,
+    pub(crate) persist: Arc<TrackedMutex<Option<StorePersist>>>,
     pub(crate) persist_on: Arc<AtomicBool>,
 }
 
@@ -188,9 +188,9 @@ impl StoreCluster {
             replication: replication.clamp(1, nodes),
             next_id: Arc::new(AtomicU64::new(1)),
             metrics: Arc::new(MetricsInner::default()),
-            index_requests: Arc::new(Mutex::new(HashMap::new())),
-            tel: Arc::new(RwLock::new(StoreTelemetry::default())),
-            persist: Arc::new(Mutex::new(None)),
+            index_requests: Arc::new(TrackedMutex::new("store/index_requests", HashMap::new())),
+            tel: Arc::new(TrackedRwLock::new("store/tel", StoreTelemetry::default())),
+            persist: Arc::new(TrackedMutex::new("store/persist", None)),
             persist_on: Arc::new(AtomicBool::new(false)),
         }
     }

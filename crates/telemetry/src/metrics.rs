@@ -493,10 +493,11 @@ impl std::fmt::Debug for MetricsRegistry {
     }
 }
 
-/// Locks a mutex, recovering from poisoning (an instrument snapshot must
-/// never propagate a panic from an unrelated thread).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks the registry map, recovering from poisoning (an instrument
+/// snapshot must never propagate a panic from an unrelated thread) and
+/// reporting the acquisition to the lock-order sentinel.
+fn lock<T>(m: &Mutex<T>) -> athena_types::sentinel::StdMutexGuard<'_, T> {
+    athena_types::sentinel::lock_std(m, "telemetry/metrics")
 }
 
 #[cfg(test)]

@@ -267,10 +267,11 @@ impl std::fmt::Debug for TraceRecorder {
     }
 }
 
-/// Locks a mutex, recovering from poisoning (tracing must never turn a
-/// panic on another thread into a second panic here).
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks the trace state, recovering from poisoning (tracing must never
+/// turn a panic on another thread into a second panic here) and
+/// reporting the acquisition to the lock-order sentinel.
+fn lock<T>(m: &Mutex<T>) -> athena_types::sentinel::StdMutexGuard<'_, T> {
+    athena_types::sentinel::lock_std(m, "telemetry/state")
 }
 
 #[cfg(test)]

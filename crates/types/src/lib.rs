@@ -32,6 +32,7 @@ pub mod env;
 pub mod error;
 pub mod id;
 pub mod net;
+pub mod sentinel;
 pub mod time;
 
 pub use env::{env_flag, env_usize};

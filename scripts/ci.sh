@@ -11,8 +11,19 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> athena-lint"
-cargo run -q -p athena-lint --offline
+echo "==> athena-lint (whole-workspace analysis gate, < 60 s)"
+# Build outside the timer: the gate bounds analysis time, not compile
+# time. The JSON report is archived next to BENCH_parallel.json.
+cargo build -q --release --offline -p athena-analyze --bin athena-lint
+analysis_start=$(date +%s)
+./target/release/athena-lint --root . --json target/analysis-report.json
+analysis_elapsed=$(( $(date +%s) - analysis_start ))
+echo "    analysis gate finished in ${analysis_elapsed}s (bound: 60 s)"
+[ "$analysis_elapsed" -lt 60 ]
+test -s target/analysis-report.json
+
+echo "==> analysis violation corpus (each rule fires exactly once)"
+cargo test -q -p athena-analyze --offline --test corpus
 
 # ATHENA_CHAOS_SMOKE=1 keeps the chaos matrix on the light workload in
 # CI (the full scenario matrix still runs — no scenario is skipped).
@@ -48,12 +59,13 @@ ATHENA_TELEMETRY_REPORT=target/telemetry-report.json \
     results_are_invariant_to_cluster_size_and_time_decreases
 test -s target/telemetry-report.json
 
-echo "==> parallel smoke gate (worker-count determinism + speedup table, < 60 s)"
+echo "==> parallel smoke gate (worker-count determinism + lock sentinel + speedup table, < 60 s)"
 # Build the bench binary outside the timer: the gate bounds runtime, not
-# compile time.
+# compile time. ATHENA_LOCK_SENTINEL=1 makes every tracked acquisition
+# record its order edges, cross-checked against [analyze] lock_order.
 cargo build -q --release --offline -p athena-bench --bin table_parallel
 parallel_start=$(date +%s)
-ATHENA_CHAOS_SMOKE=1 cargo test -q --offline --test e2e_determinism
+ATHENA_LOCK_SENTINEL=1 ATHENA_CHAOS_SMOKE=1 cargo test -q --offline --test e2e_determinism
 ATHENA_BENCH_SMOKE=1 ATHENA_PARALLEL_JSON=target/BENCH_parallel.json \
     ./target/release/table_parallel
 parallel_elapsed=$(( $(date +%s) - parallel_start ))

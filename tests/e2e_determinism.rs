@@ -258,3 +258,114 @@ fn chaos_controller_crash_is_byte_identical_across_worker_counts() {
     let eight = with_threads(8, chaos_snapshot);
     assert_identical("chaos/controller-crash", one, eight, false);
 }
+
+// ---- runtime lock-order sentinel ------------------------------------
+//
+// The static gate (`crates/analyze`) derives the lock-acquisition graph
+// from the call graph and verifies it against `[analyze] lock_order` in
+// `lint.toml`. The sentinel closes the loop dynamically: every tracked
+// acquisition records the locks the thread already held, and the
+// observed edges are cross-checked against the *same* declared order.
+// `scripts/ci.sh` runs this suite with `ATHENA_LOCK_SENTINEL=1` so the
+// plain scenario runs record edges too; the tests below force tracking
+// on so they validate even in a default `cargo test`.
+
+use athena::types::sentinel;
+
+/// The declared order from `lint.toml` — one list serves both checkers.
+fn declared_lock_order() -> Vec<String> {
+    athena_lint::load_config(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint.toml parses")
+        .lock_order
+}
+
+#[test]
+fn sentinel_observes_clean_lock_order_during_chaos_run() {
+    // Serialized via ENV_LOCK inside with_threads: sentinel state is
+    // process-global, and a concurrent scenario run could interleave
+    // its acquisitions with ours.
+    let (edges, violations) = with_threads(1, || {
+        sentinel::force(Some(true));
+        sentinel::reset();
+        let _ = chaos_snapshot();
+        let edges = sentinel::edges();
+        let violations = sentinel::check_against(&declared_lock_order());
+        sentinel::force(None);
+        sentinel::reset();
+        (edges, violations)
+    });
+
+    assert!(
+        !edges.is_empty(),
+        "a full chaos run must nest at least one tracked lock pair"
+    );
+    assert!(
+        violations.is_empty(),
+        "runtime acquisitions contradict the statically-verified lock_order:\n{}",
+        violations.join("\n")
+    );
+
+    // Surface the observation counts the way the production stack
+    // reports everything else: through telemetry.
+    let tel = Telemetry::new();
+    tel.metrics()
+        .counter("sentinel", "edges_observed")
+        .add(edges.len() as u64);
+    tel.metrics()
+        .counter("sentinel", "order_violations")
+        .add(violations.len() as u64);
+    let report = tel.report();
+    assert!(
+        report
+            .counters
+            .iter()
+            .any(|c| c.key.subsystem == "sentinel" && c.value == edges.len() as u64),
+        "sentinel counters must surface in the telemetry report"
+    );
+}
+
+#[test]
+fn sentinel_catches_seeded_lock_order_inversion() {
+    // The runtime twin of the static corpus case
+    // `crates/analyze/tests/corpus/lock_inversion.rs`: acquire the
+    // last-declared lock, then the first-declared one under it. The
+    // static gate rejects that nesting when it is visible in the call
+    // graph; the sentinel must reject it when only the runtime sees it.
+    let order = declared_lock_order();
+    let first: &'static str = Box::leak(
+        order
+            .first()
+            .expect("non-empty order")
+            .clone()
+            .into_boxed_str(),
+    );
+    let last: &'static str = Box::leak(
+        order
+            .last()
+            .expect("non-empty order")
+            .clone()
+            .into_boxed_str(),
+    );
+
+    let violations = with_threads(1, || {
+        sentinel::force(Some(true));
+        sentinel::reset();
+        let outer = sentinel::TrackedMutex::new(last, 0u32);
+        let inner = sentinel::TrackedMutex::new(first, 0u32);
+        {
+            let _go = outer.lock();
+            let _gi = inner.lock();
+        }
+        let violations = sentinel::check_against(&order);
+        sentinel::force(None);
+        sentinel::reset();
+        violations
+    });
+
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    assert!(
+        violations[0].contains("inverts the declared lock_order"),
+        "{}",
+        violations[0]
+    );
+}
