@@ -1,0 +1,6 @@
+// A declared hot seed that never opens a telemetry/observe span: the
+// subsystem boundary would be invisible to causal traces, so
+// span-on-subsystem-entry fires on the entry function itself.
+pub fn hot_entry(v: u8) -> u8 {
+    v.wrapping_add(1)
+}

@@ -9,6 +9,7 @@ use athena_core::nb::reaction_manager::Reaction;
 use athena_core::FeatureRecord;
 use athena_core::{Athena, DetectionModel, Query, QueryBuilder};
 use athena_ml::{Algorithm, Normalization, Preprocessor, ValidationSummary};
+use athena_telemetry::names;
 use athena_types::{IpProto, Ipv4Addr, Result};
 
 /// Configuration for the DDoS detector.
@@ -89,7 +90,7 @@ impl DdosDetector {
     /// Propagates query/preprocessing/fitting failures.
     pub fn train(&self, athena: &Athena) -> Result<DetectionModel> {
         let tel = athena.telemetry().metrics();
-        let train_ns = tel.histogram("apps", "ddos_train_ns");
+        let train_ns = tel.histogram(names::apps::SUBSYSTEM, names::apps::DDOS_TRAIN_NS);
         let timer = train_ns.start_timer();
         let mut q_train = self.query();
         q_train.features = Self::features();
@@ -107,7 +108,7 @@ impl DdosDetector {
     /// `ValidateFeatures(q_test, f, m)`), yielding the Figure 6 summary.
     pub fn test(&self, athena: &Athena, model: &DetectionModel) -> ValidationSummary {
         let tel = athena.telemetry().metrics();
-        let test_ns = tel.histogram("apps", "ddos_test_ns");
+        let test_ns = tel.histogram(names::apps::SUBSYSTEM, names::apps::DDOS_TEST_NS);
         let timer = test_ns.start_timer();
         let mut q_test = self.query();
         q_test.features = Self::features();
@@ -226,7 +227,10 @@ mod tests {
         // The store is empty, so training fails — the attempt's latency
         // is still recorded (failures are exactly when you want timings).
         assert!(det.train(&athena).is_err());
-        let snap = tel.metrics().histogram("apps", "ddos_train_ns").snapshot();
+        let snap = tel
+            .metrics()
+            .histogram(names::apps::SUBSYSTEM, names::apps::DDOS_TRAIN_NS)
+            .snapshot();
         assert_eq!(snap.count, 1);
     }
 

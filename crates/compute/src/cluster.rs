@@ -2,7 +2,8 @@
 
 use crate::dataset::Dataset;
 use crate::scheduler::{SchedulerConfig, VirtualScheduler};
-use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_observe::Observe;
+use athena_telemetry::{names, Counter, Histogram, Telemetry};
 use athena_types::sentinel::{TrackedMutex, TrackedRwLock};
 use athena_types::{SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,6 +43,7 @@ struct ComputeTelemetry {
     tasks: Counter,
     /// Kept for the per-job virtual-time trace events.
     handle: Option<Telemetry>,
+    observe: Observe,
 }
 
 /// A compute cluster of N worker nodes.
@@ -89,12 +91,24 @@ impl ComputeCluster {
     /// event stamped with the cluster's cumulative virtual time.
     pub fn bind_telemetry(&self, tel: &Telemetry) {
         let m = tel.metrics();
+        let sub = names::compute::SUBSYSTEM;
+        // Rebuild wholesale but keep any already-bound observe handle.
+        let observe = self.inner.tel.read().observe.clone();
         *self.inner.tel.write() = ComputeTelemetry {
-            task_ns: m.histogram("compute", "task_ns"),
-            job_ns: m.histogram("compute", "job_ns"),
-            tasks: m.counter("compute", "tasks"),
+            task_ns: m.histogram(sub, names::compute::TASK_NS),
+            job_ns: m.histogram(sub, names::compute::JOB_NS),
+            tasks: m.counter(sub, names::compute::TASKS),
             handle: Some(tel.clone()),
+            observe,
         };
+    }
+
+    /// Routes causal spans (the compute-job leg of a trace) into `obs`
+    /// for every handle cloned from this cluster. Spans are opened and
+    /// closed on the submitting thread only — pool workers record
+    /// nothing causal, so the trace stream is thread-count-invariant.
+    pub fn bind_observe(&self, obs: &Observe) {
+        self.inner.tel.write().observe = obs.clone();
     }
 
     /// Number of worker nodes.
@@ -161,8 +175,10 @@ impl ComputeCluster {
                 job_ns: guard.job_ns.clone(),
                 tasks: guard.tasks.clone(),
                 handle: guard.handle.clone(),
+                observe: guard.observe.clone(),
             }
         };
+        let span = tel.observe.span("compute", "job");
         let job_timer = tel.job_ns.start_timer();
         let parts = Arc::clone(partitions);
         let task_hist = tel.task_ns.clone();
@@ -205,6 +221,7 @@ impl ComputeCluster {
                 format!("{label}: {} tasks", partitions.len()),
             );
         }
+        span.finish(format!("{label}: {} tasks", partitions.len()));
         results
     }
 }

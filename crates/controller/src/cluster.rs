@@ -6,8 +6,9 @@ use crate::packet::{PacketContext, PacketProcessor};
 use crate::services::{FlowRuleService, HostService, MastershipService};
 use crate::stats::StatsPoller;
 use athena_dataplane::{ControllerLink, Topology};
+use athena_observe::Observe;
 use athena_openflow::OfMessage;
-use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use athena_types::{ControllerId, Dpid, SimDuration, SimTime};
 
 /// Cluster-level message counters.
@@ -40,6 +41,7 @@ pub struct ControllerCluster {
     pub(crate) counters: ClusterCounters,
     pub(crate) failover: FailoverCounters,
     tel: ClusterTelemetry,
+    observe: Observe,
     pub(crate) persist: Option<crate::persist::ControllerPersist>,
     // Virtual time of the latest southbound message or tick — stamps
     // journal records written from paths that do not carry `now`
@@ -58,6 +60,7 @@ struct ClusterTelemetry {
     packet_in_ns: Histogram,
     elections: Counter,
     switches_moved: Counter,
+    instances_down: Gauge,
 }
 
 impl Default for ClusterTelemetry {
@@ -70,6 +73,7 @@ impl Default for ClusterTelemetry {
             packet_in_ns: Histogram::detached(),
             elections: Counter::detached(),
             switches_moved: Counter::detached(),
+            instances_down: Gauge::detached(),
         }
     }
 }
@@ -108,6 +112,7 @@ impl ControllerCluster {
             counters: ClusterCounters::default(),
             failover: FailoverCounters::default(),
             tel: ClusterTelemetry::default(),
+            observe: Observe::disabled(),
             persist: None,
             last_seen: SimTime::ZERO,
         }
@@ -117,19 +122,28 @@ impl ControllerCluster {
     /// `tel` (also rebinds the statistics poller, if any).
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
         let m = tel.metrics();
+        let ctl = names::controller::SUBSYSTEM;
+        let fo = names::failover::SUBSYSTEM;
         self.tel = ClusterTelemetry {
-            packet_ins: m.counter("controller", "packet_ins"),
-            flow_mods: m.counter("controller", "flow_mods"),
-            stats_replies: m.counter("controller", "stats_replies"),
-            flow_removeds: m.counter("controller", "flow_removeds"),
-            packet_in_ns: m.histogram("controller", "packet_in_ns"),
-            elections: m.counter("failover", "elections"),
-            switches_moved: m.counter("failover", "switches_moved"),
+            packet_ins: m.counter(ctl, names::controller::PACKET_INS),
+            flow_mods: m.counter(ctl, names::controller::FLOW_MODS),
+            stats_replies: m.counter(ctl, names::controller::STATS_REPLIES),
+            flow_removeds: m.counter(ctl, names::controller::FLOW_REMOVEDS),
+            packet_in_ns: m.histogram(ctl, names::controller::PACKET_IN_NS),
+            elections: m.counter(fo, names::failover::ELECTIONS),
+            switches_moved: m.counter(fo, names::failover::SWITCHES_MOVED),
+            instances_down: m.gauge(fo, names::failover::INSTANCES_DOWN),
         };
         if let Some(poller) = &mut self.poller {
             poller.bind_telemetry(tel);
         }
         self.flow_rules.bind_telemetry(tel);
+    }
+
+    /// Routes causal spans (the controller leg of a packet-in trace)
+    /// into `obs`.
+    pub fn bind_observe(&mut self, obs: &Observe) {
+        self.observe = obs.clone();
     }
 
     /// Registers a packet processor (kept sorted by priority, highest
@@ -176,6 +190,7 @@ impl ControllerCluster {
     pub fn crash_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
         let was_alive = self.mastership.is_alive(c);
         let moved = self.mastership.crash(c);
+        self.publish_instances_down();
         if was_alive {
             self.journal_mastership(crate::persist::events::crash(c));
         }
@@ -194,6 +209,7 @@ impl ControllerCluster {
     pub fn rejoin_instance(&mut self, c: ControllerId) -> Vec<Dpid> {
         let was_down = !self.mastership.is_alive(c);
         let moved = self.mastership.rejoin(c);
+        self.publish_instances_down();
         if was_down {
             self.journal_mastership(crate::persist::events::rejoin(c));
         }
@@ -209,6 +225,13 @@ impl ControllerCluster {
     /// `true` if the instance has not crashed.
     pub fn instance_alive(&self, c: ControllerId) -> bool {
         self.mastership.is_alive(c)
+    }
+
+    fn publish_instances_down(&self) {
+        let down = self.mastership.instances().len() - self.mastership.alive_instances().len();
+        self.tel
+            .instances_down
+            .set(i64::try_from(down).unwrap_or(i64::MAX));
     }
 
     /// The cluster's message counters.
@@ -303,6 +326,7 @@ impl ControllerLink for ControllerCluster {
             OfMessage::PacketIn { body, .. } => {
                 self.counters.packet_ins += 1;
                 self.tel.packet_ins.inc();
+                let span = self.observe.span_at("controller", "packet_in", now);
                 let timer = self.tel.packet_in_ns.start_timer();
                 // Host learning from observed source addresses.
                 if let (Some(ip), true) = (body.header.ip_src, body.header.in_port.is_physical()) {
@@ -326,6 +350,7 @@ impl ControllerLink for ControllerCluster {
                 }
                 commands.extend(ctx.into_commands());
                 timer.observe(&self.tel.packet_in_ns);
+                span.finish(format!("dpid={} cmds={}", from.raw(), commands.len()));
             }
             OfMessage::FlowRemoved { body, .. } => {
                 self.counters.flow_removeds += 1;

@@ -227,8 +227,15 @@ impl FlowRuleService {
 
     /// Routes install/removal counts into `tel`.
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
-        self.installs_tel = tel.metrics().counter("controller", "rules_installed");
-        self.removals_tel = tel.metrics().counter("controller", "rules_removed");
+        use athena_telemetry::names;
+        self.installs_tel = tel.metrics().counter(
+            names::controller::SUBSYSTEM,
+            names::controller::RULES_INSTALLED,
+        );
+        self.removals_tel = tel.metrics().counter(
+            names::controller::SUBSYSTEM,
+            names::controller::RULES_REMOVED,
+        );
     }
 
     /// Stamps a flow-mod with a fresh app-attributed cookie and records

@@ -123,11 +123,15 @@ impl StatsPoller {
 
     /// Routes the poller's issued-request and retry counters into `tel`.
     pub fn bind_telemetry(&mut self, tel: &athena_telemetry::Telemetry) {
+        use athena_telemetry::names;
         let m = tel.metrics();
-        self.polls_issued = m.counter("controller", "stats_polls_issued");
-        self.retries_tel = m.counter("retry", "stats_retries");
-        self.timeouts_tel = m.counter("retry", "stats_timeouts");
-        self.gave_up_tel = m.counter("retry", "stats_gave_up");
+        self.polls_issued = m.counter(
+            names::controller::SUBSYSTEM,
+            names::controller::STATS_POLLS_ISSUED,
+        );
+        self.retries_tel = m.counter(names::retry::SUBSYSTEM, names::retry::STATS_RETRIES);
+        self.timeouts_tel = m.counter(names::retry::SUBSYSTEM, names::retry::STATS_TIMEOUTS);
+        self.gave_up_tel = m.counter(names::retry::SUBSYSTEM, names::retry::STATS_GAVE_UP);
     }
 
     /// Requests issued so far (including retries).

@@ -14,6 +14,7 @@ use crate::sb::reactor::AttackReactor;
 use athena_compute::ComputeCluster;
 use athena_controller::ControllerCluster;
 use athena_ml::{Algorithm, Preprocessor, ValidationSummary};
+use athena_observe::Observe;
 use athena_store::StoreCluster;
 use athena_telemetry::Telemetry;
 use athena_types::sentinel::TrackedMutex;
@@ -71,6 +72,9 @@ pub struct AthenaRuntime {
     /// The deployment's telemetry domain (disabled unless the instance
     /// was built with [`Athena::with_telemetry`]).
     pub telemetry: Telemetry,
+    /// The deployment's observe pipeline (disabled unless the instance
+    /// was built with [`Athena::with_observe`]).
+    pub observe: Observe,
 }
 
 /// The Athena framework instance.
@@ -96,8 +100,16 @@ impl Athena {
     /// compute clusters and the feature pipeline all record their metrics
     /// and traces there.
     pub fn with_telemetry(config: AthenaConfig, tel: Telemetry) -> Self {
+        Self::with_observe(config, tel, Observe::disabled())
+    }
+
+    /// Builds an Athena deployment reporting into `tel` and recording
+    /// causal spans (store quorum writes, compute jobs, feature
+    /// generation, verdicts) into `obs`.
+    pub fn with_observe(config: AthenaConfig, tel: Telemetry, obs: Observe) -> Self {
         let store = StoreCluster::new(config.store_nodes, config.store_replication);
         store.bind_telemetry(&tel);
+        store.bind_observe(&obs);
         let mut feature_manager = FeatureManager::new(&store);
         feature_manager.set_store_enabled(config.store_enabled);
         let mut resource = ResourceManager::new();
@@ -110,9 +122,11 @@ impl Athena {
             resource: TrackedMutex::new("core/resource", resource),
             poll_retry: config.poll_retry,
             telemetry: tel.clone(),
+            observe: obs.clone(),
         });
         let compute = ComputeCluster::new(config.compute_workers);
         compute.bind_telemetry(&tel);
+        compute.bind_observe(&obs);
         Athena {
             runtime,
             detector_manager: DetectorManager::with_telemetry(compute, &tel),
@@ -133,6 +147,9 @@ impl Athena {
     pub fn attach(&self, cluster: &mut ControllerCluster) {
         if self.runtime.telemetry.is_enabled() {
             cluster.bind_telemetry(&self.runtime.telemetry);
+        }
+        if self.runtime.observe.is_enabled() {
+            cluster.bind_observe(&self.runtime.observe);
         }
         for c in 0..cluster.instance_count() {
             cluster.add_interceptor(Box::new(self.southbound(ControllerId::new(c as u32))));
@@ -161,6 +178,7 @@ impl Athena {
     pub fn set_compute_workers(&mut self, workers: usize) {
         let compute = ComputeCluster::new(workers);
         compute.bind_telemetry(&self.runtime.telemetry);
+        compute.bind_observe(&self.runtime.observe);
         self.detector_manager = DetectorManager::with_telemetry(compute, &self.runtime.telemetry);
     }
 

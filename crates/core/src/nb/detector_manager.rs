@@ -136,10 +136,11 @@ impl DetectorManager {
     /// Like [`DetectorManager::new`], but training latency and model
     /// counts flow into `tel` under the `core` subsystem.
     pub fn with_telemetry(compute: ComputeCluster, tel: &Telemetry) -> Self {
+        use athena_telemetry::names;
         let m = tel.metrics();
         DetectorManager {
-            fit_ns: m.histogram("core", "fit_ns"),
-            models_trained: m.counter("core", "models_trained"),
+            fit_ns: m.histogram(names::core::SUBSYSTEM, names::core::FIT_NS),
+            models_trained: m.counter(names::core::SUBSYSTEM, names::core::MODELS_TRAINED),
             ..Self::new(compute)
         }
     }

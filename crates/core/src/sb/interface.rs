@@ -13,8 +13,9 @@
 use crate::athena::AthenaRuntime;
 use crate::feature::generator::FeatureGenerator;
 use athena_controller::{InterceptCtx, MessageInterceptor, RetryCounters, RetryPolicy};
+use athena_observe::Observe;
 use athena_openflow::{MatchFields, OfMessage, StatsRequest};
-use athena_telemetry::{Counter, Histogram};
+use athena_telemetry::{names, Counter, Histogram};
 use athena_types::{ControllerId, Dpid, PortNo, SimTime, Xid};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -47,6 +48,7 @@ pub struct AthenaSouthbound {
     timeouts_tel: Counter,
     retries_tel: Counter,
     gave_up_tel: Counter,
+    observe: Observe,
 }
 
 impl AthenaSouthbound {
@@ -69,12 +71,21 @@ impl AthenaSouthbound {
             retry: runtime.poll_retry,
             retry_counters: RetryCounters::default(),
             outstanding: BTreeMap::new(),
-            feature_gen_ns: m.histogram_with("core", "feature_gen_ns", &instance),
-            dispatch_ns: m.histogram_with("core", "dispatch_ns", &instance),
-            feature_records: m.counter("core", "feature_records"),
-            timeouts_tel: m.counter("retry", "sb_stats_timeouts"),
-            retries_tel: m.counter("retry", "sb_stats_retries"),
-            gave_up_tel: m.counter("retry", "sb_stats_gave_up"),
+            feature_gen_ns: m.histogram_with(
+                names::core::SUBSYSTEM,
+                names::core::FEATURE_GEN_NS,
+                &instance,
+            ),
+            dispatch_ns: m.histogram_with(
+                names::core::SUBSYSTEM,
+                names::core::DISPATCH_NS,
+                &instance,
+            ),
+            feature_records: m.counter(names::core::SUBSYSTEM, names::core::FEATURE_RECORDS),
+            timeouts_tel: m.counter(names::retry::SUBSYSTEM, names::retry::SB_STATS_TIMEOUTS),
+            retries_tel: m.counter(names::retry::SUBSYSTEM, names::retry::SB_STATS_RETRIES),
+            gave_up_tel: m.counter(names::retry::SUBSYSTEM, names::retry::SB_STATS_GAVE_UP),
+            observe: runtime.observe.clone(),
             runtime,
         }
     }
@@ -104,11 +115,14 @@ impl AthenaSouthbound {
             return;
         }
         self.feature_records.add(records.len() as u64);
+        let span = self.observe.span("core", "dispatch");
+        let n_records = records.len();
         let timer = self.dispatch_ns.start_timer();
         let resource = self.runtime.resource.lock();
         let mut fm = self.runtime.feature_manager.lock();
         let mut detector = self.runtime.detector.lock();
         let mut reactor = self.runtime.reactor.lock();
+        let mut verdicts = 0usize;
         for record in records {
             if !resource.allows(&record) {
                 continue;
@@ -116,7 +130,20 @@ impl AthenaSouthbound {
             // Publication + event delivery; store failures surface as
             // dropped features, not panics.
             let _ = fm.ingest(&record);
-            for reaction in detector.process(&record) {
+            let reactions = detector.process(&record);
+            if !reactions.is_empty() {
+                verdicts += 1;
+                self.observe.event(
+                    "core",
+                    "verdict",
+                    format!(
+                        "malicious {}: {} reactions",
+                        record.meta.message_type,
+                        reactions.len()
+                    ),
+                );
+            }
+            for reaction in reactions {
                 reactor.enqueue(reaction);
             }
         }
@@ -126,6 +153,7 @@ impl AthenaSouthbound {
             |from, dest| next_hop_toward(ctx, from, dest),
         ));
         timer.observe(&self.dispatch_ns);
+        span.finish(format!("{n_records} records, {verdicts} verdicts"));
     }
 
     fn fresh_xid(&mut self) -> Xid {
@@ -216,10 +244,12 @@ impl MessageInterceptor for AthenaSouthbound {
             }
         }
         let records = {
+            let span = self.observe.span_at("core", "feature_gen", now);
             let timer = self.feature_gen_ns.start_timer();
             let app_of = |cookie: u64| ctx.flow_rules.app_of_cookie(cookie);
             let records = self.generator.ingest(from, msg, now, &app_of);
             timer.observe(&self.feature_gen_ns);
+            span.finish(format!("{} records", records.len()));
             records
         };
         let mut out = Vec::new();

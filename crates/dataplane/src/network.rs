@@ -6,8 +6,9 @@ use crate::flow::{ActiveFlow, FlowSpec};
 use crate::link::SimLink;
 use crate::switch::SimSwitch;
 use crate::topology::Topology;
+use athena_observe::Observe;
 use athena_openflow::{Action, OfMessage, PacketHeader};
-use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use athena_types::{Dpid, LinkId, PortNo, SimDuration, SimTime, Xid};
 use std::collections::HashMap;
 
@@ -82,6 +83,7 @@ pub struct Network {
     counters: NetworkCounters,
     next_xid: u32,
     tel: NetTelemetry,
+    observe: Observe,
 }
 
 /// The network's telemetry instruments (detached until
@@ -93,6 +95,8 @@ struct NetTelemetry {
     flow_removeds: Counter,
     delivered_bytes: Counter,
     dropped_bytes: Counter,
+    links_degraded: Gauge,
+    switch_reboots: Counter,
     /// Kept for run spans and the per-switch table gauges.
     handle: Option<Telemetry>,
 }
@@ -127,6 +131,7 @@ impl Network {
             counters: NetworkCounters::default(),
             next_xid: 1,
             tel: NetTelemetry::default(),
+            observe: Observe::disabled(),
         }
     }
 
@@ -137,14 +142,25 @@ impl Network {
             sw.bind_telemetry(tel);
         }
         let m = tel.metrics();
+        let sub = names::dataplane::SUBSYSTEM;
         self.tel = NetTelemetry {
-            step_ns: m.histogram("dataplane", "step_ns"),
-            packet_ins: m.counter("dataplane", "packet_ins"),
-            flow_removeds: m.counter("dataplane", "flow_removeds"),
-            delivered_bytes: m.counter("dataplane", "delivered_bytes"),
-            dropped_bytes: m.counter("dataplane", "dropped_bytes"),
+            step_ns: m.histogram(sub, names::dataplane::STEP_NS),
+            packet_ins: m.counter(sub, names::dataplane::PACKET_INS),
+            flow_removeds: m.counter(sub, names::dataplane::FLOW_REMOVEDS),
+            delivered_bytes: m.counter(sub, names::dataplane::DELIVERED_BYTES),
+            dropped_bytes: m.counter(sub, names::dataplane::DROPPED_BYTES),
+            links_degraded: m.gauge(sub, names::dataplane::LINKS_DEGRADED),
+            switch_reboots: m.counter(sub, names::dataplane::SWITCH_REBOOTS),
             handle: Some(tel.clone()),
         };
+    }
+
+    /// Routes causal spans (packet-in roots, stats replies) and the
+    /// per-tick sample/alert evaluation into `obs`. The dataplane drives
+    /// the observe clock: [`Network::step`] calls `obs.on_tick` after
+    /// every tick's work so samples see that tick's counters.
+    pub fn bind_observe(&mut self, obs: &Observe) {
+        self.observe = obs.clone();
     }
 
     /// Publishes per-switch flow-table lookup/match totals as gauges
@@ -157,12 +173,13 @@ impl Network {
             return;
         }
         let m = tel.metrics();
+        let sub = names::dataplane::SUBSYSTEM;
         for (dpid, sw) in &self.switches {
             let instance = format!("s{}", dpid.raw());
             let table = sw.table();
-            m.gauge_with("dataplane", "table_lookups", &instance)
+            m.gauge_with(sub, names::dataplane::TABLE_LOOKUPS, &instance)
                 .set(i64::try_from(table.lookup_count()).unwrap_or(i64::MAX));
-            m.gauge_with("dataplane", "table_matches", &instance)
+            m.gauge_with(sub, names::dataplane::TABLE_MATCHES, &instance)
                 .set(i64::try_from(table.matched_count()).unwrap_or(i64::MAX));
         }
     }
@@ -233,7 +250,10 @@ impl Network {
     pub fn reboot_switch(&mut self, dpid: Dpid) -> usize {
         let now = self.now;
         match self.switches.get_mut(&dpid) {
-            Some(sw) => sw.reboot(now),
+            Some(sw) => {
+                self.tel.switch_reboots.inc();
+                sw.reboot(now)
+            }
             None => 0,
         }
     }
@@ -252,6 +272,14 @@ impl Network {
                 n += 1;
             }
         }
+        let degraded = self
+            .links
+            .values()
+            .filter(|l| l.capacity_factor() < 1.0)
+            .count();
+        self.tel
+            .links_degraded
+            .set(i64::try_from(degraded).unwrap_or(i64::MAX));
         n
     }
 
@@ -349,6 +377,9 @@ impl Network {
         self.tel
             .dropped_bytes
             .add(self.counters.dropped_bytes - before.dropped_bytes);
+        // 6. Observe sample/alert tick — after mirroring, so the sampled
+        // series include this tick's counter deltas.
+        self.observe.on_tick(t);
     }
 
     /// Publishes the per-switch table gauges now (done automatically at
@@ -550,8 +581,12 @@ impl Network {
             self.counters.packet_ins += 1;
             let xid = self.fresh_xid();
             let msg = via_wire(OfMessage::packet_in(xid, *pkt), self.config.wire_mode);
+            // Root of the causal chain: everything the controller does in
+            // response (pipeline, store writes, verdicts) joins this trace.
+            let span = self.observe.span_at("dataplane", "packet_in", self.now);
             let cmds = ctrl.on_message(dpid, msg, self.now);
             self.apply_commands(cmds, ctrl);
+            span.finish(format!("dpid={} xid={}", dpid.raw(), xid.raw()));
         }
         None
     }
@@ -641,7 +676,9 @@ impl Network {
                                 OfMessage::StatsReply { xid, body: reply },
                                 self.config.wire_mode,
                             );
+                            let span = self.observe.span_at("dataplane", "stats_reply", self.now);
                             replies.extend(ctrl.on_message(dpid, reply, self.now));
+                            span.finish(format!("dpid={}", dpid.raw()));
                         }
                     }
                     OfMessage::EchoRequest { xid, data } => {

@@ -5,7 +5,7 @@ use athena_openflow::{
     Action, EntryPos, FlowMod, FlowRemoved, FlowTable, MatchFields, PacketHeader, StatsReply,
     StatsRequest,
 };
-use athena_telemetry::{Counter, Telemetry};
+use athena_telemetry::{names, Counter, Telemetry};
 use athena_types::{Dpid, PortNo, SimTime};
 use std::collections::{HashMap, VecDeque};
 
@@ -192,11 +192,12 @@ impl SimSwitch {
     /// switches as `dataplane/cache/*`).
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
         let m = tel.metrics();
+        let sub = names::dataplane::SUBSYSTEM;
         self.cache.tel = CacheTelemetry {
-            hits: m.counter("dataplane", "cache/hits"),
-            misses: m.counter("dataplane", "cache/misses"),
-            insertions: m.counter("dataplane", "cache/insertions"),
-            invalidations: m.counter("dataplane", "cache/invalidations"),
+            hits: m.counter(sub, names::dataplane::CACHE_HITS),
+            misses: m.counter(sub, names::dataplane::CACHE_MISSES),
+            insertions: m.counter(sub, names::dataplane::CACHE_INSERTIONS),
+            invalidations: m.counter(sub, names::dataplane::CACHE_INVALIDATIONS),
         };
     }
 

@@ -4,8 +4,9 @@
 use crate::plan::MessageFaultProfile;
 use athena_controller::ControllerCluster;
 use athena_dataplane::ControllerLink;
+use athena_observe::Observe;
 use athena_openflow::OfMessage;
-use athena_telemetry::{Counter, Telemetry};
+use athena_telemetry::{names, Counter, Telemetry};
 use athena_types::{ControllerId, Dpid, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -73,6 +74,7 @@ pub struct ChaosChannel<C> {
     dropped_tel: Counter,
     duplicated_tel: Counter,
     delayed_tel: Counter,
+    observe: Observe,
 }
 
 impl<C> ChaosChannel<C> {
@@ -88,15 +90,23 @@ impl<C> ChaosChannel<C> {
             dropped_tel: Counter::detached(),
             duplicated_tel: Counter::detached(),
             delayed_tel: Counter::detached(),
+            observe: Observe::disabled(),
         }
     }
 
     /// Routes the channel's fault counters into `tel`.
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
         let m = tel.metrics();
-        self.dropped_tel = m.counter("faults", "msgs_dropped");
-        self.duplicated_tel = m.counter("faults", "msgs_duplicated");
-        self.delayed_tel = m.counter("faults", "msgs_delayed");
+        let sub = names::faults::SUBSYSTEM;
+        self.dropped_tel = m.counter(sub, names::faults::MSGS_DROPPED);
+        self.duplicated_tel = m.counter(sub, names::faults::MSGS_DUPLICATED);
+        self.delayed_tel = m.counter(sub, names::faults::MSGS_DELAYED);
+    }
+
+    /// Routes causal events (drop/delay/duplicate decisions) and the
+    /// late-delivery spans into `obs`.
+    pub fn bind_observe(&mut self, obs: &Observe) {
+        self.observe = obs.clone();
     }
 
     /// The wrapped control plane.
@@ -135,11 +145,15 @@ impl<C: ControllerLink> ControllerLink for ChaosChannel<C> {
         if self.profile.drop_p > 0.0 && self.rng.random_bool(self.profile.drop_p) {
             self.counters.dropped += 1;
             self.dropped_tel.inc();
+            self.observe
+                .event("faults", "msg_dropped", format!("dpid={}", from.raw()));
             return Vec::new();
         }
         if self.profile.delay_p > 0.0 && self.rng.random_bool(self.profile.delay_p) {
             self.counters.delayed += 1;
             self.delayed_tel.inc();
+            self.observe
+                .event("faults", "msg_delayed", format!("dpid={}", from.raw()));
             self.delayed
                 .push_back((now + self.profile.delay, from, msg));
             return Vec::new();
@@ -147,8 +161,10 @@ impl<C: ControllerLink> ControllerLink for ChaosChannel<C> {
         if self.profile.dup_p > 0.0 && self.rng.random_bool(self.profile.dup_p) {
             self.counters.duplicated += 1;
             self.duplicated_tel.inc();
+            let span = self.observe.span_at("faults", "chaos_hop", now);
             let mut out = self.inner.on_message(from, msg.clone(), now);
             out.extend(self.inner.on_message(from, msg, now));
+            span.finish(format!("duplicated dpid={}", from.raw()));
             return out;
         }
         self.inner.on_message(from, msg, now)
@@ -163,7 +179,11 @@ impl<C: ControllerLink> ControllerLink for ChaosChannel<C> {
             let Some((_, from, msg)) = self.delayed.pop_front() else {
                 break;
             };
+            // Late delivery starts a fresh trace root: the original
+            // packet-in's context is long gone by release time.
+            let span = self.observe.span_at("faults", "delayed_delivery", now);
             out.extend(self.inner.on_message(from, msg, now));
+            span.finish(format!("dpid={}", from.raw()));
         }
         out.extend(self.inner.on_tick(now));
         out

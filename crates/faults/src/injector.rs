@@ -71,13 +71,15 @@ impl FaultInjector {
 
     /// Routes the injector's `faults/*` counters into `tel`.
     pub fn bind_telemetry(&mut self, tel: &Telemetry) {
+        use athena_telemetry::names;
         let m = tel.metrics();
-        self.injected_tel = m.counter("faults", "injected");
-        self.link_tel = m.counter("faults", "link_events");
-        self.reboot_tel = m.counter("faults", "switch_reboots");
-        self.controller_tel = m.counter("faults", "controller_events");
-        self.store_tel = m.counter("faults", "store_events");
-        self.profile_tel = m.counter("faults", "message_profile_changes");
+        let sub = names::faults::SUBSYSTEM;
+        self.injected_tel = m.counter(sub, names::faults::INJECTED);
+        self.link_tel = m.counter(sub, names::faults::LINK_EVENTS);
+        self.reboot_tel = m.counter(sub, names::faults::SWITCH_REBOOTS);
+        self.controller_tel = m.counter(sub, names::faults::CONTROLLER_EVENTS);
+        self.store_tel = m.counter(sub, names::faults::STORE_EVENTS);
+        self.profile_tel = m.counter(sub, names::faults::MESSAGE_PROFILE_CHANGES);
     }
 
     /// The plan being driven.

@@ -590,7 +590,10 @@ mod tests {
     #[test]
     fn fit_timed_records_training_latency() {
         let tel = athena_telemetry::Telemetry::new();
-        let hist = tel.metrics().histogram("ml", "fit_ns");
+        use athena_telemetry::names;
+        let hist = tel
+            .metrics()
+            .histogram(names::ml::SUBSYSTEM, names::ml::FIT_NS);
         let data = blobs(40, 2, 91);
         let m = Algorithm::kmeans(2).fit_timed(&data, &hist).unwrap();
         assert_eq!(m.cluster_count(), Some(2));
@@ -598,7 +601,9 @@ mod tests {
         // Against a disabled domain, nothing is recorded but the fit
         // still runs.
         let off = athena_telemetry::Telemetry::off();
-        let cold = off.metrics().histogram("ml", "fit_ns");
+        let cold = off
+            .metrics()
+            .histogram(names::ml::SUBSYSTEM, names::ml::FIT_NS);
         Algorithm::kmeans(2).fit_timed(&data, &cold).unwrap();
         assert_eq!(cold.snapshot().count, 0);
     }

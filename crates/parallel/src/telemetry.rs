@@ -46,17 +46,19 @@ impl Instruments {
     }
 
     pub(crate) fn bound(tel: &Telemetry, workers: usize) -> Self {
+        use athena_telemetry::names;
         let m = tel.metrics();
+        let sub = names::parallel::SUBSYSTEM;
         let instruments = Instruments {
-            tasks_spawned: m.counter("parallel", "tasks_spawned"),
-            items: m.counter("parallel", "items"),
-            jobs: m.counter("parallel", "jobs"),
-            steals: m.counter("parallel", "steals"),
-            parks: m.counter("parallel", "parks"),
-            queue_depth: m.histogram("parallel", "queue_depth"),
-            workers: m.gauge("parallel", "workers"),
+            tasks_spawned: m.counter(sub, names::parallel::TASKS_SPAWNED),
+            items: m.counter(sub, names::parallel::ITEMS),
+            jobs: m.counter(sub, names::parallel::JOBS),
+            steals: m.counter(sub, names::parallel::STEALS),
+            parks: m.counter(sub, names::parallel::PARKS),
+            queue_depth: m.histogram(sub, names::parallel::QUEUE_DEPTH),
+            workers: m.gauge(sub, names::parallel::WORKERS),
             worker_tasks: (0..workers)
-                .map(|i| m.counter_with("parallel", "worker_tasks", &format!("w{i}")))
+                .map(|i| m.counter_with(sub, names::parallel::WORKER_TASKS, &format!("w{i}")))
                 .collect(),
         };
         instruments.workers.set(workers as i64);

@@ -187,16 +187,18 @@ impl Journal {
     /// Routes this journal's metrics into `tel` under the `persist`
     /// subsystem, tagged with `name` (e.g. `store`, `controller`).
     pub fn bind_telemetry(&mut self, tel: &Telemetry, name: &str) {
+        use athena_telemetry::names::persist as p;
         let m = tel.metrics();
-        self.tel.append_ns = Some(m.histogram("persist", &format!("{name}_append_ns")));
-        self.tel.checkpoint_ns = Some(m.histogram("persist", &format!("{name}_checkpoint_ns")));
-        self.tel.checkpoint_bytes =
-            Some(m.histogram("persist", &format!("{name}_checkpoint_bytes")));
-        self.tel.wal_records = m.counter("persist", &format!("{name}_wal_records"));
-        self.tel.wal_bytes = m.counter("persist", &format!("{name}_wal_bytes"));
-        self.tel.checkpoints_written = m.counter("persist", &format!("{name}_checkpoints"));
-        self.tel.records_replayed = m.counter("persist", &format!("{name}_records_replayed"));
-        self.tel.tails_truncated = m.counter("persist", &format!("{name}_tails_truncated"));
+        let hist = |suffix: &str| m.histogram(p::SUBSYSTEM, &format!("{name}{suffix}"));
+        let ctr = |suffix: &str| m.counter(p::SUBSYSTEM, &format!("{name}{suffix}"));
+        self.tel.append_ns = Some(hist(p::APPEND_NS_SUFFIX));
+        self.tel.checkpoint_ns = Some(hist(p::CHECKPOINT_NS_SUFFIX));
+        self.tel.checkpoint_bytes = Some(hist(p::CHECKPOINT_BYTES_SUFFIX));
+        self.tel.wal_records = ctr(p::WAL_RECORDS_SUFFIX);
+        self.tel.wal_bytes = ctr(p::WAL_BYTES_SUFFIX);
+        self.tel.checkpoints_written = ctr(p::CHECKPOINTS_SUFFIX);
+        self.tel.records_replayed = ctr(p::RECORDS_REPLAYED_SUFFIX);
+        self.tel.tails_truncated = ctr(p::TAILS_TRUNCATED_SUFFIX);
     }
 
     /// Appends one record to the WAL, returning its sequence number.

@@ -11,7 +11,8 @@ use crate::document::{DocId, Document};
 use crate::filter::Filter;
 use crate::persist::{ops, StorePersist};
 use crate::query::{Aggregation, FindOptions};
-use athena_telemetry::{Counter, Histogram, Telemetry};
+use athena_observe::Observe;
+use athena_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
 use athena_types::sentinel::{TrackedMutex, TrackedRwLock};
 use athena_types::{AthenaError, Result};
 use serde_json::Value;
@@ -144,6 +145,8 @@ struct StoreTelemetry {
     write_handoffs: Counter,
     quorum_failures: Counter,
     degraded_reads: Counter,
+    nodes_down: Gauge,
+    observe: Observe,
 }
 
 /// A distributed document store: N nodes, hash sharding, replication.
@@ -199,16 +202,28 @@ impl StoreCluster {
     /// every handle cloned from this cluster.
     pub fn bind_telemetry(&self, tel: &Telemetry) {
         let m = tel.metrics();
+        let st = names::store::SUBSYSTEM;
+        let rt = names::retry::SUBSYSTEM;
+        // Rebuild wholesale but keep any already-bound observe handle.
+        let observe = self.tel.read().observe.clone();
         *self.tel.write() = StoreTelemetry {
-            insert_ns: m.histogram("store", "insert_ns"),
-            find_ns: m.histogram("store", "find_ns"),
-            aggregate_ns: m.histogram("store", "aggregate_ns"),
-            replica_writes: m.counter("store", "replica_writes"),
-            deletes: m.counter("store", "deletes"),
-            write_handoffs: m.counter("retry", "store_write_handoffs"),
-            quorum_failures: m.counter("retry", "store_quorum_failures"),
-            degraded_reads: m.counter("retry", "store_degraded_reads"),
+            insert_ns: m.histogram(st, names::store::INSERT_NS),
+            find_ns: m.histogram(st, names::store::FIND_NS),
+            aggregate_ns: m.histogram(st, names::store::AGGREGATE_NS),
+            replica_writes: m.counter(st, names::store::REPLICA_WRITES),
+            deletes: m.counter(st, names::store::DELETES),
+            write_handoffs: m.counter(rt, names::retry::STORE_WRITE_HANDOFFS),
+            quorum_failures: m.counter(rt, names::retry::STORE_QUORUM_FAILURES),
+            degraded_reads: m.counter(rt, names::retry::STORE_DEGRADED_READS),
+            nodes_down: m.gauge(st, names::store::NODES_DOWN),
+            observe,
         };
+    }
+
+    /// Routes causal spans (the quorum-write leg of a trace) into `obs`
+    /// for every handle cloned from this cluster.
+    pub fn bind_observe(&self, obs: &Observe) {
+        self.tel.write().observe = obs.clone();
     }
 
     /// Number of nodes.
@@ -256,6 +271,8 @@ impl StoreCluster {
     pub fn set_node_up(&self, i: usize, up: bool) {
         if let Some(node) = self.nodes.get(i) {
             let was = node.up.swap(up, Ordering::Relaxed);
+            let nodes_down = self.tel.read().nodes_down.clone();
+            nodes_down.set(i64::try_from(self.down_count()).unwrap_or(i64::MAX));
             if up && !was {
                 self.deliver_handoffs();
             }
@@ -428,15 +445,17 @@ impl CollectionHandle {
         // path below takes the index-request and collection locks, and
         // lock-discipline (rightly) refuses nested acquisition under
         // `tel`.
-        let (insert_ns, replica_writes, write_handoffs, quorum_failures) = {
+        let (insert_ns, replica_writes, write_handoffs, quorum_failures, observe) = {
             let tel = self.cluster.tel.read();
             (
                 tel.insert_ns.clone(),
                 tel.replica_writes.clone(),
                 tel.write_handoffs.clone(),
                 tel.quorum_failures.clone(),
+                tel.observe.clone(),
             )
         };
+        let span = observe.span("store", "quorum_write");
         let timer = insert_ns.start_timer();
         let id = DocId(self.cluster.next_id.fetch_add(1, Ordering::Relaxed));
         let (targets, handoffs) = self.cluster.write_targets(id);
@@ -491,6 +510,10 @@ impl CollectionHandle {
                 .journal_store_op(&ops::insert(&self.name, id, &doc))?;
         }
         timer.observe(&insert_ns);
+        span.finish(format!(
+            "coll={} id={} handoffs={handoffs}",
+            self.name, id.0
+        ));
         Ok(id)
     }
 

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
 pub mod metrics;
+pub mod names;
 pub mod report;
 pub mod trace;
 

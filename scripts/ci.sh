@@ -73,4 +73,19 @@ echo "    parallel gate finished in ${parallel_elapsed}s (bound: 60 s)"
 [ "$parallel_elapsed" -lt 60 ]
 test -s target/BENCH_parallel.json
 
+echo "==> observe gate (chaos-alert round trip + causal traces + overhead sweep, < 60 s)"
+# Build the bench binary outside the timer, as above. The e2e writes
+# target/chrome-trace.json and target/observe-report.json; athena_top
+# rewrites the report and adds the per-width overhead sweep.
+cargo build -q --release --offline -p athena-bench --bin athena_top
+observe_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 cargo test -q --release --offline --test e2e_observe
+ATHENA_BENCH_SMOKE=1 ATHENA_OBS_JSON=target/BENCH_obs.json ./target/release/athena_top
+observe_elapsed=$(( $(date +%s) - observe_start ))
+echo "    observe gate finished in ${observe_elapsed}s (bound: 60 s)"
+[ "$observe_elapsed" -lt 60 ]
+test -s target/chrome-trace.json
+test -s target/observe-report.json
+test -s target/BENCH_obs.json
+
 echo "CI gate passed."

@@ -19,6 +19,7 @@
 //! | [`faults`] | `athena-faults` | seeded fault injection: fault plans, chaos channel, injector |
 //! | [`persist`] | `athena-persist` | append-only WAL + checkpoints; crash recovery for store/models/controller |
 //! | [`telemetry`] | `athena-telemetry` | metrics + virtual-time tracing (off by default) |
+//! | [`observe`] | `athena-observe` | causal traces, time-series sampling, SLO alert rules |
 //!
 //! Start with the runnable examples:
 //!
@@ -63,6 +64,7 @@ pub use athena_core as core;
 pub use athena_dataplane as dataplane;
 pub use athena_faults as faults;
 pub use athena_ml as ml;
+pub use athena_observe as observe;
 pub use athena_openflow as openflow;
 pub use athena_parallel as parallel;
 pub use athena_persist as persist;

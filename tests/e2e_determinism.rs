@@ -22,6 +22,7 @@ use athena::controller::ControllerCluster;
 use athena::core::{Athena, AthenaConfig};
 use athena::dataplane::{workload, Network, Topology};
 use athena::faults::{run_with_faults, ChaosChannel, FaultInjector, Scenario};
+use athena::observe::Observe;
 use athena::telemetry::Telemetry;
 use athena::types::{SimDuration, SimTime};
 use std::sync::Mutex;
@@ -63,6 +64,19 @@ struct Snapshot {
     verdict: String,
     trace: Vec<String>,
     counters: Vec<String>,
+    /// Seed-derived causal trace ids, in root-creation order. Workers
+    /// never open causal spans, so this stream is pool-width-invariant.
+    trace_ids: Vec<u64>,
+    /// Rendered fire/clear transitions of the deterministic alert rules.
+    alerts: Vec<String>,
+}
+
+/// The deterministic alert stream in its canonical byte-compared form.
+fn canonical_alerts(obs: &Observe) -> Vec<String> {
+    obs.deterministic_alert_events()
+        .iter()
+        .map(|e| e.render())
+        .collect()
 }
 
 /// The trace stream minus wall stamps; `compute` sim stamps zeroed (they
@@ -104,10 +118,19 @@ fn assert_identical(what: &str, one: Snapshot, eight: Snapshot, expect_trace: bo
         !expect_trace || !one.trace.is_empty(),
         "{what}: empty trace stream"
     );
+    assert!(!one.trace_ids.is_empty(), "{what}: no causal traces");
     assert_eq!(one.store, eight.store, "{what}: store contents diverge");
     assert_eq!(one.verdict, eight.verdict, "{what}: verdicts diverge");
     assert_eq!(one.trace, eight.trace, "{what}: trace streams diverge");
     assert_eq!(one.counters, eight.counters, "{what}: counters diverge");
+    assert_eq!(
+        one.trace_ids, eight.trace_ids,
+        "{what}: causal trace-id streams diverge"
+    );
+    assert_eq!(
+        one.alerts, eight.alerts,
+        "{what}: deterministic alert streams diverge"
+    );
 }
 
 /// One full Athena deployment over the enterprise topology, telemetry
@@ -115,6 +138,7 @@ fn assert_identical(what: &str, one: Snapshot, eight: Snapshot, expect_trace: bo
 struct Rig {
     topo: Topology,
     tel: Telemetry,
+    obs: Observe,
     net: Network,
     athena: Athena,
     cluster: ControllerCluster,
@@ -123,15 +147,18 @@ struct Rig {
 fn rig() -> Rig {
     let topo = Topology::enterprise();
     let tel = Telemetry::new();
+    let obs = Observe::with_telemetry(SEED, &tel);
     athena::parallel::bind_telemetry(&tel);
     let mut net = Network::new(topo.clone());
     net.bind_telemetry(&tel);
+    net.bind_observe(&obs);
     let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::with_telemetry(AthenaConfig::default(), tel.clone());
+    let athena = Athena::with_observe(AthenaConfig::default(), tel.clone(), obs.clone());
     athena.attach(&mut cluster);
     Rig {
         topo,
         tel,
+        obs,
         net,
         athena,
         cluster,
@@ -176,6 +203,8 @@ fn ddos_snapshot() -> Snapshot {
         verdict: format!("{confusion:?}"),
         trace: canonical_trace(&r.tel),
         counters: canonical_counters(&r.tel),
+        trace_ids: r.obs.trace_ids(),
+        alerts: canonical_alerts(&r.obs),
     }
 }
 
@@ -206,6 +235,8 @@ fn port_scan_snapshot() -> Snapshot {
         verdict: format!("flagged={flagged:?} mitigated={mitigated:?}"),
         trace: canonical_trace(&r.tel),
         counters: canonical_counters(&r.tel),
+        trace_ids: r.obs.trace_ids(),
+        alerts: canonical_alerts(&r.obs),
     }
 }
 
@@ -219,6 +250,7 @@ fn chaos_snapshot() -> Snapshot {
     assert!(!plan.is_empty(), "empty fault plan");
     let mut injector = FaultInjector::new(plan).with_store(r.athena.runtime().store.clone());
     let mut chaos = ChaosChannel::new(r.cluster, SEED);
+    chaos.bind_observe(&r.obs);
     while r.net.now() < END {
         let next = (r.net.now() + SimDuration::from_secs(1)).min(END);
         run_with_faults(&mut r.net, next, &mut chaos, &mut injector);
@@ -235,6 +267,8 @@ fn chaos_snapshot() -> Snapshot {
         verdict: format!("{confusion:?}"),
         trace: canonical_trace(&r.tel),
         counters: canonical_counters(&r.tel),
+        trace_ids: r.obs.trace_ids(),
+        alerts: canonical_alerts(&r.obs),
     }
 }
 

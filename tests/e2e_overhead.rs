@@ -4,12 +4,14 @@
 //!
 //! Also the telemetry gate: running the same simulation with telemetry
 //! enabled changes the simulated results not at all and the wall clock
-//! by less than 10 %.
+//! by less than 10 % — and the same holds for the full observe layer
+//! (causal tracing + series sampling + alert evaluation) on top.
 
 use athena::controller::cbench::{summarize, throughput_round, CbenchResponder};
 use athena::controller::ControllerCluster;
 use athena::core::{Athena, AthenaConfig};
 use athena::dataplane::{workload, Network, NetworkCounters, Topology};
+use athena::observe::Observe;
 use athena::telemetry::Telemetry;
 use athena::types::{SimDuration, SimTime};
 use std::time::{Duration, Instant};
@@ -67,14 +69,21 @@ fn cbench_overhead_ordering_holds() {
 }
 
 /// One full simulated deployment: enterprise topology, benign workload,
-/// Athena attached. Returns the deterministic outcomes plus the wall
-/// clock the run took.
-fn simulate(tel: &Telemetry) -> (NetworkCounters, usize, Duration) {
+/// Athena attached, optionally with the observe layer (tracing +
+/// sampling + alerting) bound everywhere. Returns the deterministic
+/// outcomes plus the wall clock the run took.
+fn simulate(tel: &Telemetry, obs: Option<&Observe>) -> (NetworkCounters, usize, Duration) {
     let topo = Topology::enterprise();
     let mut net = Network::new(topo.clone());
     net.bind_telemetry(tel);
     let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::with_telemetry(AthenaConfig::default(), tel.clone());
+    let athena = match obs {
+        Some(obs) => {
+            net.bind_observe(obs);
+            Athena::with_observe(AthenaConfig::default(), tel.clone(), obs.clone())
+        }
+        None => Athena::with_telemetry(AthenaConfig::default(), tel.clone()),
+    };
     athena.attach(&mut cluster);
     net.inject_flows(workload::benign_mix_on(
         &topo,
@@ -90,33 +99,50 @@ fn simulate(tel: &Telemetry) -> (NetworkCounters, usize, Duration) {
 
 #[test]
 fn telemetry_changes_results_not_at_all_and_wall_clock_under_10_percent() {
-    // Interleave off/on repetitions and keep each configuration's best
-    // time: the minimum is the stable estimator under scheduler noise.
+    // Interleave off/on/observe repetitions and keep each
+    // configuration's best time: the minimum is the stable estimator
+    // under scheduler noise.
     let mut best_off = Duration::MAX;
     let mut best_on = Duration::MAX;
+    let mut best_obs = Duration::MAX;
     let mut outcomes = Vec::new();
     for _ in 0..3 {
-        let (counters, stored, wall) = simulate(&Telemetry::off());
+        let (counters, stored, wall) = simulate(&Telemetry::off(), None);
         best_off = best_off.min(wall);
         outcomes.push((counters, stored));
         let on = Telemetry::new();
-        let (counters, stored, wall) = simulate(&on);
+        let (counters, stored, wall) = simulate(&on, None);
         best_on = best_on.min(wall);
         outcomes.push((counters, stored));
         // The enabled run actually observed the deployment.
         let report = on.report();
         assert!(!report.is_empty(), "enabled telemetry must collect data");
+        // Third arm: the full observe layer on top of telemetry.
+        let tel = Telemetry::new();
+        let obs = Observe::with_telemetry(7, &tel);
+        let (counters, stored, wall) = simulate(&tel, Some(&obs));
+        best_obs = best_obs.min(wall);
+        outcomes.push((counters, stored));
+        assert!(!obs.trace_ids().is_empty(), "observe must record traces");
+        assert!(obs.samples() > 0, "observe must sample the registry");
     }
-    // Identical simulated outcomes in every repetition, on or off.
+    // Identical simulated outcomes in every repetition: off, telemetry,
+    // or the full observe pipeline.
     assert!(
         outcomes.windows(2).all(|w| w[0] == w[1]),
-        "telemetry must not change simulated results: {outcomes:?}"
+        "telemetry/observe must not change simulated results: {outcomes:?}"
     );
     let ratio = best_on.as_secs_f64() / best_off.as_secs_f64();
     assert!(
         ratio < 1.10,
         "telemetry wall-clock overhead must stay under 10%: {ratio:.3} \
          (on {best_on:?} vs off {best_off:?})"
+    );
+    let obs_ratio = best_obs.as_secs_f64() / best_off.as_secs_f64();
+    assert!(
+        obs_ratio < 1.10,
+        "observe wall-clock overhead must stay under 10%: {obs_ratio:.3} \
+         (observe {best_obs:?} vs off {best_off:?})"
     );
 }
 
