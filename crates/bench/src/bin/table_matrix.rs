@@ -1,0 +1,88 @@
+//! The Table-IV evaluation matrix as an evaluation artifact.
+//!
+//! Runs every (attack family × Table-IV algorithm) cell: base families
+//! train the models, held-out mutant families measure generalization to
+//! attacks the models never saw. Prints the detection-rate /
+//! false-alarm-rate / time-to-detect table, the per-family
+//! generalization summary, and writes the byte-stable JSON artifact
+//! (default `target/BENCH_matrix.json`, override with
+//! `ATHENA_MATRIX_JSON`). A rerun of one family re-derives its cells
+//! and asserts bit-identical results.
+//!
+//! Knobs: `ATHENA_CHAOS_SMOKE` (halve workloads; cells never skipped),
+//! `ATHENA_MATRIX_SEED` (master seed, default 7).
+
+use athena_bench::matrix::{
+    evaluate_cell, regressions, run_family, run_matrix, train_models, MatrixConfig,
+};
+use athena_bench::{env_scale, header};
+use athena_workloads::AttackFamily;
+
+fn main() {
+    let cfg = MatrixConfig {
+        seed: env_scale("ATHENA_MATRIX_SEED", 7) as u64,
+        ..MatrixConfig::default()
+    };
+    println!("{}", header("Table IV: attack x algorithm matrix"));
+    println!(
+        "seed={} smoke={} link_model={} chaos={:?}",
+        cfg.seed,
+        cfg.smoke,
+        cfg.link_model.is_some(),
+        cfg.chaos.map(|s| s.name()),
+    );
+
+    let report = run_matrix(&cfg);
+    println!(
+        "{:<22} {:<24} {:>6} {:>8} {:>8} {:>8}",
+        "family", "algorithm", "held", "DR", "FAR", "TTD(s)"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<22} {:<24} {:>6} {:>7.2}% {:>7.2}% {:>8}",
+            c.family,
+            c.algorithm,
+            if c.held_out { "yes" } else { "no" },
+            c.detection_rate * 100.0,
+            c.false_alarm_rate * 100.0,
+            c.time_to_detect_s
+                .map_or_else(|| "-".to_owned(), |t| format!("{t:.1}")),
+        );
+    }
+    println!();
+    println!("{}", header("Unseen-attack generalization"));
+    for g in &report.generalization {
+        println!(
+            "{:<22} mean DR {:>6.2}%  mean FAR {:>6.2}%  best: {} ({:.2}%)",
+            g.family,
+            g.mean_detection_rate * 100.0,
+            g.mean_false_alarm_rate * 100.0,
+            g.best_algorithm,
+            g.best_detection_rate * 100.0,
+        );
+    }
+
+    let bad = regressions(&report);
+    assert!(bad.is_empty(), "baseline regressions: {bad:?}");
+
+    // Determinism spot-check: one family's cells re-derive bit-identical.
+    let rerun = run_family(AttackFamily::Ddos, &cfg);
+    let base_runs: Vec<_> = AttackFamily::base()
+        .iter()
+        .map(|f| run_family(*f, &cfg))
+        .collect();
+    let models = train_models(&base_runs.iter().collect::<Vec<_>>());
+    for (algorithm, model) in &models {
+        let cell = evaluate_cell(&rerun, algorithm, model.as_ref());
+        let original = report
+            .cell(&cell.family, &cell.algorithm)
+            .expect("cell exists");
+        assert_eq!(&cell, original, "rerun diverged for {}", cell.algorithm);
+    }
+    println!("\ndeterminism spot-check: ddos_flood row re-derived bit-identical");
+
+    let path = std::env::var("ATHENA_MATRIX_JSON")
+        .unwrap_or_else(|_| "target/BENCH_matrix.json".to_owned());
+    report.save_json(std::path::Path::new(&path)).expect("save");
+    println!("wrote {path}");
+}

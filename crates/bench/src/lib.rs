@@ -22,6 +22,9 @@
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
+
+pub mod matrix;
+
 use std::env;
 
 /// Reads a scale knob from the environment (`name`), defaulting to

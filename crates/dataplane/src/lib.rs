@@ -51,7 +51,7 @@ pub mod topology;
 pub mod workload;
 
 pub use flow::{ActiveFlow, FlowSpec};
-pub use link::SimLink;
+pub use link::{LinkModel, SimLink};
 pub use network::{
     ControllerLink, LearningControllerStub, Network, NetworkConfig, NetworkCounters,
 };

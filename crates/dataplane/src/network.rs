@@ -3,7 +3,7 @@
 //! channel.
 
 use crate::flow::{ActiveFlow, FlowSpec};
-use crate::link::SimLink;
+use crate::link::{LinkModel, SimLink};
 use crate::switch::SimSwitch;
 use crate::topology::Topology;
 use athena_observe::Observe;
@@ -97,6 +97,8 @@ struct NetTelemetry {
     dropped_bytes: Counter,
     links_degraded: Gauge,
     switch_reboots: Counter,
+    link_queue_drops: Counter,
+    link_latency_us: Histogram,
     /// Kept for run spans and the per-switch table gauges.
     handle: Option<Telemetry>,
 }
@@ -151,6 +153,8 @@ impl Network {
             dropped_bytes: m.counter(sub, names::dataplane::DROPPED_BYTES),
             links_degraded: m.gauge(sub, names::dataplane::LINKS_DEGRADED),
             switch_reboots: m.counter(sub, names::dataplane::SWITCH_REBOOTS),
+            link_queue_drops: m.counter(sub, names::dataplane::LINK_QUEUE_DROPS),
+            link_latency_us: m.histogram(sub, names::dataplane::LINK_LATENCY_US),
             handle: Some(tel.clone()),
         };
     }
@@ -280,6 +284,18 @@ impl Network {
         self.tel
             .links_degraded
             .set(i64::try_from(degraded).unwrap_or(i64::MAX));
+        n
+    }
+
+    /// Installs the stochastic `model` on every link direction, each
+    /// seeded from `seed` mixed with its stable link identity. Returns
+    /// how many link directions were configured.
+    pub fn set_link_model(&mut self, model: LinkModel, seed: u64) -> usize {
+        let mut n = 0;
+        for link in self.links.values_mut() {
+            link.set_model(model, seed);
+            n += 1;
+        }
         n
     }
 
@@ -475,9 +491,20 @@ impl Network {
             }
         }
         let mut fractions: HashMap<LinkId, f64> = HashMap::new();
+        // Queue-drop/latency mirroring is additive per link, so the
+        // unordered iteration cannot affect the registry's totals.
+        let mut queue_drop_delta = 0u64;
         for (id, link) in &mut self.links {
+            let queue_dropped_before = link.queue_dropped_bytes();
             let (frac, _) = link.settle_tick(tick);
             fractions.insert(*id, frac);
+            if link.model().is_some() {
+                queue_drop_delta += link.queue_dropped_bytes() - queue_dropped_before;
+                self.tel.link_latency_us.record(link.last_latency_us());
+            }
+        }
+        if queue_drop_delta > 0 {
+            self.tel.link_queue_drops.add(queue_drop_delta);
         }
 
         // Phase 3: credit switch/flow counters with the delivered share.

@@ -142,6 +142,24 @@ pub mod dataplane {
     pub const LINKS_DEGRADED: &str = "links_degraded";
     /// Switch reboots observed by the dataplane.
     pub const SWITCH_REBOOTS: &str = "switch_reboots";
+    /// Bytes tail-dropped by stochastic link-model queue drops.
+    pub const LINK_QUEUE_DROPS: &str = "link_queue_drops";
+    /// Per-tick link latency draws (microseconds, histogram).
+    pub const LINK_LATENCY_US: &str = "link_latency_us";
+}
+
+/// `workloads/*` — the unseen-attack generator family.
+pub mod workloads {
+    /// Subsystem label.
+    pub const SUBSYSTEM: &str = "workloads";
+    /// Attack traces generated.
+    pub const ATTACKS_GENERATED: &str = "attacks_generated";
+    /// Flows emitted across all generated traces.
+    pub const FLOWS_GENERATED: &str = "flows_generated";
+    /// Held-out (unseen-family) traces generated.
+    pub const HELD_OUT_GENERATED: &str = "held_out_generated";
+    /// Traces that carried a non-identity mutation draw.
+    pub const MUTATIONS_APPLIED: &str = "mutations_applied";
 }
 
 /// `faults/*` — the chaos injector and channel.
@@ -295,6 +313,12 @@ pub const DECLARED: &[(&str, &str)] = &[
     (dataplane::SUBSYSTEM, dataplane::CACHE_INVALIDATIONS),
     (dataplane::SUBSYSTEM, dataplane::LINKS_DEGRADED),
     (dataplane::SUBSYSTEM, dataplane::SWITCH_REBOOTS),
+    (dataplane::SUBSYSTEM, dataplane::LINK_QUEUE_DROPS),
+    (dataplane::SUBSYSTEM, dataplane::LINK_LATENCY_US),
+    (workloads::SUBSYSTEM, workloads::ATTACKS_GENERATED),
+    (workloads::SUBSYSTEM, workloads::FLOWS_GENERATED),
+    (workloads::SUBSYSTEM, workloads::HELD_OUT_GENERATED),
+    (workloads::SUBSYSTEM, workloads::MUTATIONS_APPLIED),
     (faults::SUBSYSTEM, faults::INJECTED),
     (faults::SUBSYSTEM, faults::LINK_EVENTS),
     (faults::SUBSYSTEM, faults::SWITCH_REBOOTS),

@@ -1,0 +1,93 @@
+//! Property tests for the attack-generator family: determinism, label
+//! consistency, mutation-operator bounds, and the training-split guard,
+//! across randomly drawn seeds and parameter intervals.
+
+use athena_workloads::{training_split, AttackConfig, AttackFamily, MutationParams, BOUNDS};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A strategy over every family, base and held-out alike.
+fn any_family() -> impl Strategy<Value = AttackFamily> {
+    (0usize..AttackFamily::all().len()).prop_map(|i| AttackFamily::all()[i])
+}
+
+fn generate(family: AttackFamily, seed: u64) -> athena_workloads::GeneratedAttack {
+    let topo = family.canonical_topology();
+    let cfg = AttackConfig::new(topo.hosts[0].ip);
+    family.generate(&topo, &cfg, seed)
+}
+
+proptest! {
+    /// Same family + same seed ⇒ byte-identical trace, whatever the seed.
+    #[test]
+    fn same_seed_means_byte_identical_trace(family in any_family(), seed in 0u64..1_000_000) {
+        let a = generate(family, seed);
+        let b = generate(family, seed);
+        prop_assert_eq!(a.trace_json(), b.trace_json());
+        prop_assert_eq!(a.params, b.params);
+    }
+
+    /// Ground-truth labels match the family's nature: attack families
+    /// label every generated flow malicious, the benign flash crowd
+    /// labels none.
+    #[test]
+    fn labels_are_consistent_with_the_injected_flows(family in any_family(), seed in 0u64..100_000) {
+        let attack = generate(family, seed);
+        prop_assert!(!attack.flows.is_empty());
+        if family.is_malicious() {
+            prop_assert!(attack.flows.iter().all(|f| f.malicious));
+            prop_assert!(!attack.malicious_tuples().is_empty());
+        } else {
+            prop_assert!(attack.flows.iter().all(|f| !f.malicious));
+            prop_assert!(attack.malicious_tuples().is_empty());
+        }
+    }
+
+    /// Whatever interval a caller requests, sampled parameters stay
+    /// inside the declared taxonomy bounds.
+    #[test]
+    fn sampled_mutations_stay_within_declared_bounds(
+        seed in 0u64..1_000_000,
+        r in (0.01f64..10.0, 0.01f64..10.0),
+        d in (0.01f64..20.0, 0.01f64..20.0),
+        p in (0.01f64..10.0, 0.01f64..10.0),
+        j in (0.0f64..30.0, 0.0f64..30.0),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let norm = |(a, b): (f64, f64)| if a <= b { (a, b) } else { (b, a) };
+        let params = MutationParams::sample(&mut rng, norm(r), norm(d), norm(p), norm(j));
+        prop_assert!(params.in_bounds(), "{params:?} outside {BOUNDS:?}");
+    }
+
+    /// Every family's own recorded parameters are in bounds too.
+    #[test]
+    fn generated_params_are_always_in_bounds(family in any_family(), seed in 0u64..100_000) {
+        let attack = generate(family, seed);
+        prop_assert!(attack.params.in_bounds());
+        if !family.is_held_out() {
+            prop_assert_eq!(attack.params, MutationParams::identity());
+        }
+    }
+
+    /// The training split never leaks a held-out attack, whatever mix
+    /// of families was generated.
+    #[test]
+    fn training_split_never_contains_held_out(seeds in proptest::collection::vec(0u64..50_000, 1..6)) {
+        let attacks: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                AttackFamily::all()
+                    .iter()
+                    .skip(i % 3)
+                    .map(|f| generate(*f, *s))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let (train, held) = training_split(&attacks);
+        prop_assert!(train.iter().all(|a| !a.held_out()));
+        prop_assert!(held.iter().all(|a| a.held_out()));
+        prop_assert_eq!(train.len() + held.len(), attacks.len());
+    }
+}

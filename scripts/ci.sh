@@ -88,4 +88,17 @@ test -s target/chrome-trace.json
 test -s target/observe-report.json
 test -s target/BENCH_obs.json
 
+echo "==> Table-IV matrix gate (every attack x algorithm cell + baselines, < 60 s)"
+# Build the matrix binary outside the timer, as above. Smoke mode halves
+# the workloads but never skips a cell; the recorded baselines hold at
+# both scales. The JSON artifact is archived like BENCH_parallel.json.
+cargo build -q --release --offline -p athena-bench --bin table_matrix
+matrix_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 ATHENA_MATRIX_JSON=target/BENCH_matrix.json \
+    ./target/release/table_matrix
+matrix_elapsed=$(( $(date +%s) - matrix_start ))
+echo "    matrix gate finished in ${matrix_elapsed}s (bound: 60 s)"
+[ "$matrix_elapsed" -lt 60 ]
+test -s target/BENCH_matrix.json
+
 echo "CI gate passed."

@@ -20,6 +20,7 @@
 //! | [`persist`] | `athena-persist` | append-only WAL + checkpoints; crash recovery for store/models/controller |
 //! | [`telemetry`] | `athena-telemetry` | metrics + virtual-time tracing (off by default) |
 //! | [`observe`] | `athena-observe` | causal traces, time-series sampling, SLO alert rules |
+//! | [`workloads`] | `athena-workloads` | attack generators: base families + held-out mutants with ground truth |
 //!
 //! Start with the runnable examples:
 //!
@@ -71,3 +72,4 @@ pub use athena_persist as persist;
 pub use athena_store as store;
 pub use athena_telemetry as telemetry;
 pub use athena_types as types;
+pub use athena_workloads as workloads;

@@ -1,57 +1,21 @@
 //! End-to-end DDoS detection over the simulated enterprise SDN: the
 //! paper's scenario 1 from traffic to verdict to mitigation.
 
+mod common;
+
 use athena::apps::{DdosDetector, DdosDetectorConfig};
-use athena::controller::ControllerCluster;
-use athena::core::{Athena, AthenaConfig, Query};
-use athena::dataplane::{workload, Network, Topology};
-use athena::types::{SimDuration, SimTime};
+use athena::core::Query;
+use common::{ddos_scenario, Deployment};
 
-struct Deployment {
-    net: Network,
-    cluster: ControllerCluster,
-    athena: Athena,
-    victim: athena::types::Ipv4Addr,
-}
-
-fn deploy() -> Deployment {
-    let topo = Topology::enterprise();
-    let victim = topo.hosts[0].ip;
-    let mut net = Network::new(topo.clone());
-    let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::new(AthenaConfig::default());
-    athena.attach(&mut cluster);
-    net.inject_flows(workload::benign_mix_on(
-        &topo,
-        120,
-        SimDuration::from_secs(30),
-        101,
-    ));
-    net.inject_flows(workload::ddos_flood(
-        &topo,
-        victim,
-        workload::DdosParams {
-            start: SimTime::from_secs(8),
-            duration: SimDuration::from_secs(22),
-            n_flows: 250,
-            ..workload::DdosParams::default()
-        },
-        102,
-    ));
-    net.run_until(SimTime::from_secs(35), &mut cluster);
-    Deployment {
-        net,
-        cluster,
-        athena,
-        victim,
-    }
+fn deploy() -> (Deployment, athena::types::Ipv4Addr) {
+    ddos_scenario(120, 250)
 }
 
 #[test]
 fn detector_separates_attack_from_benign_traffic_live() {
-    let d = deploy();
+    let (d, victim) = deploy();
     let detector = DdosDetector::new(DdosDetectorConfig {
-        victim: d.victim,
+        victim,
         ..DdosDetectorConfig::default()
     });
     let model = detector.train(&d.athena).expect("training");
@@ -73,28 +37,17 @@ fn detector_separates_attack_from_benign_traffic_live() {
 
 #[test]
 fn online_validator_blocks_attack_sources() {
-    let mut d = deploy();
+    let (mut d, victim) = deploy();
     let detector = DdosDetector::new(DdosDetectorConfig {
-        victim: d.victim,
+        victim,
         ..DdosDetectorConfig::default()
     });
     let model = detector.train(&d.athena).expect("training");
     detector.deploy_online(&d.athena, model);
 
     // A second attack wave; the online validator should block the bots.
-    let topo = d.net.topology().clone();
-    d.net.inject_flows(workload::ddos_flood(
-        &topo,
-        d.victim,
-        workload::DdosParams {
-            start: SimTime::from_secs(40),
-            duration: SimDuration::from_secs(15),
-            n_flows: 120,
-            ..workload::DdosParams::default()
-        },
-        103,
-    ));
-    d.net.run_until(SimTime::from_secs(60), &mut d.cluster);
+    d.inject_ddos(victim, 40, 120, 103);
+    d.run_until_secs(60);
     assert!(d.athena.total_alerts() > 0, "validator never fired");
     assert!(
         !d.athena.mitigated_hosts().is_empty(),
@@ -104,7 +57,7 @@ fn online_validator_blocks_attack_sources() {
 
 #[test]
 fn collected_features_span_all_controllers_and_kinds() {
-    let d = deploy();
+    let (d, _victim) = deploy();
     for kind in ["FLOW_STATS", "PORT_STATS", "SWITCH_STATE", "PACKET_IN"] {
         let q = Query::parse(&format!("feature=={kind}")).unwrap();
         let n = d.athena.request_features(&q).len();

@@ -293,6 +293,33 @@ fn chaos_controller_crash_is_byte_identical_across_worker_counts() {
     assert_identical("chaos/controller-crash", one, eight, false);
 }
 
+/// One Table-IV matrix cell rendered to canonical bytes: the DDoS family
+/// run, all twelve algorithms trained on it, and every evaluated cell
+/// serialized. Pool width must never change a cell.
+fn matrix_cell_bytes() -> String {
+    use athena_bench::matrix::{evaluate_cell, run_family, train_models, MatrixConfig};
+    let cfg = MatrixConfig {
+        seed: SEED,
+        smoke: true,
+        ..MatrixConfig::default()
+    };
+    let run = run_family(athena::workloads::AttackFamily::Ddos, &cfg);
+    let models = train_models(&[&run]);
+    let cells: Vec<_> = models
+        .iter()
+        .map(|(algorithm, model)| evaluate_cell(&run, algorithm, model.as_ref()))
+        .collect();
+    serde_json::to_string(&cells).expect("cells serialize")
+}
+
+#[test]
+fn matrix_cells_are_byte_identical_across_worker_counts() {
+    let one = with_threads(1, matrix_cell_bytes);
+    let eight = with_threads(8, matrix_cell_bytes);
+    assert!(!one.is_empty());
+    assert_eq!(one, eight, "matrix cells diverge across worker counts");
+}
+
 // ---- runtime lock-order sentinel ------------------------------------
 //
 // The static gate (`crates/analyze`) derives the lock-acquisition graph

@@ -5,31 +5,23 @@
 //! the DDoS detector live, then checks that a subsequent flash crowd does
 //! not alarm while a real flood does.
 
+mod common;
+
 use athena::apps::{DdosDetector, DdosDetectorConfig};
-use athena::controller::ControllerCluster;
-use athena::core::{Athena, AthenaConfig};
-use athena::dataplane::{workload, Network, Topology};
+use athena::dataplane::workload;
 use athena::types::{SimDuration, SimTime};
+use common::deploy_enterprise;
 
 #[test]
 fn flash_crowd_is_not_flagged_but_a_flood_is() {
-    let topo = Topology::enterprise();
-    let victim = topo.hosts[0].ip;
-    let popular_server = topo.hosts[47].ip;
-    let mut net = Network::new(topo.clone());
-    let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::new(AthenaConfig::default());
-    athena.attach(&mut cluster);
+    let mut d = deploy_enterprise();
+    let victim = d.topo.hosts[0].ip;
+    let popular_server = d.topo.hosts[47].ip;
 
     // Phase 1: labeled training traffic (benign mix + flood).
-    net.inject_flows(workload::benign_mix_on(
-        &topo,
-        120,
-        SimDuration::from_secs(25),
-        301,
-    ));
-    net.inject_flows(workload::ddos_flood(
-        &topo,
+    d.inject_benign(120, 25, 301);
+    d.inject(workload::ddos_flood(
+        &d.topo,
         victim,
         workload::DdosParams {
             start: SimTime::from_secs(5),
@@ -39,30 +31,31 @@ fn flash_crowd_is_not_flagged_but_a_flood_is() {
         },
         302,
     ));
-    net.run_until(SimTime::from_secs(30), &mut cluster);
+    d.run_until_secs(30);
     let det = DdosDetector::new(DdosDetectorConfig {
         victim,
         ..DdosDetectorConfig::default()
     });
-    let model = det.train(&athena).expect("training");
+    let model = det.train(&d.athena).expect("training");
 
     // Phase 2: a flash crowd toward a popular server — benign volume.
-    athena
+    d.athena
         .runtime()
         .feature_manager
         .lock()
         .purge(&athena::core::Query::all());
-    net.inject_flows(workload::flash_crowd(
-        &topo,
+    d.inject(workload::flash_crowd(
+        &d.topo,
         popular_server,
         60,
         SimTime::from_secs(32),
         SimDuration::from_secs(15),
         303,
     ));
-    net.run_until(SimTime::from_secs(50), &mut cluster);
-    let crowd_records =
-        athena.request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
+    d.run_until_secs(50);
+    let crowd_records = d
+        .athena
+        .request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
     let crowd_alarms = crowd_records
         .iter()
         .filter(|r| {
@@ -84,13 +77,13 @@ fn flash_crowd_is_not_flagged_but_a_flood_is() {
     let crowd_rate = crowd_alarms as f64 / crowd_total as f64;
 
     // Phase 3: another flood — must alarm.
-    athena
+    d.athena
         .runtime()
         .feature_manager
         .lock()
         .purge(&athena::core::Query::all());
-    net.inject_flows(workload::ddos_flood(
-        &topo,
+    d.inject(workload::ddos_flood(
+        &d.topo,
         victim,
         workload::DdosParams {
             start: SimTime::from_secs(52),
@@ -100,9 +93,10 @@ fn flash_crowd_is_not_flagged_but_a_flood_is() {
         },
         304,
     ));
-    net.run_until(SimTime::from_secs(70), &mut cluster);
-    let flood_records =
-        athena.request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
+    d.run_until_secs(70);
+    let flood_records = d
+        .athena
+        .request_features(&athena::core::Query::parse("feature==FLOW_STATS").unwrap());
     let flood_alarms = flood_records
         .iter()
         .filter(|r| r.index.five_tuple.is_some_and(|ft| ft.dst == victim))

@@ -2,24 +2,21 @@
 //! link; the Athena application detects it from volume features and the
 //! Block reactions clear the congestion (the paper's scenario 2).
 
+mod common;
+
 use athena::apps::{LfaMitigator, LfaMitigatorConfig};
-use athena::controller::ControllerCluster;
-use athena::core::{Athena, AthenaConfig};
-use athena::dataplane::{workload, Network, Topology};
+use athena::dataplane::{workload, Topology};
 use athena::types::{Dpid, PortNo, SimDuration, SimTime};
+use common::deploy_on;
 
 #[test]
 fn crossfire_is_detected_and_mitigated() {
-    let topo = Topology::linear(4, 6);
-    let mut net = Network::new(topo.clone());
-    let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::new(AthenaConfig::default());
-    athena.attach(&mut cluster);
+    let mut d = deploy_on(Topology::linear(4, 6));
     let mut lfa = LfaMitigator::new(LfaMitigatorConfig::default());
-    lfa.deploy(&athena);
+    lfa.deploy(&d.athena);
 
-    net.inject_flows(workload::crossfire(
-        &topo,
+    d.inject(workload::crossfire(
+        &d.topo,
         Dpid::new(2),
         Dpid::new(3),
         workload::CrossfireParams {
@@ -31,21 +28,22 @@ fn crossfire_is_detected_and_mitigated() {
         77,
     ));
 
-    let bottleneck = topo
+    let bottleneck = d
+        .topo
         .link_from(Dpid::new(2), PortNo::new(1))
         .expect("bottleneck");
     let mut peak_before = 0.0f64;
     let mut blocked = 0usize;
     let mut util_after_mitigation = f64::INFINITY;
     for step in 1..=7u64 {
-        net.run_until(SimTime::from_secs(step * 10), &mut cluster);
-        let util = net.link(bottleneck).map_or(0.0, |l| l.utilization());
+        d.run_until_secs(step * 10);
+        let util = d.net.link(bottleneck).map_or(0.0, |l| l.utilization());
         if blocked == 0 {
             peak_before = peak_before.max(util);
         } else {
             util_after_mitigation = util_after_mitigation.min(util);
         }
-        blocked += lfa.mitigate(&athena).len();
+        blocked += lfa.mitigate(&d.athena).len();
     }
 
     assert!(
@@ -58,27 +56,18 @@ fn crossfire_is_detected_and_mitigated() {
         "mitigation must relieve the link: {util_after_mitigation} vs {peak_before}"
     );
     // The reactor actually installed drop rules.
-    assert_eq!(athena.mitigated_hosts().len(), lfa.blocked_hosts().len());
+    assert_eq!(d.athena.mitigated_hosts().len(), lfa.blocked_hosts().len());
 }
 
 #[test]
 fn benign_traffic_does_not_trigger_mitigation() {
-    let topo = Topology::linear(4, 6);
-    let mut net = Network::new(topo.clone());
-    let mut cluster = ControllerCluster::new(&topo);
-    let athena = Athena::new(AthenaConfig::default());
-    athena.attach(&mut cluster);
+    let mut d = deploy_on(Topology::linear(4, 6));
     let mut lfa = LfaMitigator::new(LfaMitigatorConfig::default());
-    lfa.deploy(&athena);
+    lfa.deploy(&d.athena);
 
-    net.inject_flows(workload::benign_mix_on(
-        &topo,
-        60,
-        SimDuration::from_secs(40),
-        78,
-    ));
-    net.run_until(SimTime::from_secs(45), &mut cluster);
-    let blocked = lfa.mitigate(&athena);
+    d.inject_benign(60, 40, 78);
+    d.run_until_secs(45);
+    let blocked = lfa.mitigate(&d.athena);
     assert!(
         blocked.is_empty(),
         "benign traffic must not be blocked: {blocked:?}"

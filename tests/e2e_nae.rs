@@ -1,35 +1,34 @@
 //! End-to-end NAE scenario: the LB app and the security app compete; the
 //! monitor catches the takeover (the paper's scenario 3).
 
+mod common;
+
 use athena::apps::{NaeMonitor, NaeMonitorConfig};
 use athena::controller::apps::{LoadBalancer, SecurityApp};
-use athena::controller::ControllerCluster;
-use athena::core::{Athena, AthenaConfig};
-use athena::dataplane::{FlowSpec, Network, Topology};
+use athena::core::Athena;
+use athena::dataplane::{FlowSpec, Topology};
 use athena::types::{Dpid, FiveTuple, Ipv4Addr, SimDuration, SimTime};
+use common::deploy_on_with;
 
 const ACTIVATE_AT: u64 = 60;
 
 fn run_scenario() -> (NaeMonitor, Athena) {
-    let topo = Topology::nae();
-    let mut net = Network::new(topo.clone());
-    let mut cluster = ControllerCluster::new(&topo);
-    cluster.add_processor(Box::new(LoadBalancer::new((
-        Ipv4Addr::new(10, 0, 4, 0),
-        24,
-    ))));
-    cluster.add_processor(Box::new(
-        SecurityApp::new(Dpid::new(6)).activate_at(SimTime::from_secs(ACTIVATE_AT)),
-    ));
-    let athena = Athena::new(AthenaConfig::default());
-    athena.attach(&mut cluster);
+    let mut d = deploy_on_with(Topology::nae(), |cluster| {
+        cluster.add_processor(Box::new(LoadBalancer::new((
+            Ipv4Addr::new(10, 0, 4, 0),
+            24,
+        ))));
+        cluster.add_processor(Box::new(
+            SecurityApp::new(Dpid::new(6)).activate_at(SimTime::from_secs(ACTIVATE_AT)),
+        ));
+    });
     let monitor = NaeMonitor::new(NaeMonitorConfig::default());
-    monitor.deploy(&athena);
+    monitor.deploy(&d.athena);
 
     let ftp = Ipv4Addr::new(10, 0, 4, 1);
     let mut flows = Vec::new();
     for (i, t) in (0..110u64).step_by(2).enumerate() {
-        let client = topo.hosts[i % 4].ip;
+        let client = d.topo.hosts[i % 4].ip;
         flows.push(
             FlowSpec::new(
                 FiveTuple::tcp(client, 30_000 + i as u16, ftp, 21),
@@ -40,9 +39,9 @@ fn run_scenario() -> (NaeMonitor, Athena) {
             .bidirectional(0.1),
         );
     }
-    net.inject_flows(flows);
-    net.run_until(SimTime::from_secs(120), &mut cluster);
-    (monitor, athena)
+    d.inject(flows);
+    d.run_until_secs(120);
+    (monitor, d.athena)
 }
 
 #[test]
