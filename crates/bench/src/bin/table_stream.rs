@@ -1,0 +1,85 @@
+//! Online-vs-batch learner comparison as an evaluation artifact.
+//!
+//! Runs every Table-IV attack family once and measures each
+//! `athena-stream` online learner against its batch counterpart on the
+//! same records: the batch arm trains on the family's full record set
+//! (the Table-IV protocol), the online arm is scored prequentially
+//! (test-then-train, strictly harder). Prints the per-family DR / FAR /
+//! time-to-detect comparison and writes the byte-stable JSON artifact
+//! (default `target/BENCH_stream.json`, override with
+//! `ATHENA_STREAM_JSON`). A rerun of the ddos_flood family re-derives
+//! its online arms and asserts bit-identical results.
+//!
+//! Knobs: `ATHENA_CHAOS_SMOKE` (halve workloads; cells never skipped),
+//! `ATHENA_STREAM_SEED` (master seed, default 7).
+
+use athena_bench::matrix::{run_family, MatrixConfig};
+use athena_bench::stream::{pairings, prequential, run_stream};
+use athena_bench::{env_scale, header};
+use athena_workloads::AttackFamily;
+
+fn main() {
+    let cfg = MatrixConfig {
+        seed: env_scale("ATHENA_STREAM_SEED", 7) as u64,
+        ..MatrixConfig::default()
+    };
+    println!("{}", header("Online vs batch learners per attack family"));
+    println!("seed={} smoke={}", cfg.seed, cfg.smoke);
+
+    let report = run_stream(&cfg);
+    println!(
+        "{:<22} {:<22} {:>8} {:>8} {:>7} | {:>8} {:>8} {:>7}",
+        "family", "pairing", "on-DR", "on-FAR", "on-TTD", "bat-DR", "bat-FAR", "bat-TTD"
+    );
+    let ttd = |t: Option<f64>| t.map_or_else(|| "-".to_owned(), |t| format!("{t:.1}"));
+    for c in &report.cells {
+        println!(
+            "{:<22} {:<22} {:>7.2}% {:>7.2}% {:>7} | {:>7.2}% {:>7.2}% {:>7}",
+            c.family,
+            c.online.algorithm,
+            c.online.detection_rate * 100.0,
+            c.online.false_alarm_rate * 100.0,
+            ttd(c.online.time_to_detect_s),
+            c.batch.detection_rate * 100.0,
+            c.batch.false_alarm_rate * 100.0,
+            ttd(c.batch.time_to_detect_s),
+        );
+    }
+
+    // The gate's floor: on the known flood, online Naive Bayes must
+    // reach the batch operating point's neighborhood prequentially.
+    let nb = report
+        .cells
+        .iter()
+        .find(|c| c.family == "ddos_flood" && c.online.algorithm == "online-naive-bayes")
+        .expect("ddos_flood online-NB cell");
+    assert!(
+        nb.online.detection_rate > 0.9,
+        "online NB detection rate {:.4} regressed",
+        nb.online.detection_rate
+    );
+    assert!(
+        nb.online.false_alarm_rate < 0.15,
+        "online NB false-alarm rate {:.4} regressed",
+        nb.online.false_alarm_rate
+    );
+
+    // Determinism spot-check: the ddos_flood online arms re-derive
+    // bit-identical from a fresh deployment.
+    let rerun = run_family(AttackFamily::Ddos, &cfg);
+    for (spec, _) in pairings() {
+        let arm = prequential(&rerun, &spec);
+        let original = report
+            .cells
+            .iter()
+            .find(|c| c.family == "ddos_flood" && c.online.algorithm == arm.algorithm)
+            .expect("cell exists");
+        assert_eq!(arm, original.online, "rerun diverged for {}", arm.algorithm);
+    }
+    println!("\ndeterminism spot-check: ddos_flood online arms re-derived bit-identical");
+
+    let path = std::env::var("ATHENA_STREAM_JSON")
+        .unwrap_or_else(|_| "target/BENCH_stream.json".to_owned());
+    report.save_json(std::path::Path::new(&path)).expect("save");
+    println!("wrote {path}");
+}

@@ -24,6 +24,7 @@
 #![deny(rust_2018_idioms)]
 
 pub mod matrix;
+pub mod stream;
 
 use std::env;
 

@@ -309,6 +309,14 @@ impl Athena {
             .add_validator(name, q, m, on_alert)
     }
 
+    /// Hot-swaps the model behind online validator `index` atomically
+    /// under the detector lock (see
+    /// [`AttackDetector::swap_model`](crate::AttackDetector::swap_model));
+    /// returns the displaced model.
+    pub fn swap_online_model(&self, index: usize, m: DetectionModel) -> Option<DetectionModel> {
+        self.runtime.detector.lock().swap_model(index, m)
+    }
+
     /// `Reactor(q, r)`: enforces a mitigation on the data plane. The
     /// reaction's rules are issued through the SB proxy at the next
     /// southbound exchange.

@@ -6,6 +6,7 @@
 //! periodically removes outdated entries.
 
 use crate::feature::format::{FeatureIndex, FeatureRecord, MetaData};
+use crate::feature::window::Windowing;
 use athena_openflow::stats::PortStatsEntry;
 use athena_openflow::{FlowStatsEntry, MatchFields, OfMessage, StatsReply};
 use athena_types::{AppId, ControllerId, Dpid, FiveTuple, PortNo, SimDuration, SimTime};
@@ -218,10 +219,30 @@ impl FeatureGenerator {
         out
     }
 
+    /// The generator's windowing definition — the single source of
+    /// truth for window width, boundary placement, and rate math, also
+    /// consumed by the streaming pipeline (`crates/stream`) so the two
+    /// paths can never disagree on window arithmetic.
+    pub fn windowing(&self) -> Windowing {
+        Windowing::new(self.window)
+    }
+
+    /// Public iterator over every window boundary in `(from, until]`:
+    /// the virtual times at which [`FeatureGenerator::flush_window`]
+    /// would close a window. Stream consumers align their ring-buffer
+    /// evictions to exactly these instants instead of re-deriving them.
+    pub fn window_boundaries(
+        &self,
+        from: SimTime,
+        until: SimTime,
+    ) -> crate::feature::window::Boundaries {
+        self.windowing().boundaries(from, until)
+    }
+
     /// Flushes the per-switch message-counter window if due, emitting
     /// `MSG_*` records.
     pub fn flush_window(&mut self, now: SimTime) -> Vec<FeatureRecord> {
-        let window_secs = self.window.as_secs_f64().max(1e-9);
+        let windowing = self.windowing();
         let mut out = Vec::new();
         // Sorted so identically-seeded runs emit (and store) the window
         // records in the same order — crash-recovery diffs rely on it.
@@ -247,12 +268,9 @@ impl FeatureGenerator {
             r.push_field("MSG_STATS_REPLY_COUNT", counts.stats_reply as f64);
             r.push_field("MSG_ECHO_COUNT", counts.echo as f64);
             r.push_field("MSG_BARRIER_COUNT", counts.barrier as f64);
-            r.push_field("MSG_PACKET_IN_RATE", counts.packet_in as f64 / window_secs);
-            r.push_field("MSG_FLOW_MOD_RATE", counts.flow_mod as f64 / window_secs);
-            r.push_field(
-                "MSG_FLOW_REMOVED_RATE",
-                counts.flow_removed as f64 / window_secs,
-            );
+            r.push_field("MSG_PACKET_IN_RATE", windowing.rate(counts.packet_in));
+            r.push_field("MSG_FLOW_MOD_RATE", windowing.rate(counts.flow_mod));
+            r.push_field("MSG_FLOW_REMOVED_RATE", windowing.rate(counts.flow_removed));
             r.push_field(
                 "MSG_PACKET_IN_COUNT_VAR",
                 counts.packet_in as f64 - prev.packet_in as f64,
@@ -489,7 +507,7 @@ impl FeatureGenerator {
         now: SimTime,
         polled: bool,
     ) -> Vec<FeatureRecord> {
-        let window_secs = self.window.as_secs_f64().max(1e-9);
+        let windowing = self.windowing();
         let mut out = Vec::with_capacity(entries.len());
         for e in entries {
             let mut r = FeatureRecord::new(FeatureIndex::port(from, e.port_no))
@@ -549,11 +567,11 @@ impl FeatureGenerator {
             // Utilization over the sampling window.
             r.push_field(
                 "PORT_RX_UTILIZATION",
-                (rx_var.max(0.0) * 8.0 / window_secs) / NOMINAL_CAPACITY_BPS,
+                windowing.rate_f64(rx_var.max(0.0) * 8.0) / NOMINAL_CAPACITY_BPS,
             );
             r.push_field(
                 "PORT_TX_UTILIZATION",
-                (tx_var.max(0.0) * 8.0 / window_secs) / NOMINAL_CAPACITY_BPS,
+                windowing.rate_f64(tx_var.max(0.0) * 8.0) / NOMINAL_CAPACITY_BPS,
             );
             let dropped = e.rx_dropped + e.tx_dropped;
             let seen = e.rx_packets + e.tx_packets + dropped;
@@ -912,6 +930,29 @@ mod tests {
         // Next window is fresh; VAR is negative after silence.
         let records = g.flush_window(SimTime::from_secs(10));
         assert!(records.is_empty()); // no new messages -> no entry
+    }
+
+    #[test]
+    fn window_boundaries_share_the_flush_rate_math() {
+        let g = FeatureGenerator::new(ControllerId::new(0));
+        // Default 5 s window: boundaries in (0, 20] are 5, 10, 15, 20.
+        let bounds: Vec<SimTime> = g
+            .window_boundaries(SimTime::ZERO, SimTime::from_secs(20))
+            .collect();
+        assert_eq!(
+            bounds,
+            vec![
+                SimTime::from_secs(5),
+                SimTime::from_secs(10),
+                SimTime::from_secs(15),
+                SimTime::from_secs(20),
+            ]
+        );
+        // The iterator and flush_window derive from the same Windowing:
+        // the MSG rate a flush would emit is bitwise the shared formula.
+        let w = g.windowing();
+        assert_eq!(w.width(), g.window);
+        assert_eq!(w.rate(10).to_bits(), 2.0f64.to_bits()); // 10 / 5 s
     }
 
     #[test]

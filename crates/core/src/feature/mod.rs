@@ -3,3 +3,4 @@
 pub mod catalog;
 pub mod format;
 pub mod generator;
+pub mod window;

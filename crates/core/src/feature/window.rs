@@ -1,0 +1,155 @@
+//! The one windowing definition shared by the batch Feature Generator
+//! and the streaming pipeline (`crates/stream`).
+//!
+//! Both paths must agree byte-for-byte on where windows begin and end
+//! and on how a raw count becomes a per-second rate — otherwise the
+//! streaming verdicts drift from the batch verdicts and the
+//! incremental-equals-batch gates cannot hold. [`Windowing`] owns that
+//! math; [`Windowing::boundaries`] is the public boundary iterator the
+//! stream crate walks instead of copy-pasting window arithmetic.
+
+use athena_types::{SimDuration, SimTime};
+
+/// A fixed-width tumbling/sliding window definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Windowing {
+    width: SimDuration,
+}
+
+impl Windowing {
+    /// A windowing of the given width. Zero widths are accepted (the
+    /// rate denominator is floored, matching the historical batch
+    /// behaviour) but produce a degenerate single-boundary iterator.
+    pub fn new(width: SimDuration) -> Self {
+        Windowing { width }
+    }
+
+    /// The window width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    /// The rate denominator in seconds, floored exactly like the
+    /// original batch path (`as_secs_f64().max(1e-9)`) so refactored
+    /// callers stay byte-identical.
+    pub fn secs(&self) -> f64 {
+        self.width.as_secs_f64().max(1e-9)
+    }
+
+    /// Converts an integer count observed over one window into a
+    /// per-second rate. This is the only rate formula in the workspace;
+    /// batch (`flush_window`) and stream (`RingWindow`) both call it.
+    pub fn rate(&self, count: u64) -> f64 {
+        self.rate_f64(count as f64)
+    }
+
+    /// [`Windowing::rate`] for an already-converted numerator (byte
+    /// deltas, utilization numerators).
+    pub fn rate_f64(&self, value: f64) -> f64 {
+        value / self.secs()
+    }
+
+    /// The index of the window containing `at` (window `i` spans
+    /// `[i*width, (i+1)*width)`). Degenerate zero-width windowings map
+    /// everything to window 0.
+    pub fn index_of(&self, at: SimTime) -> u64 {
+        let w = self.width.as_micros();
+        if w == 0 {
+            return 0;
+        }
+        at.as_micros() / w
+    }
+
+    /// The closing boundary of window `index`, saturating at
+    /// [`SimTime::MAX`].
+    pub fn close_of(&self, index: u64) -> SimTime {
+        let w = self.width.as_micros();
+        SimTime::from_micros(index.saturating_add(1).saturating_mul(w))
+    }
+
+    /// Iterator over every window boundary in `(from, until]`, in
+    /// order: the virtual times at which a window closes and its
+    /// aggregates must match a full batch recompute. This is the public
+    /// seam the stream crate aligns to — one windowing definition, two
+    /// consumers.
+    pub fn boundaries(&self, from: SimTime, until: SimTime) -> Boundaries {
+        Boundaries {
+            windowing: *self,
+            next_index: if self.width.is_zero() {
+                u64::MAX // empty iterator for degenerate widths
+            } else {
+                self.index_of(from)
+            },
+            until,
+        }
+    }
+}
+
+/// Iterator over window-close boundaries; see
+/// [`Windowing::boundaries`].
+#[derive(Debug, Clone)]
+pub struct Boundaries {
+    windowing: Windowing,
+    next_index: u64,
+    until: SimTime,
+}
+
+impl Iterator for Boundaries {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.next_index == u64::MAX {
+            return None;
+        }
+        let close = self.windowing.close_of(self.next_index);
+        if close > self.until {
+            return None;
+        }
+        self.next_index += 1;
+        Some(close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_matches_historical_batch_formula() {
+        let w = Windowing::new(SimDuration::from_secs(5));
+        // 10 packet-ins over a 5 s window: the generator's documented
+        // MSG_PACKET_IN_RATE.
+        assert_eq!(w.rate(10), 2.0);
+        // Bitwise identical to the inline expression it replaced.
+        let window_secs = SimDuration::from_secs(5).as_secs_f64().max(1e-9);
+        assert_eq!(w.rate(7).to_bits(), (7.0f64 / window_secs).to_bits());
+    }
+
+    #[test]
+    fn zero_width_is_floored_not_infinite() {
+        let w = Windowing::new(SimDuration::ZERO);
+        assert!(w.rate(1).is_finite());
+        assert_eq!(
+            w.boundaries(SimTime::ZERO, SimTime::from_secs(10)).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn boundaries_cover_half_open_windows() {
+        let w = Windowing::new(SimDuration::from_secs(5));
+        let b: Vec<u64> = w
+            .boundaries(SimTime::ZERO, SimTime::from_secs(16))
+            .map(|t| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(b, vec![5, 10, 15]);
+        // Starting mid-window yields that window's close first.
+        let b: Vec<u64> = w
+            .boundaries(SimTime::from_secs(7), SimTime::from_secs(15))
+            .map(|t| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(b, vec![10, 15]);
+        assert_eq!(w.index_of(SimTime::from_secs(7)), 1);
+        assert_eq!(w.close_of(1), SimTime::from_secs(10));
+    }
+}

@@ -69,12 +69,13 @@ pub use athena::{Athena, AthenaConfig};
 pub use feature::catalog::{self, FeatureCategory};
 pub use feature::format::{FeatureIndex, FeatureRecord, MetaData};
 pub use feature::generator::FeatureGenerator;
+pub use feature::window::{Boundaries, Windowing};
 pub use nb::detector_manager::{DetectionModel, DetectorManager};
 pub use nb::feature_manager::FeatureManager;
 pub use nb::query::{Query, QueryBuilder};
 pub use nb::reaction_manager::{Reaction, ReactionManager};
 pub use nb::resource_manager::ResourceManager;
 pub use nb::ui::UiManager;
-pub use sb::detector::AttackDetector;
+pub use sb::detector::{AlertHandler, AttackDetector};
 pub use sb::interface::AthenaSouthbound;
 pub use sb::reactor::AttackReactor;

@@ -64,6 +64,17 @@ impl AttackDetector {
         self.validators.len() - 1
     }
 
+    /// Atomically replaces validator `index`'s model, returning the one
+    /// it displaces. Callers hold the detector lock for the duration,
+    /// so every record scores against exactly one model: the old one up
+    /// to the swap instant, the new one after — the hot-swap primitive
+    /// of the streaming retrain loop. Returns `None` (and drops the
+    /// candidate) when `index` names no validator.
+    pub fn swap_model(&mut self, index: usize, model: DetectionModel) -> Option<DetectionModel> {
+        let v = self.validators.get_mut(index)?;
+        Some(std::mem::replace(&mut v.model, model))
+    }
+
     /// Number of registered validators.
     pub fn validator_count(&self) -> usize {
         self.validators.len()

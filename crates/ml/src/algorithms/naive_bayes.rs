@@ -89,6 +89,48 @@ impl NaiveBayesModel {
         })
     }
 
+    /// Builds a model directly from per-class first and second moments,
+    /// for incremental fitters (e.g. the streaming pipeline's
+    /// Welford-accumulated naive Bayes) that maintain counts, means,
+    /// and population variances online and freeze them into a
+    /// deployable model without replaying the data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AthenaError::Ml`] when either class is empty or the
+    /// moment vectors disagree on dimension.
+    pub fn from_moments(
+        benign: (u64, Vec<f64>, Vec<f64>),
+        malicious: (u64, Vec<f64>, Vec<f64>),
+    ) -> Result<Self> {
+        let (bn, bm, bv) = benign;
+        let (pn, pm, pv) = malicious;
+        if bn == 0 || pn == 0 {
+            return Err(AthenaError::Ml(
+                "naive bayes requires both classes in training data".into(),
+            ));
+        }
+        let dim = bm.len();
+        if dim == 0 || bv.len() != dim || pm.len() != dim || pv.len() != dim {
+            return Err(AthenaError::Ml(
+                "naive bayes moment vectors disagree on dimension".into(),
+            ));
+        }
+        let n = (bn + pn) as f64;
+        Ok(NaiveBayesModel {
+            benign: ClassStats {
+                log_prior: (bn as f64 / n).ln(),
+                mean: bm,
+                variance: bv,
+            },
+            malicious: ClassStats {
+                log_prior: (pn as f64 / n).ln(),
+                mean: pm,
+                variance: pv,
+            },
+        })
+    }
+
     /// Posterior probability that `x` is malicious.
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
         let lp = self.malicious.log_likelihood(x);

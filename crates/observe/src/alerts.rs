@@ -291,6 +291,30 @@ pub fn standard_rules() -> Vec<AlertRule> {
             },
             deterministic: true,
         },
+        // — streaming retrain loop —
+        // Both watch stream/* series that only exist when a retrain
+        // loop is deployed; absent series read as 0.0 and never fire.
+        AlertRule {
+            name: "model-swap-failed",
+            signal: CounterRateAbove {
+                key: "stream/swap_failures",
+                per_sec: 0.0,
+                window: w6,
+            },
+            deterministic: true,
+        },
+        AlertRule {
+            name: "detection-gap-exceeded",
+            signal: HistogramP99Above {
+                key: "stream/detection_gap_us",
+                // The streaming gate's bound: 15 virtual seconds
+                // between consecutive detections under live attack.
+                threshold: 15_000_000.0,
+            },
+            // Virtual-time-fed histogram: the gap is measured on
+            // SimTime, not the wall clock.
+            deterministic: true,
+        },
     ]
 }
 

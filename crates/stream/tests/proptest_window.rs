@@ -1,0 +1,64 @@
+//! Property gate: ring-buffer incremental aggregates equal a full
+//! batch recompute for arbitrary insert/evict sequences.
+//!
+//! The incremental path (`RingWindow::aggregate`) maintains
+//! count/sum/min/max in O(1) per operation; the batch path
+//! (`RingWindow::recompute`) scans every retained sample. Because the
+//! accumulators are exact integers, the two must be *equal* — not
+//! approximately equal — after every push, advance, and eviction, for
+//! any interleaving of sample values, time gaps, and idle slides.
+
+use athena_core::Windowing;
+use athena_stream::RingWindow;
+use athena_types::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// After every operation in an arbitrary nondecreasing-time
+    /// sequence of pushes and idle advances, the O(1) aggregate equals
+    /// the O(n) recompute.
+    #[test]
+    fn incremental_equals_batch_recompute(
+        width_ms in 1u64..20_000,
+        ops in proptest::collection::vec((0u64..5_000, -1_000i64..1_000, 0u8..8), 1..200),
+    ) {
+        let windowing = Windowing::new(SimDuration::from_millis(width_ms));
+        let mut w = RingWindow::new(windowing);
+        let mut now_us: u64 = 0;
+        for (gap_ms, value, kind) in ops {
+            now_us += gap_ms * 1_000;
+            let at = SimTime::from_micros(now_us);
+            if kind == 0 {
+                // Occasional idle slide: evictions with no insertion.
+                w.advance_to(at);
+            } else {
+                w.push(at, value);
+            }
+            let fast = w.aggregate();
+            let slow = w.recompute();
+            prop_assert_eq!(fast, slow, "incremental and batch aggregates diverged");
+        }
+    }
+
+    /// Eviction is exact at window boundaries: samples exactly one
+    /// width old fall out, newer ones stay, and the shared Windowing
+    /// rate over the aggregate count matches the batch formula.
+    #[test]
+    fn boundary_eviction_is_exact(
+        width_s in 1u64..30,
+        n in 1u64..50,
+    ) {
+        let windowing = Windowing::new(SimDuration::from_secs(width_s));
+        let mut w = RingWindow::new(windowing);
+        for i in 0..n {
+            w.push(SimTime::from_micros(i), 1);
+        }
+        prop_assert_eq!(w.aggregate().count, n);
+        // Slide one full width past the last sample: everything leaves.
+        w.advance_to(SimTime::from_micros(n + windowing.width().as_micros()));
+        prop_assert_eq!(w.aggregate().count, 0);
+        prop_assert_eq!(w.aggregate(), w.recompute());
+    }
+}

@@ -262,6 +262,32 @@ pub mod ml {
     pub const FIT_NS: &str = "fit_ns";
 }
 
+/// `stream/*` — the online learning pipeline (incremental windows,
+/// retrain loop, model hot-swap).
+pub mod stream {
+    /// Subsystem label.
+    pub const SUBSYSTEM: &str = "stream";
+    /// Samples pushed into ring-buffer feature windows.
+    pub const WINDOW_UPDATES: &str = "window_updates";
+    /// Samples evicted as windows slid past them.
+    pub const WINDOW_EVICTIONS: &str = "window_evictions";
+    /// Online `partial_fit` steps applied to the candidate model.
+    pub const PARTIAL_FITS: &str = "partial_fits";
+    /// Background retrain latency (wall nanoseconds).
+    pub const RETRAIN_NS: &str = "retrain_ns";
+    /// Candidate models retrained on the live window.
+    pub const RETRAINS: &str = "retrains";
+    /// Candidate models hot-swapped into the detector.
+    pub const SWAPS: &str = "swaps";
+    /// Retrain/swap attempts abandoned (snapshot round-trip failures).
+    pub const SWAP_FAILURES: &str = "swap_failures";
+    /// Gap between consecutive detections (virtual microseconds) —
+    /// the continuity signal the ≤ 15 s miss-window gate watches.
+    pub const DETECTION_GAP_US: &str = "detection_gap_us";
+    /// Labeled points currently held in the live window.
+    pub const LIVE_POINTS: &str = "live_points";
+}
+
 /// Every fixed subsystem/name pair production code emits (persist's
 /// per-journal names are declared by prefix/suffix instead — see
 /// [`is_declared`]).
@@ -339,6 +365,15 @@ pub const DECLARED: &[(&str, &str)] = &[
     (apps::SUBSYSTEM, apps::DDOS_TRAIN_NS),
     (apps::SUBSYSTEM, apps::DDOS_TEST_NS),
     (ml::SUBSYSTEM, ml::FIT_NS),
+    (stream::SUBSYSTEM, stream::WINDOW_UPDATES),
+    (stream::SUBSYSTEM, stream::WINDOW_EVICTIONS),
+    (stream::SUBSYSTEM, stream::PARTIAL_FITS),
+    (stream::SUBSYSTEM, stream::RETRAIN_NS),
+    (stream::SUBSYSTEM, stream::RETRAINS),
+    (stream::SUBSYSTEM, stream::SWAPS),
+    (stream::SUBSYSTEM, stream::SWAP_FAILURES),
+    (stream::SUBSYSTEM, stream::DETECTION_GAP_US),
+    (stream::SUBSYSTEM, stream::LIVE_POINTS),
 ];
 
 /// Whether production code declares the `subsystem/name` pair.

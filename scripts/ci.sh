@@ -101,4 +101,20 @@ echo "    matrix gate finished in ${matrix_elapsed}s (bound: 60 s)"
 [ "$matrix_elapsed" -lt 60 ]
 test -s target/BENCH_matrix.json
 
+echo "==> streaming gate (hot-swap e2e + online-vs-batch table, < 60 s)"
+# Build the bench binary outside the timer, as above. The e2e drives a
+# live retrain + hot-swap under ddos_flood, asserts the ≤ 15 virtual-s
+# detection-continuity bound, and re-runs composed with the
+# controller-crash chaos scenario; table_stream writes the archived
+# online-vs-batch comparison artifact.
+cargo build -q --release --offline -p athena-bench --bin table_stream
+stream_start=$(date +%s)
+ATHENA_CHAOS_SMOKE=1 cargo test -q --release --offline --test e2e_stream
+ATHENA_CHAOS_SMOKE=1 ATHENA_STREAM_JSON=target/BENCH_stream.json \
+    ./target/release/table_stream
+stream_elapsed=$(( $(date +%s) - stream_start ))
+echo "    streaming gate finished in ${stream_elapsed}s (bound: 60 s)"
+[ "$stream_elapsed" -lt 60 ]
+test -s target/BENCH_stream.json
+
 echo "CI gate passed."

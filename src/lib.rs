@@ -70,6 +70,7 @@ pub use athena_openflow as openflow;
 pub use athena_parallel as parallel;
 pub use athena_persist as persist;
 pub use athena_store as store;
+pub use athena_stream as stream;
 pub use athena_telemetry as telemetry;
 pub use athena_types as types;
 pub use athena_workloads as workloads;

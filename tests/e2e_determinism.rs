@@ -312,6 +312,73 @@ fn matrix_cell_bytes() -> String {
     serde_json::to_string(&cells).expect("cells serialize")
 }
 
+/// The ddos run with the streaming pipeline live: a `RetrainLoop`
+/// retrains on the live window and hot-swaps the online validator
+/// mid-run. The swap joins its background fit before the tick returns,
+/// so the full observable state — alert stream included via the
+/// `stream/*` counters — must stay pool-width-invariant.
+fn stream_hot_swap_snapshot() -> Snapshot {
+    use athena::apps::DdosDataset;
+    use athena::ml::Algorithm;
+    use athena::stream::{OnlineSpec, RetrainLoop, RetrainPolicy, StreamConfig};
+    use std::sync::Arc;
+
+    let mut r = rig();
+    let victim = inject_ddos(&mut r);
+    let det = DdosDetector::new(DdosDetectorConfig {
+        victim,
+        ..DdosDetectorConfig::default()
+    });
+    let pretrain = DdosDataset::generate(scaled(2_000), 3);
+    let bootstrap = r
+        .athena
+        .detector_manager()
+        .generate_from_points(
+            pretrain.points,
+            &DdosDetector::features(),
+            &det.preprocessor(),
+            &Algorithm::kmeans(4),
+        )
+        .expect("bootstrap model");
+    let truth_det = det.clone();
+    let mut retrain = RetrainLoop::deploy(
+        &r.athena,
+        &det.query(),
+        StreamConfig {
+            name: "stream-ddos".to_owned(),
+            features: DdosDetector::features(),
+            spec: OnlineSpec::NaiveBayes,
+            preprocessor: det.preprocessor(),
+            policy: RetrainPolicy::default(),
+        },
+        Arc::new(move |rec| (truth_det.truth())(rec)),
+        bootstrap,
+        Box::new(|_| None),
+    );
+    while r.net.now() < END {
+        let next = (r.net.now() + SimDuration::from_secs(1)).min(END);
+        r.net.run_until(next, &mut r.cluster);
+        retrain.tick(&r.athena, r.net.now());
+    }
+    let swaps = retrain.reports().iter().filter(|rep| rep.swapped).count();
+    assert!(swaps >= 1, "no hot-swap happened mid-run");
+    Snapshot {
+        store: r.athena.runtime().store.contents(),
+        verdict: format!("{:?}", retrain.reports()),
+        trace: canonical_trace(&r.tel),
+        counters: canonical_counters(&r.tel),
+        trace_ids: r.obs.trace_ids(),
+        alerts: canonical_alerts(&r.obs),
+    }
+}
+
+#[test]
+fn stream_hot_swap_run_is_byte_identical_across_worker_counts() {
+    let one = with_threads(1, stream_hot_swap_snapshot);
+    let eight = with_threads(8, stream_hot_swap_snapshot);
+    assert_identical("stream-hot-swap", one, eight, true);
+}
+
 #[test]
 fn matrix_cells_are_byte_identical_across_worker_counts() {
     let one = with_threads(1, matrix_cell_bytes);
