@@ -1,0 +1,345 @@
+//! Sharded-engine scalability on fat-tree topologies up to 100k hosts:
+//! packet-in throughput of the sharded, batched, wheel-expiry engine at
+//! 1/2/4/8 workers against the unsharded per-tick-scan engine, plus a
+//! byte-identity check that every width produces the same simulation.
+//!
+//! Following the Figure-10 virtual-time methodology (the CI box may have
+//! one core), the engine runs once per width with chunk accounting on;
+//! the run's completion time at width *W* is modeled as
+//! `wall − Σ chunk costs + Σ LPT-makespan(W)` — the sequential phases at
+//! face value, the pool phases placed on *W* workers longest-first.
+//! Packet-in throughput is `packet-ins / modeled time`. The baseline is
+//! the pre-sharding engine (`Network`, `ExpiryMode::Scan`) timed on the
+//! same workload. Results land in `BENCH_scale.json` (override with
+//! `ATHENA_SCALE_JSON`).
+//!
+//! Set `ATHENA_BENCH_SMOKE=1` for the <60 s CI workload.
+
+use athena_bench::{env_scale, header};
+use athena_dataplane::{
+    workload, ExpiryMode, LearningControllerStub, Network, NetworkConfig, ShardPlan,
+    ShardedNetwork, Topology,
+};
+use athena_parallel::{set_accounting, take_jobs, JobStats};
+use athena_types::{SimDuration, SimTime};
+use std::time::Instant;
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+const RUN_SECS: u64 = 10;
+
+fn smoke() -> bool {
+    athena_types::env_flag("ATHENA_BENCH_SMOKE")
+}
+
+/// One topology scale: fat-tree parameters and the injected flow count.
+struct Scale {
+    k: usize,
+    hosts_per_edge: usize,
+    flows: usize,
+}
+
+/// One scale's measured row.
+struct Row {
+    hosts: usize,
+    switches: usize,
+    shards: usize,
+    flows: usize,
+    packet_ins: u64,
+    baseline_pps: f64,
+    baseline_wall_ms: f64,
+    sharded_pps: Vec<f64>,
+    speedup: Vec<f64>,
+    wall_ms: Vec<f64>,
+}
+
+fn workload_for(topo: &Topology, flows: usize) -> Vec<athena_dataplane::FlowSpec> {
+    workload::benign_mix_on(topo, flows, SimDuration::from_secs(8), 20170610)
+}
+
+/// Everything a width could perturb, flattened to a comparable string.
+fn digest(net: &ShardedNetwork, ctrl: &LearningControllerStub) -> String {
+    let mut tables = String::new();
+    // Sample a deterministic spread of switches (full tables at 100k
+    // hosts would make the digest itself the bottleneck).
+    for (i, s) in net.topology().switches.iter().enumerate() {
+        if i % 7 == 0 {
+            if let Some(sw) = net.switch(s.dpid) {
+                tables.push_str(&format!("{}:{};", s.dpid.raw(), sw.flow_count()));
+            }
+        }
+    }
+    format!(
+        "{:?}|{}|{}|{tables}",
+        net.counters(),
+        ctrl.installs(),
+        net.active_flows().len(),
+    )
+}
+
+fn run_scale(scale: &Scale) -> Row {
+    let topo = Topology::fat_tree_with_hosts(scale.k, scale.hosts_per_edge);
+    let flows = workload_for(&topo, scale.flows);
+    let plan = ShardPlan::auto(&topo);
+    let shards = plan.n_shards();
+
+    // Baseline: the unsharded engine with per-tick full-table scans —
+    // the pre-sharding engine, wall-timed (construction excluded for
+    // both engines; the timers cover inject + run only).
+    let mut base = Network::with_config(
+        topo.clone(),
+        NetworkConfig {
+            expiry: ExpiryMode::Scan,
+            ..NetworkConfig::default()
+        },
+    );
+    let mut base_ctrl = LearningControllerStub::new(&base);
+    let t0 = Instant::now();
+    base.inject_flows(flows.clone());
+    base.run_until(SimTime::from_secs(RUN_SECS), &mut base_ctrl);
+    let base_wall = t0.elapsed();
+    let base_pps = base.counters().packet_ins as f64 / base_wall.as_secs_f64();
+
+    let mut row = Row {
+        hosts: topo.hosts.len(),
+        switches: topo.switches.len(),
+        shards,
+        flows: scale.flows,
+        packet_ins: 0,
+        baseline_pps: base_pps,
+        baseline_wall_ms: base_wall.as_secs_f64() * 1e3,
+        sharded_pps: Vec::new(),
+        speedup: Vec::new(),
+        wall_ms: Vec::new(),
+    };
+
+    // One measured run at width 1: on a single-core host that is the
+    // only uncontended timing available, and with per-item chunk costs
+    // it is all the LPT model needs to place any width. The wider runs
+    // below are pure byte-identity gates.
+    let mut reference: Option<String> = None;
+    let mut wall1: u64 = 0;
+    let mut jobs1: Vec<JobStats> = Vec::new();
+    for &w in &WIDTHS {
+        std::env::set_var("ATHENA_THREADS", w.to_string());
+        if w == 1 {
+            set_accounting(true);
+        }
+        let mut net =
+            ShardedNetwork::with_plan(topo.clone(), NetworkConfig::default(), plan.clone());
+        let mut ctrl = LearningControllerStub::for_topology(topo.clone());
+        let t0 = Instant::now();
+        net.inject_flows(flows.clone());
+        net.run_until(SimTime::from_secs(RUN_SECS), &mut ctrl);
+        let wall = t0.elapsed().as_nanos() as u64;
+        if w == 1 {
+            wall1 = wall;
+            jobs1 = take_jobs();
+            set_accounting(false);
+            row.packet_ins = net.counters().packet_ins;
+        }
+        row.wall_ms.push(wall as f64 / 1e6);
+
+        // Byte-identity gate: every width must produce the same run.
+        let d = digest(&net, &ctrl);
+        match &reference {
+            None => reference = Some(d),
+            Some(r) => assert_eq!(
+                *r, d,
+                "sharded run at {w} workers diverges from the width-1 run"
+            ),
+        }
+    }
+    std::env::remove_var("ATHENA_THREADS");
+
+    let serial: u64 = jobs1.iter().map(JobStats::serial_ns).sum();
+    let seq = wall1 - serial.min(wall1);
+    if std::env::var("ATHENA_SCALE_DEBUG").is_ok() {
+        let mut by_cost: Vec<&JobStats> = jobs1.iter().collect();
+        by_cost.sort_by_key(|j| std::cmp::Reverse(j.serial_ns()));
+        for j in by_cost.iter().take(8) {
+            let (argmax, max_item) = j
+                .chunk_costs_ns
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by_key(|&(_, c)| c)
+                .unwrap_or((0, 0));
+            eprintln!(
+                "  job items={:>4} serial={:>8.1}ms max_item={:>8.1}ms ({:.0}%) at idx {}",
+                j.items,
+                j.serial_ns() as f64 / 1e6,
+                max_item as f64 / 1e6,
+                100.0 * max_item as f64 / j.serial_ns().max(1) as f64,
+                argmax
+            );
+        }
+    }
+    for &w in &WIDTHS {
+        let modeled_pool: u64 = jobs1.iter().map(|j| j.makespan_ns(w)).sum();
+        let modeled = seq + modeled_pool;
+        if std::env::var("ATHENA_SCALE_DEBUG").is_ok() {
+            eprintln!(
+                "debug w={w}: wall1={:.0}ms serial={:.0}ms ({:.0}%) makespan={:.0}ms modeled={:.0}ms jobs={}",
+                wall1 as f64 / 1e6,
+                serial as f64 / 1e6,
+                100.0 * serial as f64 / wall1 as f64,
+                modeled_pool as f64 / 1e6,
+                modeled as f64 / 1e6,
+                jobs1.len()
+            );
+        }
+        let pps = row.packet_ins as f64 / (modeled as f64 / 1e9);
+        row.sharded_pps.push(pps);
+        row.speedup.push(pps / base_pps.max(1e-9));
+    }
+    row
+}
+
+fn json_row(r: &Row) -> String {
+    let nums = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:.1}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "    {{\"hosts\": {}, \"switches\": {}, \"shards\": {}, \"flows\": {}, \"packet_ins\": {}, \
+         \"workers\": [1, 2, 4, 8], \"baseline_pps\": {:.1}, \"baseline_wall_ms\": {:.1}, \
+         \"sharded_pps\": [{}], \"speedup_vs_unsharded\": [{}], \"wall_ms\": [{}]}}",
+        r.hosts,
+        r.switches,
+        r.shards,
+        r.flows,
+        r.packet_ins,
+        r.baseline_pps,
+        r.baseline_wall_ms,
+        nums(&r.sharded_pps),
+        nums(&r.speedup),
+        nums(&r.wall_ms)
+    )
+}
+
+fn main() {
+    println!(
+        "{}",
+        header("athena-scale — sharded engine throughput vs the unsharded engine")
+    );
+    println!(
+        "methodology: one run per width with chunk accounting; modeled time =\n\
+         wall − serial + LPT-makespan(W). Baseline: unsharded Network, full-scan\n\
+         expiry, wall-timed. Byte-identity asserted across widths per scale.\n"
+    );
+
+    let scales: Vec<Scale> = if smoke() {
+        vec![
+            Scale {
+                k: 4,
+                hosts_per_edge: 50,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 150),
+            },
+            Scale {
+                k: 8,
+                hosts_per_edge: 32,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 250),
+            },
+            Scale {
+                k: 8,
+                hosts_per_edge: 100,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 400),
+            },
+        ]
+    } else {
+        vec![
+            // 10_016, 50_048, and 100_096 hosts.
+            Scale {
+                k: 8,
+                hosts_per_edge: 313,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 3_000),
+            },
+            Scale {
+                k: 16,
+                hosts_per_edge: 391,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 6_000),
+            },
+            Scale {
+                k: 16,
+                hosts_per_edge: 782,
+                flows: env_scale("ATHENA_SCALE_FLOWS", 10_000),
+            },
+        ]
+    };
+
+    println!(
+        "{:>8} {:>9} {:>7} {:>7} {:>11} {:>13} {:>8}",
+        "hosts", "switches", "shards", "workers", "pkt-in/s", "baseline/s", "speedup"
+    );
+    // ATHENA_SCALE_ONLY=i runs a single scale row (development aid).
+    let only: Option<usize> = std::env::var("ATHENA_SCALE_ONLY")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut rows = Vec::new();
+    for (i, scale) in scales.iter().enumerate() {
+        if only.is_some_and(|o| o != i) {
+            continue;
+        }
+        let row = run_scale(scale);
+        for (k, &w) in WIDTHS.iter().enumerate() {
+            println!(
+                "{:>8} {:>9} {:>7} {:>7} {:>11.0} {:>13.0} {:>7.2}x",
+                if k == 0 {
+                    row.hosts.to_string()
+                } else {
+                    String::new()
+                },
+                if k == 0 {
+                    row.switches.to_string()
+                } else {
+                    String::new()
+                },
+                if k == 0 {
+                    row.shards.to_string()
+                } else {
+                    String::new()
+                },
+                w,
+                row.sharded_pps[k],
+                row.baseline_pps,
+                row.speedup[k]
+            );
+        }
+        rows.push(row);
+    }
+
+    let json_path =
+        std::env::var("ATHENA_SCALE_JSON").unwrap_or_else(|_| "BENCH_scale.json".to_owned());
+    let body = rows.iter().map(json_row).collect::<Vec<_>>().join(",\n");
+    let json = format!("{{\n  \"rows\": [\n{body}\n  ]\n}}\n");
+    std::fs::write(&json_path, json).expect("write BENCH_scale.json");
+    println!("\nwrote {json_path}");
+
+    // Acceptance: ≥ 5× packet-in throughput over the unsharded engine at
+    // 8 workers on the largest topology (byte-identity asserted above).
+    // The smoke topologies are too small to amortize pool dispatch, so
+    // the throughput bar applies to the full run only — byte-identity
+    // is asserted in both modes.
+    let last = rows.last().expect("at least one scale");
+    let speedup_at_8 = last.speedup[3];
+    if smoke() {
+        println!(
+            "\nsmoke: byte-identity verified at all widths ({} hosts); \
+             throughput bar applies to the full run",
+            last.hosts
+        );
+        return;
+    }
+    assert!(
+        speedup_at_8 >= 5.0,
+        "sharded engine at 8 workers below 5x over unsharded at {} hosts: {speedup_at_8:.2}",
+        last.hosts
+    );
+    println!(
+        "\nverified: {:.2}x packet-in throughput at 8 workers over the unsharded engine \
+         ({} hosts), byte-identical at all widths",
+        speedup_at_8, last.hosts
+    );
+}

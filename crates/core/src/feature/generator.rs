@@ -399,21 +399,20 @@ impl FeatureGenerator {
         // Phase 2 (parallel for large snapshots): pure record
         // construction from the frozen per-entry inputs.
         let meta = self.meta(now, "FLOW_STATS", polled);
-        let mut out: Vec<FeatureRecord> =
-            if entries.len() >= PAR_THRESHOLD && athena_parallel::threads() > 1 {
-                let shared = Arc::new(entries.to_vec());
-                let derived = Arc::new(derived);
-                let meta = meta.clone();
-                athena_parallel::par_map_indexed(shared.len(), move |i| {
-                    build_flow_record(from, meta.clone(), pair_ratio, &shared[i], &derived[i])
-                })
-            } else {
-                entries
-                    .iter()
-                    .zip(&derived)
-                    .map(|(e, d)| build_flow_record(from, meta.clone(), pair_ratio, e, d))
-                    .collect()
-            };
+        let mut out: Vec<FeatureRecord> = if entries.len() >= PAR_THRESHOLD {
+            let shared = Arc::new(entries.to_vec());
+            let derived = Arc::new(derived);
+            let meta = meta.clone();
+            athena_parallel::par_map_indexed(shared.len(), move |i| {
+                build_flow_record(from, meta.clone(), pair_ratio, &shared[i], &derived[i])
+            })
+        } else {
+            entries
+                .iter()
+                .zip(&derived)
+                .map(|(e, d)| build_flow_record(from, meta.clone(), pair_ratio, e, d))
+                .collect()
+        };
         out.reserve(2);
 
         // The per-switch stateful aggregate record.
@@ -488,7 +487,7 @@ impl FeatureGenerator {
         hosts.sort_by_key(|(ip, _)| *ip);
         self.records_generated += hosts.len() as u64;
         let meta = self.meta(now, "HOST_STATE", polled);
-        if hosts.len() >= PAR_THRESHOLD && athena_parallel::threads() > 1 {
+        if hosts.len() >= PAR_THRESHOLD {
             athena_parallel::par_map(hosts, move |(ip, agg)| {
                 build_host_record(from, meta.clone(), *ip, agg)
             })

@@ -46,14 +46,18 @@
 pub mod flow;
 pub mod link;
 pub mod network;
+pub mod shard;
 pub mod switch;
 pub mod topology;
+pub mod wheel;
 pub mod workload;
 
 pub use flow::{ActiveFlow, FlowSpec};
 pub use link::{LinkModel, SimLink};
 pub use network::{
-    ControllerLink, LearningControllerStub, Network, NetworkConfig, NetworkCounters,
+    ControllerLink, ExpiryMode, LearningControllerStub, Network, NetworkConfig, NetworkCounters,
 };
+pub use shard::{ShardPlan, ShardedNetwork};
 pub use switch::{FlowCacheStats, SimSwitch};
 pub use topology::{HostSpec, LinkSpec, SwitchSpec, Topology};
+pub use wheel::TimingWheel;

@@ -5,12 +5,14 @@
 use crate::flow::{ActiveFlow, FlowSpec};
 use crate::link::{LinkModel, SimLink};
 use crate::switch::SimSwitch;
-use crate::topology::Topology;
+use crate::topology::{HostSpec, Topology};
+use crate::wheel::TimingWheel;
 use athena_observe::Observe;
 use athena_openflow::{Action, OfMessage, PacketHeader};
 use athena_telemetry::{names, Counter, Gauge, Histogram, Telemetry};
-use athena_types::{Dpid, LinkId, PortNo, SimDuration, SimTime, Xid};
-use std::collections::HashMap;
+use athena_types::{Dpid, FiveTuple, Ipv4Addr, LinkId, PortNo, SimDuration, SimTime, Xid};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The data plane's view of its controllers.
 ///
@@ -28,6 +30,40 @@ pub trait ControllerLink {
         let _ = now;
         Vec::new()
     }
+
+    /// Handles a batch of packet-ins punted in one tick, returning the
+    /// concatenated commands in batch order.
+    ///
+    /// The default loops [`ControllerLink::on_message`], so every
+    /// controller is batch-capable; implementations that can amortize
+    /// per-message overhead (span setup, journalling, counter traffic)
+    /// override it — see `athena-controller`'s `ControllerCluster`. An
+    /// override must produce the same commands, in the same order, as
+    /// the sequential loop.
+    fn on_packet_in_batch(
+        &mut self,
+        batch: Vec<(Dpid, OfMessage)>,
+        now: SimTime,
+    ) -> Vec<(Dpid, OfMessage)> {
+        let mut out = Vec::new();
+        for (dpid, msg) in batch {
+            out.extend(self.on_message(dpid, msg, now));
+        }
+        out
+    }
+}
+
+/// How the per-tick flow-expiry pass finds due entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpiryMode {
+    /// Hierarchical timing-wheel wake-ups: O(due switches) per tick.
+    #[default]
+    Wheel,
+    /// The pre-wheel reference: scan every switch's full table every
+    /// tick, O(total flows). Kept for differential tests (the wheel
+    /// must produce the identical FLOW_REMOVED stream) and as the
+    /// benchmark baseline the scale gate measures against.
+    Scan,
 }
 
 /// Simulator configuration.
@@ -43,6 +79,8 @@ pub struct NetworkConfig {
     /// asserted lossless) — the control channel then exercises the real
     /// codec, at the cost of the encode/decode work.
     pub wire_mode: Option<athena_openflow::OfVersion>,
+    /// How flow expiry locates due entries each tick.
+    pub expiry: ExpiryMode,
 }
 
 impl Default for NetworkConfig {
@@ -51,6 +89,7 @@ impl Default for NetworkConfig {
             tick: SimDuration::from_secs(1),
             max_punt_retries: 1,
             wire_mode: None,
+            expiry: ExpiryMode::Wheel,
         }
     }
 }
@@ -84,6 +123,18 @@ pub struct Network {
     next_xid: u32,
     tel: NetTelemetry,
     observe: Observe,
+    /// Expiry wake-ups keyed on tick index (lazy cancellation: stale
+    /// wake-ups fire spuriously and re-arm — see [`crate::wheel`]).
+    wheel: TimingWheel<Dpid>,
+    /// Earliest outstanding wake-up tick per switch (arm dedup).
+    armed: HashMap<Dpid, u64>,
+    /// `hosts[i]` by IP — first match wins, like the linear scan it
+    /// replaces. O(1) where `Topology::host_by_ip` is O(hosts).
+    host_index: HashMap<Ipv4Addr, usize>,
+    /// Unidirectional link leaving `(dpid, port)` — O(1) `link_from`.
+    egress: HashMap<(Dpid, PortNo), LinkId>,
+    /// Host-facing `(dpid, port)` pairs — O(1) delivery check.
+    host_ports: HashSet<(Dpid, PortNo)>,
 }
 
 /// The network's telemetry instruments (detached until
@@ -99,6 +150,9 @@ struct NetTelemetry {
     switch_reboots: Counter,
     link_queue_drops: Counter,
     link_latency_us: Histogram,
+    wheel_armed: Counter,
+    wheel_fired: Counter,
+    wheel_spurious: Counter,
     /// Kept for run spans and the per-switch table gauges.
     handle: Option<Telemetry>,
 }
@@ -116,11 +170,21 @@ impl Network {
             switches.insert(s.dpid, SimSwitch::new(s.dpid, s.n_ports));
         }
         let mut links = HashMap::new();
+        let mut egress = HashMap::new();
         for l in &topology.links {
             let fwd = LinkId::new(l.a.0, l.a.1, l.b.0, l.b.1);
             links.insert(fwd, SimLink::new(fwd, l.capacity_bps));
             let rev = fwd.reversed();
             links.insert(rev, SimLink::new(rev, l.capacity_bps));
+            // First match wins, like Topology::link_from's scan.
+            egress.entry(l.a).or_insert(fwd);
+            egress.entry(l.b).or_insert(rev);
+        }
+        let mut host_index = HashMap::new();
+        let mut host_ports = HashSet::new();
+        for (i, h) in topology.hosts.iter().enumerate() {
+            host_index.entry(h.ip).or_insert(i);
+            host_ports.insert((h.switch, h.port));
         }
         Network {
             topology,
@@ -134,6 +198,54 @@ impl Network {
             next_xid: 1,
             tel: NetTelemetry::default(),
             observe: Observe::disabled(),
+            wheel: TimingWheel::new(0),
+            armed: HashMap::new(),
+            host_index,
+            egress,
+            host_ports,
+        }
+    }
+
+    /// The host (if any) owning `ip`, via the constructed-once index.
+    fn host_by_ip(&self, ip: Ipv4Addr) -> Option<HostSpec> {
+        self.host_index
+            .get(&ip)
+            .and_then(|i| self.topology.hosts.get(*i))
+            .copied()
+    }
+
+    /// The link leaving `(dpid, port)`, via the constructed-once index.
+    fn link_from(&self, dpid: Dpid, port: PortNo) -> Option<LinkId> {
+        self.egress.get(&(dpid, port)).copied()
+    }
+
+    /// The wheel's tick unit for a deadline: the first tick boundary at
+    /// or after it (the naive scan removed an entry at the first tick
+    /// `t` with `expires_at <= t`).
+    fn tick_of(&self, t: SimTime) -> u64 {
+        t.as_micros().div_ceil(self.config.tick.as_micros().max(1))
+    }
+
+    /// Schedules an expiry wake-up for `dpid` at its table's next
+    /// deadline, unless an earlier or equal wake-up is outstanding.
+    fn arm_switch(&mut self, dpid: Dpid) {
+        if self.config.expiry == ExpiryMode::Scan {
+            return;
+        }
+        let Some(next) = self.switches.get(&dpid).and_then(|sw| sw.next_expiry()) else {
+            return;
+        };
+        // Clamp to the wheel's next firable tick so `armed` always names
+        // the slot the entry actually landed in (schedule clamps too; an
+        // unclamped record would suppress every future re-arm).
+        let due = self.tick_of(next).max(self.wheel.now() + 1);
+        match self.armed.get(&dpid) {
+            Some(armed) if *armed <= due => {}
+            _ => {
+                self.wheel.schedule(due, dpid);
+                self.armed.insert(dpid, due);
+                self.tel.wheel_armed.inc();
+            }
         }
     }
 
@@ -155,6 +267,9 @@ impl Network {
             switch_reboots: m.counter(sub, names::dataplane::SWITCH_REBOOTS),
             link_queue_drops: m.counter(sub, names::dataplane::LINK_QUEUE_DROPS),
             link_latency_us: m.histogram(sub, names::dataplane::LINK_LATENCY_US),
+            wheel_armed: m.counter(sub, names::dataplane::WHEEL_ARMED),
+            wheel_fired: m.counter(sub, names::dataplane::WHEEL_FIRED),
+            wheel_spurious: m.counter(sub, names::dataplane::WHEEL_SPURIOUS),
             handle: Some(tel.clone()),
         };
     }
@@ -340,25 +455,68 @@ impl Network {
         self.now = t;
 
         // 1. Flow-table expiry (soft/hard timeouts) -> FLOW_REMOVED.
-        // Sorted: FLOW_REMOVED delivery order must not depend on hash
-        // iteration order, or controller-visible event order varies
-        // between otherwise identical runs.
-        let mut dpids: Vec<Dpid> = self.switches.keys().copied().collect();
-        dpids.sort();
-        for dpid in &dpids {
-            let removed = match self.switches.get_mut(dpid) {
-                Some(sw) => sw.expire(t),
-                None => continue,
-            };
-            for fr in removed {
-                self.counters.flow_removeds += 1;
-                let xid = self.fresh_xid();
-                let msg = via_wire(
-                    OfMessage::FlowRemoved { xid, body: fr },
-                    self.config.wire_mode,
-                );
-                let cmds = ctrl.on_message(*dpid, msg, t);
-                self.apply_commands(cmds, ctrl);
+        // O(due switches), not O(total flows): the wheel wakes exactly
+        // the switches whose earliest deadline falls on this tick.
+        // `advance` returns fires sorted by (tick, dpid) — and within
+        // one tick every fire shares the tick — so delivery runs in
+        // dpid order, reproducing the naive dpid-sorted scan exactly.
+        let tick_idx = self.tick_of(t);
+        let fired: Vec<Dpid> = match self.config.expiry {
+            ExpiryMode::Wheel => {
+                let mut due: Vec<Dpid> = self
+                    .wheel
+                    .advance(tick_idx)
+                    .into_iter()
+                    .map(|(_, dpid)| dpid)
+                    .collect();
+                due.dedup();
+                due
+            }
+            ExpiryMode::Scan => {
+                // Reference mode: visit every switch, sorted so
+                // FLOW_REMOVED delivery order never depends on hash
+                // iteration order.
+                let mut dpids: Vec<Dpid> = self.switches.keys().copied().collect();
+                dpids.sort();
+                dpids
+            }
+        };
+        let wheel_mode = self.config.expiry == ExpiryMode::Wheel;
+        for dpid in fired {
+            if wheel_mode && self.armed.get(&dpid) == Some(&tick_idx) {
+                self.armed.remove(&dpid);
+            }
+            let due = self
+                .switches
+                .get(&dpid)
+                .and_then(|sw| sw.next_expiry())
+                .is_some_and(|next| next <= t);
+            if due {
+                if wheel_mode {
+                    self.tel.wheel_fired.inc();
+                }
+                let removed = match self.switches.get_mut(&dpid) {
+                    Some(sw) => sw.expire(t),
+                    None => Vec::new(),
+                };
+                for fr in removed {
+                    self.counters.flow_removeds += 1;
+                    let xid = self.fresh_xid();
+                    let msg = via_wire(
+                        OfMessage::FlowRemoved { xid, body: fr },
+                        self.config.wire_mode,
+                    );
+                    let cmds = ctrl.on_message(dpid, msg, t);
+                    self.apply_commands(cmds, ctrl);
+                }
+            } else if wheel_mode {
+                // Deadline moved later (traffic re-armed an idle
+                // timeout, entries were deleted, switch rebooted):
+                // the wake-up is stale. Re-arm at the real deadline.
+                self.tel.wheel_spurious.inc();
+            }
+            if wheel_mode {
+                self.arm_switch(dpid);
             }
         }
 
@@ -413,7 +571,7 @@ impl Network {
     /// Processes the first packet of a new flow (producing table-miss
     /// punts) and adds it to the active set.
     fn activate_flow(&mut self, spec: FlowSpec, ctrl: &mut impl ControllerLink) {
-        let Some(src) = self.topology.host_by_ip(spec.five_tuple.src).copied() else {
+        let Some(src) = self.host_by_ip(spec.five_tuple.src) else {
             // Spoofed source: the flow still enters at the switch of the
             // *actual* sender if known; otherwise we cannot inject it.
             // DDoS generators attach spoofed flows to real ingress hosts by
@@ -450,7 +608,7 @@ impl Network {
         for (idx, spec) in specs {
             let fwd_bytes = spec.bytes_per(tick);
             if fwd_bytes > 0 {
-                if let Some(src) = self.topology.host_by_ip(spec.five_tuple.src).copied() {
+                if let Some(src) = self.host_by_ip(spec.five_tuple.src) {
                     let header = spec.header(src.port);
                     let (links, delivered) = self.route_path(src.switch, header, ctrl);
                     routed.push(Routed {
@@ -466,7 +624,7 @@ impl Network {
             if spec.reverse_ratio > 0.0 {
                 let rev_bytes = (fwd_bytes as f64 * spec.reverse_ratio) as u64;
                 if rev_bytes > 0 {
-                    if let Some(dst) = self.topology.host_by_ip(spec.five_tuple.dst).copied() {
+                    if let Some(dst) = self.host_by_ip(spec.five_tuple.dst) {
                         let header = spec.reverse_header(dst.port);
                         let (links, delivered) = self.route_path(dst.switch, header, ctrl);
                         routed.push(Routed {
@@ -573,18 +731,14 @@ impl Network {
             if out == PortNo::CONTROLLER {
                 return (links, false);
             }
-            if let Some(link) = self.topology.link_from(dpid, out) {
+            if let Some(link) = self.link_from(dpid, out) {
                 links.push(link);
                 dpid = link.dst;
                 pkt = apply_rewrites(&actions, pkt).with_in_port(link.dst_port);
                 continue;
             }
             // Host-facing port: delivered if some host sits there.
-            let delivered = self
-                .topology
-                .hosts
-                .iter()
-                .any(|h| h.switch == dpid && h.port == out);
+            let delivered = self.host_ports.contains(&(dpid, out));
             return (links, delivered);
         }
         (links, false) // loop guard
@@ -633,7 +787,7 @@ impl Network {
             let Some(out) = Action::first_output(&actions) else {
                 return;
             };
-            if let Some(link) = self.topology.link_from(dpid, out) {
+            if let Some(link) = self.link_from(dpid, out) {
                 dpid = link.dst;
                 pkt = apply_rewrites(&actions, pkt).with_in_port(link.dst_port);
                 continue;
@@ -682,6 +836,9 @@ impl Network {
                                 );
                                 replies.extend(ctrl.on_message(dpid, reply, self.now));
                             }
+                            // The mod may have introduced an earlier
+                            // deadline: schedule its wake-up.
+                            self.arm_switch(dpid);
                         }
                     }
                     OfMessage::PacketOut { body, .. } => {
@@ -689,7 +846,7 @@ impl Network {
                         if let Some(out) = Action::first_output(&body.actions) {
                             let pkt = body.header.with_in_port(PortNo::CONTROLLER);
                             // Inject at the named switch's egress port.
-                            if let Some(link) = self.topology.link_from(dpid, out) {
+                            if let Some(link) = self.link_from(dpid, out) {
                                 let next =
                                     apply_rewrites(&body.actions, pkt).with_in_port(link.dst_port);
                                 self.credit_path(link.dst, next, 1, bytes);
@@ -746,7 +903,7 @@ impl Network {
 
 /// Round-trips a message through the OpenFlow wire codec when wire mode
 /// is enabled, asserting losslessness.
-fn via_wire(msg: OfMessage, wire: Option<athena_openflow::OfVersion>) -> OfMessage {
+pub(crate) fn via_wire(msg: OfMessage, wire: Option<athena_openflow::OfVersion>) -> OfMessage {
     match wire {
         None => msg,
         Some(v) => {
@@ -769,7 +926,7 @@ fn via_wire(msg: OfMessage, wire: Option<athena_openflow::OfVersion>) -> OfMessa
 }
 
 /// Applies header-rewrite actions to a packet (set-field actions).
-fn apply_rewrites(actions: &[Action], mut pkt: PacketHeader) -> PacketHeader {
+pub(crate) fn apply_rewrites(actions: &[Action], mut pkt: PacketHeader) -> PacketHeader {
     for a in actions {
         match a {
             Action::SetEthSrc(m) => pkt.eth_src = *m,
@@ -784,29 +941,190 @@ fn apply_rewrites(actions: &[Action], mut pkt: PacketHeader) -> PacketHeader {
     pkt
 }
 
+/// Shared adjacency: `dpid -> [(out port, neighbor, neighbor's in port)]`.
+type SharedAdjacency = Arc<HashMap<Dpid, Vec<(PortNo, Dpid, PortNo)>>>;
+
+/// One punt's frozen routing inputs `(ingress, flow, destination host,
+/// hop-distance map)` for the parallel batch fan-out.
+type PuntJob = (Dpid, FiveTuple, HostSpec, Arc<HashMap<Dpid, u32>>);
+
 /// A minimal reactive shortest-path controller used by the data-plane
 /// crate's own tests and examples. The full distributed controller lives
 /// in `athena-controller`.
 ///
 /// On each `PACKET_IN` it looks up the destination host and installs
-/// exact-match forwarding rules (with an idle timeout) along the shortest
-/// path.
+/// exact-match forwarding rules (with an idle timeout) along a shortest
+/// path. When several shortest paths exist (fat-tree/Clos fabrics) the
+/// per-hop choice is ECMP: a deterministic hash of the five-tuple picks
+/// among the equal-cost next hops, so flows spread across the fabric
+/// instead of all collapsing onto the first path BFS happens to find —
+/// on a unique-shortest-path topology this reduces to plain BFS.
 #[derive(Debug, Clone)]
 pub struct LearningControllerStub {
     topology: Topology,
     /// Idle timeout for installed rules.
     pub idle_timeout: SimDuration,
     installs: u64,
+    /// Host lookup by IP, built once — a linear scan over the host list
+    /// per PACKET_IN melts down at 100k-host scale.
+    host_of: HashMap<Ipv4Addr, usize>,
+    /// Adjacency built once; `Topology::shortest_path` rebuilds it per
+    /// call, which dominates batch punt handling on large fabrics.
+    /// `Arc` so batched punt handling can fan path computation out.
+    adj: SharedAdjacency,
+    /// Hop-distance maps keyed by destination switch, built lazily (one
+    /// BFS per distinct destination edge switch, then O(path) per punt).
+    dist_cache: HashMap<Dpid, Arc<HashMap<Dpid, u32>>>,
 }
 
 impl LearningControllerStub {
     /// Creates a stub for the given network.
     pub fn new(net: &Network) -> Self {
+        Self::for_topology(net.topology().clone())
+    }
+
+    /// Creates a stub for a topology directly (no engine needed).
+    pub fn for_topology(topology: Topology) -> Self {
+        let mut host_of = HashMap::new();
+        for (i, h) in topology.hosts.iter().enumerate() {
+            host_of.entry(h.ip).or_insert(i);
+        }
+        let adj = Arc::new(topology.adjacency());
         LearningControllerStub {
-            topology: net.topology().clone(),
+            topology,
             idle_timeout: SimDuration::from_secs(30),
             installs: 0,
+            host_of,
+            adj,
+            dist_cache: HashMap::new(),
         }
+    }
+
+    /// FNV-1a over the five-tuple — the deterministic ECMP flow hash.
+    fn flow_hash(ft: &FiveTuple) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in [
+            u64::from(ft.src.raw()),
+            u64::from(ft.dst.raw()),
+            u64::from(ft.src_port),
+            u64::from(ft.dst_port),
+            u64::from(ft.proto.number()),
+        ] {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Hop distances from every switch to `to` (BFS over the cached
+    /// adjacency), computed once per destination.
+    fn ensure_dists(&mut self, to: Dpid) -> Arc<HashMap<Dpid, u32>> {
+        if let Some(d) = self.dist_cache.get(&to) {
+            return Arc::clone(d);
+        }
+        let mut dist: HashMap<Dpid, u32> = HashMap::from([(to, 0)]);
+        let mut queue = std::collections::VecDeque::from([to]);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist.get(&cur).copied().unwrap_or(0);
+            for (_, next, _) in self.adj.get(&cur).into_iter().flatten() {
+                if !dist.contains_key(next) {
+                    dist.insert(*next, d + 1);
+                    queue.push_back(*next);
+                }
+            }
+        }
+        let dist = Arc::new(dist);
+        self.dist_cache.insert(to, Arc::clone(&dist));
+        dist
+    }
+
+    /// A shortest path `from -> to`, ECMP-balanced: at each hop the
+    /// flow hash (mixed with the hop index) picks among the equal-cost
+    /// downhill neighbours in adjacency order. Deterministic per flow.
+    fn walk_ecmp(
+        adj: &HashMap<Dpid, Vec<(PortNo, Dpid, PortNo)>>,
+        dist: &HashMap<Dpid, u32>,
+        from: Dpid,
+        to: Dpid,
+        h: u64,
+    ) -> Option<Vec<(Dpid, PortNo)>> {
+        dist.get(&from)?;
+        let mut path = Vec::new();
+        let mut cur = from;
+        let mut hop = 0u32;
+        while cur != to {
+            let d = dist.get(&cur).copied()?;
+            let candidates: Vec<(PortNo, Dpid)> = adj
+                .get(&cur)
+                .into_iter()
+                .flatten()
+                .filter(|(_, next, _)| dist.get(next).copied() == Some(d - 1))
+                .map(|(port, next, _)| (*port, *next))
+                .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            let pick = (h.rotate_left(hop * 8) as usize) % candidates.len();
+            let (port, next) = candidates.get(pick).copied()?;
+            path.push((cur, port));
+            cur = next;
+            hop += 1;
+        }
+        Some(path)
+    }
+
+    /// The `FlowMod` install sequence for one punted flow: the ECMP path
+    /// hop by hop, then delivery out the destination host port.
+    fn install_cmds(
+        adj: &HashMap<Dpid, Vec<(PortNo, Dpid, PortNo)>>,
+        dist: &HashMap<Dpid, u32>,
+        from: Dpid,
+        ft: FiveTuple,
+        dst: HostSpec,
+        idle: SimDuration,
+    ) -> Vec<(Dpid, OfMessage)> {
+        let h = Self::flow_hash(&ft);
+        let Some(path) = Self::walk_ecmp(adj, dist, from, dst.switch, h) else {
+            return Vec::new();
+        };
+        let m = athena_openflow::MatchFields::exact_five_tuple(ft);
+        let mut cmds = Vec::with_capacity(path.len() + 1);
+        for (hop, port) in &path {
+            cmds.push((
+                *hop,
+                OfMessage::FlowMod {
+                    xid: Xid::new(0),
+                    body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(*port)])
+                        .with_idle_timeout(idle),
+                },
+            ));
+        }
+        cmds.push((
+            dst.switch,
+            OfMessage::FlowMod {
+                xid: Xid::new(0),
+                body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(dst.port)])
+                    .with_idle_timeout(idle),
+            },
+        ));
+        cmds
+    }
+
+    /// Looks up the punted packet's destination host, if the message is
+    /// a `PACKET_IN` for a known destination.
+    fn punt_dst(&self, msg: &OfMessage) -> Option<(FiveTuple, HostSpec)> {
+        let OfMessage::PacketIn { body, .. } = msg else {
+            return None;
+        };
+        let ft = body.header.five_tuple()?;
+        let dst = self
+            .host_of
+            .get(&ft.dst)
+            .and_then(|i| self.topology.hosts.get(*i))
+            .copied()?;
+        Some((ft, dst))
     }
 
     /// Number of flow rules installed so far.
@@ -817,42 +1135,44 @@ impl LearningControllerStub {
 
 impl ControllerLink for LearningControllerStub {
     fn on_message(&mut self, from: Dpid, msg: OfMessage, _now: SimTime) -> Vec<(Dpid, OfMessage)> {
-        let OfMessage::PacketIn { body, .. } = msg else {
+        let Some((ft, dst)) = self.punt_dst(&msg) else {
             return Vec::new();
         };
-        let Some(ft) = body.header.five_tuple() else {
-            return Vec::new();
-        };
-        let Some(dst) = self.topology.host_by_ip(ft.dst).copied() else {
-            return Vec::new();
-        };
-        let Some(path) = self.topology.shortest_path(from, dst.switch) else {
-            return Vec::new();
-        };
-        let mut cmds = Vec::new();
-        let m = athena_openflow::MatchFields::exact_five_tuple(ft);
-        for (hop, port) in &path {
-            self.installs += 1;
-            cmds.push((
-                *hop,
-                OfMessage::FlowMod {
-                    xid: Xid::new(0),
-                    body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(*port)])
-                        .with_idle_timeout(self.idle_timeout),
-                },
-            ));
-        }
-        // Final hop: deliver to the host port.
-        self.installs += 1;
-        cmds.push((
-            dst.switch,
-            OfMessage::FlowMod {
-                xid: Xid::new(0),
-                body: athena_openflow::FlowMod::add(m, 100, vec![Action::Output(dst.port)])
-                    .with_idle_timeout(self.idle_timeout),
-            },
-        ));
+        let dist = self.ensure_dists(dst.switch);
+        let cmds = Self::install_cmds(&self.adj, &dist, from, ft, dst, self.idle_timeout);
+        self.installs += cmds.len() as u64;
         cmds
+    }
+
+    /// Pipeline-processes a whole punt batch: the per-destination
+    /// distance maps are warmed sequentially (shared cache), then every
+    /// punt's path + install sequence is computed in parallel. Output is
+    /// the in-order concatenation of what per-message handling returns.
+    fn on_packet_in_batch(
+        &mut self,
+        batch: Vec<(Dpid, OfMessage)>,
+        _now: SimTime,
+    ) -> Vec<(Dpid, OfMessage)> {
+        let idle = self.idle_timeout;
+        let jobs: Vec<PuntJob> = batch
+            .iter()
+            .filter_map(|(from, msg)| {
+                let (ft, dst) = self.punt_dst(msg)?;
+                let dist = self.ensure_dists(dst.switch);
+                Some((*from, ft, dst, dist))
+            })
+            .collect();
+        let adj = Arc::clone(&self.adj);
+        let per_punt: Vec<Vec<(Dpid, OfMessage)>> =
+            athena_parallel::par_map(jobs, move |(from, ft, dst, dist)| {
+                Self::install_cmds(&adj, dist, *from, *ft, *dst, idle)
+            });
+        let mut out = Vec::new();
+        for cmds in per_punt {
+            self.installs += cmds.len() as u64;
+            out.extend(cmds);
+        }
+        out
     }
 }
 

@@ -223,6 +223,13 @@ impl SimSwitch {
         &self.table
     }
 
+    /// The earliest deadline at which any entry can expire, or `None`
+    /// when every entry is permanent (used to arm expiry wake-ups on
+    /// the dataplane's timing wheel instead of scanning every tick).
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.table.next_expiry()
+    }
+
     /// Applies a flow-mod, returning any flow-removed notifications (from
     /// delete commands).
     pub fn apply_flow_mod(&mut self, fm: &FlowMod, now: SimTime) -> Vec<FlowRemoved> {

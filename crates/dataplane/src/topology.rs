@@ -265,6 +265,117 @@ impl Topology {
         t
     }
 
+    /// A `k`-ary fat-tree (Clos) datacenter fabric with the canonical
+    /// `k/2` hosts per edge switch (`k^3/4` hosts total).
+    ///
+    /// See [`Topology::fat_tree_with_hosts`] for the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2.
+    pub fn fat_tree(k: usize) -> Self {
+        Self::fat_tree_with_hosts(k, k / 2)
+    }
+
+    /// A `k`-ary fat-tree with `hosts_per_edge` hosts on every edge
+    /// switch (`k^2/4 * hosts_per_edge` hosts total) — the scale knob
+    /// the 100k-host benchmarks turn without inflating the switch count.
+    ///
+    /// Layout (dpids are pod-contiguous so a contiguous dpid-range
+    /// partition puts whole pods in one shard):
+    /// - pod `p` (`0..k`) owns dpids `p*k+1 ..= p*k+k`: first the `k/2`
+    ///   edge switches, then the `k/2` aggregation switches;
+    /// - the `(k/2)^2` core switches follow at `k*k+1 ..`;
+    /// - edge ports `1..=k/2` go up to the pod's aggs, host ports start
+    ///   at `k/2+1`; agg ports `1..=k/2` go down to edges, `k/2+1..=k`
+    ///   up to cores; core port `p+1` serves pod `p`.
+    ///
+    /// Host placement is deterministic: hosts are numbered pod-major,
+    /// host `i` (0-based) gets IP `10.x.y.z` with `x.y.z` the octets of
+    /// `i`, attached to consecutive host ports of its edge switch. Each
+    /// pod is one controller domain; cores belong to controller 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd or less than 2, or `hosts_per_edge == 0`.
+    pub fn fat_tree_with_hosts(k: usize, hosts_per_edge: usize) -> Self {
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+        assert!(hosts_per_edge > 0, "need at least one host per edge");
+        let half = k / 2;
+        let mut t = Topology::default();
+        let edge_dpid = |p: usize, e: usize| Dpid::new((p * k + e + 1) as u64);
+        let agg_dpid = |p: usize, a: usize| Dpid::new((p * k + half + a + 1) as u64);
+        let core_dpid = |c: usize| Dpid::new((k * k + c + 1) as u64);
+        for p in 0..k {
+            for e in 0..half {
+                t.switches.push(SwitchSpec {
+                    dpid: edge_dpid(p, e),
+                    n_ports: (half + hosts_per_edge) as u32,
+                    controller: ControllerId::new(p as u32),
+                });
+            }
+            for a in 0..half {
+                t.switches.push(SwitchSpec {
+                    dpid: agg_dpid(p, a),
+                    n_ports: k as u32,
+                    controller: ControllerId::new(p as u32),
+                });
+            }
+        }
+        for c in 0..half * half {
+            t.switches.push(SwitchSpec {
+                dpid: core_dpid(c),
+                n_ports: k as u32,
+                controller: ControllerId::new(0),
+            });
+        }
+        // Edge e -> agg a inside each pod: edge port a+1, agg port e+1.
+        for p in 0..k {
+            for e in 0..half {
+                for a in 0..half {
+                    t.links.push(LinkSpec {
+                        a: (edge_dpid(p, e), PortNo::new((a + 1) as u32)),
+                        b: (agg_dpid(p, a), PortNo::new((e + 1) as u32)),
+                        capacity_bps: DEFAULT_CAPACITY_BPS,
+                    });
+                }
+            }
+        }
+        // Agg a of every pod -> cores a*k/2 .. (a+1)*k/2: agg port
+        // k/2+j+1 for core offset j, core port p+1 for pod p.
+        for p in 0..k {
+            for a in 0..half {
+                for j in 0..half {
+                    t.links.push(LinkSpec {
+                        a: (agg_dpid(p, a), PortNo::new((half + j + 1) as u32)),
+                        b: (core_dpid(a * half + j), PortNo::new((p + 1) as u32)),
+                        capacity_bps: DEFAULT_CAPACITY_BPS,
+                    });
+                }
+            }
+        }
+        let mut host_i = 0u64;
+        for p in 0..k {
+            for e in 0..half {
+                for h in 0..hosts_per_edge {
+                    t.hosts.push(HostSpec {
+                        id: HostId::new(host_i + 1),
+                        ip: Ipv4Addr::new(
+                            10,
+                            (host_i >> 16) as u8,
+                            (host_i >> 8) as u8,
+                            host_i as u8,
+                        ),
+                        switch: edge_dpid(p, e),
+                        port: PortNo::new((half + h + 1) as u32),
+                    });
+                    host_i += 1;
+                }
+            }
+        }
+        t
+    }
+
     /// Number of unidirectional links (the paper counts each direction).
     pub fn unidirectional_link_count(&self) -> usize {
         self.links.len() * 2
@@ -430,5 +541,47 @@ mod tests {
         let h = t.host(HostId::new(1)).unwrap();
         assert_eq!(t.host_by_ip(h.ip).unwrap().id, h.id);
         assert!(t.host(HostId::new(999)).is_none());
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let t = Topology::fat_tree(4);
+        // 4 pods x (2 edge + 2 agg) + 4 cores.
+        assert_eq!(t.switches.len(), 20);
+        // Edge-agg: 4 pods x 2x2; agg-core: 8 aggs x 2.
+        assert_eq!(t.links.len(), 32);
+        // k^3/4 hosts.
+        assert_eq!(t.hosts.len(), 16);
+        // One controller domain per pod (cores fold into pod 0's).
+        assert_eq!(t.controller_count(), 4);
+        // Pod-contiguous dpids: pod 0 = 1..=4, cores start at k*k+1.
+        assert!(t.switches[..4].iter().all(|s| s.dpid.raw() <= 4));
+        assert!(t.switches.iter().any(|s| s.dpid.raw() == 17));
+    }
+
+    #[test]
+    fn fat_tree_hosts_are_unique_and_reachable() {
+        let t = Topology::fat_tree_with_hosts(4, 3);
+        assert_eq!(t.hosts.len(), 4 * 2 * 3);
+        let mut ips: Vec<Ipv4Addr> = t.hosts.iter().map(|h| h.ip).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), t.hosts.len(), "host IPs must be unique");
+        let mut ports: Vec<(Dpid, PortNo)> = t.hosts.iter().map(|h| (h.switch, h.port)).collect();
+        ports.sort();
+        ports.dedup();
+        assert_eq!(ports.len(), t.hosts.len(), "host ports must be unique");
+        // Host ports never collide with uplink ports (1..=k/2).
+        assert!(t.hosts.iter().all(|h| h.port.raw() > 2));
+        // Cross-pod reachability via agg + core layers.
+        let first = t.hosts.first().unwrap();
+        let last = t.hosts.last().unwrap();
+        let path = t.shortest_path(first.switch, last.switch).unwrap();
+        assert_eq!(path.len(), 4, "edge-agg-core-agg-edge is four hops");
+    }
+
+    #[test]
+    fn fat_tree_is_deterministic() {
+        assert_eq!(Topology::fat_tree(6), Topology::fat_tree(6));
     }
 }

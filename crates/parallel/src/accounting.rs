@@ -27,6 +27,8 @@ pub struct JobStats {
     /// Effective width the job ran at (1 = sequential fast path).
     pub width: usize,
     /// Measured wall cost of each executed chunk, in submission order.
+    /// Width-1 runs record *item*-level granularity — the uncontended
+    /// costs [`modeled_makespan_ns`] re-chunks for any modeled width.
     pub chunk_costs_ns: Vec<u64>,
 }
 
@@ -59,8 +61,44 @@ pub fn makespan_ns(costs: &[u64], width: usize) -> u64 {
     loads.into_iter().max().unwrap_or(0)
 }
 
+/// Models a width-`width` run of a job from the *width-1* run's
+/// per-item costs: items are first grouped into the same fixed chunks a
+/// real width-`width` run would claim (`chunk_size` is a pure function
+/// of `(n, width)`), then the chunk sums are placed LPT. Grouping
+/// first matters — chunk granularity is part of the contract, and
+/// placing raw items would model a scheduler the pool does not have.
+pub fn modeled_makespan_ns(item_costs: &[u64], width: usize) -> u64 {
+    if item_costs.is_empty() {
+        return 0;
+    }
+    let chunk = crate::chunk_size(item_costs.len(), width);
+    let sums: Vec<u64> = item_costs
+        .chunks(chunk.max(1))
+        .map(|c| c.iter().sum())
+        .collect();
+    makespan_ns(&sums, width)
+}
+
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static JOBS: Mutex<Vec<JobStats>> = Mutex::new(Vec::new());
+
+/// Wall timer for one executed chunk. On a genuinely multi-core host
+/// these costs converge on real per-chunk work; on the oversubscribed
+/// single-core reproduction box they are contaminated by preemption
+/// (a chunk is charged for time its worker spent descheduled), which is
+/// why the speedup tables model every width from the *width-1* run via
+/// [`modeled_makespan_ns`] instead of per-width measurements.
+pub(crate) struct ChunkTimer(std::time::Instant);
+
+impl ChunkTimer {
+    pub(crate) fn start() -> Self {
+        ChunkTimer(std::time::Instant::now())
+    }
+
+    pub(crate) fn elapsed_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
 
 /// Turns job-cost accounting on or off (off by default). Turning it on
 /// clears any previously recorded jobs.

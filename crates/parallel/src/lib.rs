@@ -9,6 +9,8 @@
 //! - [`par_map`] / [`par_map_arc`] / [`par_map_indexed`] — map a
 //!   function over items on the pool, returning results **in submission
 //!   index order** regardless of worker count or steal interleaving,
+//! - [`par_map_take`] — the same, but each item is moved into its
+//!   runner (for mutating owned shards and handing them back),
 //! - [`par_map_reduce`] — ordered map + in-order fold, so floating-point
 //!   and order-sensitive reductions are byte-identical at any width,
 //! - [`scope`] — structured fork/join over arbitrary `'static` tasks,
@@ -44,12 +46,11 @@ mod accounting;
 mod pool;
 mod telemetry;
 
-pub use accounting::{makespan_ns, set_accounting, take_jobs, JobStats};
+pub use accounting::{makespan_ns, modeled_makespan_ns, set_accounting, take_jobs, JobStats};
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
 
 use pool::{lock, pool};
 
@@ -91,6 +92,19 @@ struct JobState<R> {
     costs: Mutex<Vec<(usize, u64)>>,
 }
 
+/// Items claimed per cursor bump. See [`JobState::new`] for rationale.
+const MIN_CHUNK: usize = 32;
+
+/// The fixed chunk size of an `n`-item job at `width` — a pure function
+/// of its inputs, so chunk boundaries (and thus accounting rows) are
+/// identical run-to-run.
+fn chunk_size(n: usize, width: usize) -> usize {
+    (n / (width * 8))
+        .max(MIN_CHUNK)
+        .min(n.div_ceil(width.max(1)))
+        .max(1)
+}
+
 impl<R: Send + 'static> JobState<R> {
     fn new(n: usize, width: usize) -> Self {
         JobState {
@@ -100,9 +114,14 @@ impl<R: Send + 'static> JobState<R> {
             all_done: Condvar::new(),
             panicked: AtomicBool::new(false),
             // ~8 chunks per runner: fine-grained enough for stealing to
-            // balance, coarse enough to amortize slot writes. A pure
-            // function of (n, width) — results never depend on it.
-            chunk: (n / (width * 8)).max(1),
+            // balance, coarse enough to amortize slot writes — with a
+            // floor of MIN_CHUNK items so cheap-item jobs at high width
+            // are not shredded into lock-dominated confetti (the
+            // BENCH_parallel feature-extraction row regressed at width
+            // 8 exactly this way), capped at ceil(n/width) so every
+            // runner still gets a chunk when items are few and heavy.
+            // A pure function of (n, width) — results never depend on it.
+            chunk: chunk_size(n, width),
             n,
             costs: Mutex::new(Vec::new()),
         }
@@ -117,16 +136,15 @@ impl<R: Send + 'static> JobState<R> {
                 return;
             }
             let end = (start + self.chunk).min(self.n);
-            let t0 = Instant::now();
+            let t0 = account.then(accounting::ChunkTimer::start);
             for i in start..end {
                 match catch_unwind(AssertUnwindSafe(|| f(i))) {
                     Ok(r) => *lock(&self.slots[i], "parallel/slots") = Some(r),
                     Err(_) => self.panicked.store(true, Ordering::SeqCst),
                 }
             }
-            if account {
-                let ns = t0.elapsed().as_nanos() as u64;
-                lock(&self.costs, "parallel/costs").push((start, ns));
+            if let Some(t0) = t0 {
+                lock(&self.costs, "parallel/costs").push((start, t0.elapsed_ns()));
             }
             let mut d = lock(&self.done, "parallel/done");
             *d += end - start;
@@ -204,12 +222,22 @@ fn run_sequential<R>(n: usize, f: impl Fn(usize) -> R) -> Vec<R> {
     if !accounting::accounting_enabled() {
         return (0..n).map(f).collect();
     }
-    let t0 = Instant::now();
-    let out: Vec<R> = (0..n).map(f).collect();
+    // Per-item costs: the width-1 run is the only uncontended timing a
+    // single-core host can produce, so record item-level granularity for
+    // the LPT model to place on virtual workers at any width.
+    let mut costs = Vec::with_capacity(n);
+    let out: Vec<R> = (0..n)
+        .map(|i| {
+            let t0 = accounting::ChunkTimer::start();
+            let r = f(i);
+            costs.push(t0.elapsed_ns());
+            r
+        })
+        .collect();
     accounting::record_job(JobStats {
         items: n,
         width: 1,
-        chunk_costs_ns: vec![t0.elapsed().as_nanos() as u64],
+        chunk_costs_ns: costs,
     });
     out
 }
@@ -246,6 +274,26 @@ where
     F: Fn(&T) -> R + Send + Sync + 'static,
 {
     par_map_arc(&Arc::new(items), f)
+}
+
+/// Maps `f` over an owned vector in parallel, **moving** each item into
+/// the call that maps it, returning results in item order. The parallel
+/// engine for owned stateful partitions (the sharded dataplane's tick
+/// phases): move each shard in, mutate it, and hand it back inside `R`.
+pub fn par_map_take<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let slots: Arc<Vec<Mutex<Option<T>>>> =
+        Arc::new(items.into_iter().map(|t| Mutex::new(Some(t))).collect());
+    run_ordered(slots.len(), threads(), move |i| {
+        let item = lock(&slots[i], "parallel/slots")
+            .take()
+            .expect("run_ordered hands each index to exactly one runner");
+        f(item)
+    })
 }
 
 /// Parallel map followed by an **ordered** in-order fold on the caller:
@@ -421,7 +469,36 @@ mod tests {
 
     impl JobStats {
         fn chunk_size(&self) -> usize {
-            (self.items / (self.width * 8)).max(1)
+            super::chunk_size(self.items, self.width)
+        }
+    }
+
+    #[test]
+    fn chunk_size_floors_and_caps() {
+        // Floor: cheap-item jobs are not shredded at high width.
+        assert_eq!(chunk_size(256, 8), 32);
+        // Cap: few heavy items still spread across every runner.
+        assert_eq!(chunk_size(8, 8), 1);
+        assert_eq!(chunk_size(200, 8), 25);
+        // Above the floor the ~8-chunks-per-runner rule is unchanged.
+        assert_eq!(chunk_size(3000, 8), 46);
+        assert_eq!(chunk_size(0, 4), 1);
+    }
+
+    #[test]
+    fn par_map_take_moves_items_and_preserves_order() {
+        #[derive(Debug, PartialEq)]
+        struct Owned(Vec<u64>);
+        for width in [1, 4, 8] {
+            let items: Vec<Owned> = (0..100u64).map(|i| Owned(vec![i; 3])).collect();
+            let got = with_threads(width, || {
+                par_map_take(items, |mut o| {
+                    o.0.push(o.0[0] * 2);
+                    o
+                })
+            });
+            assert_eq!(got.len(), 100, "width {width}");
+            assert_eq!(got[7], Owned(vec![7, 7, 7, 14]), "width {width}");
         }
     }
 

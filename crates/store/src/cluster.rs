@@ -664,12 +664,13 @@ impl CollectionHandle {
         if self.cluster.nodes.iter().all(StoreNode::is_up) {
             // Healthy path: each shard answers from its primary copy only,
             // so replicated documents are not duplicated. With more than
-            // one node and `ATHENA_THREADS > 1` the per-node scans fan out
-            // over the work-stealing pool; the ordered reduction merges
+            // one node the per-node scans fan out over the work-stealing
+            // pool (`ATHENA_THREADS = 1` takes the pool's in-place
+            // sequential fast path); the ordered reduction merges
             // them back in node-index order, and the final id sort makes
             // the result byte-identical to the sequential walk anyway.
             let n = self.cluster.nodes.len();
-            let mut out: Vec<Document> = if n > 1 && athena_parallel::threads() > 1 {
+            let mut out: Vec<Document> = if n > 1 {
                 let cluster = self.cluster.clone();
                 let name = self.name.clone();
                 let filter = filter.clone();

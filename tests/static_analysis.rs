@@ -75,15 +75,19 @@ fn derived_lock_graph_is_cycle_free_and_ordered() {
 
 #[test]
 fn hot_propagation_reaches_transitive_helpers() {
-    // Neither of these files appears in [analyze] hot_entries: they are
+    // None of these files appears in [analyze] hot_entries: they are
     // reached only through the call graph (forwarding path → match/route
-    // helpers). The old hand-maintained per-file hot list never covered
-    // them.
+    // helpers; sharded engine → ordered fan-out). The old hand-maintained
+    // per-file hot list never covered them. (`topology.rs::shortest_path`
+    // used to be on this list; the ECMP controller stub now routes over
+    // cached BFS distance maps built from `Topology::adjacency`, so the
+    // per-packet path no longer touches it.)
     let analysis = athena_analyze::check_workspace(root()).expect("analysis engine runs");
     for expected in [
         "crates/openflow/src/match_fields.rs::matches",
-        "crates/dataplane/src/topology.rs::shortest_path",
+        "crates/dataplane/src/topology.rs::adjacency",
         "crates/openflow/src/table.rs::lookup_at",
+        "crates/parallel/src/lib.rs::run_ordered",
     ] {
         assert!(
             analysis.hot_functions.iter().any(|h| h == expected),
